@@ -1,0 +1,123 @@
+//===- BenchCommon.h - shared benchmark harness utilities -------*- C++ -*-===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for the paper-reproduction benches: dataset compilation,
+/// environment-variable knobs (so the full 1 MB / 15-rep paper configuration
+/// is one export away from the fast defaults), tabular printing, and the
+/// geometric mean the paper summarizes with.
+///
+/// Knobs:
+///   MFSA_STREAM_BYTES  input stream size      (default 262144; paper 2^20)
+///   MFSA_REPS          timed repetitions      (default 2; paper 15/30)
+///   MFSA_MAX_THREADS   top of the thread sweep (default 32; paper 128)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MFSA_BENCH_BENCHCOMMON_H
+#define MFSA_BENCH_BENCHCOMMON_H
+
+#include "compiler/Pipeline.h"
+#include "engine/Imfant.h"
+#include "workload/Datasets.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace mfsa::bench {
+
+inline uint64_t envOr(const char *Name, uint64_t Default) {
+  const char *Value = std::getenv(Name);
+  if (!Value || !*Value)
+    return Default;
+  return std::strtoull(Value, nullptr, 10);
+}
+
+inline size_t streamBytes() { return envOr("MFSA_STREAM_BYTES", 1 << 18); }
+inline unsigned repetitions() {
+  return static_cast<unsigned>(envOr("MFSA_REPS", 2));
+}
+inline unsigned maxThreads() {
+  return static_cast<unsigned>(envOr("MFSA_MAX_THREADS", 32));
+}
+
+/// The paper's merging-factor sweep; 0 encodes "all".
+inline std::vector<uint32_t> paperMergingFactors() {
+  return {1, 2, 5, 10, 20, 50, 100, 0};
+}
+
+inline std::string mergingFactorName(uint32_t M) {
+  return M == 0 ? "all" : std::to_string(M);
+}
+
+/// One compiled dataset: rules, per-rule optimized FSAs, and the stream.
+struct CompiledDataset {
+  const DatasetSpec *Spec = nullptr;
+  std::vector<std::string> Rules;
+  std::vector<Nfa> OptimizedFsas;
+  std::string Stream;
+};
+
+/// Generates and compiles a dataset through stage 3 once; merging at
+/// different M is then cheap via mergeInGroups.
+inline CompiledDataset compileDataset(const DatasetSpec &Spec,
+                                      size_t StreamSize) {
+  CompiledDataset Out;
+  Out.Spec = &Spec;
+  Out.Rules = generateRuleset(Spec);
+  CompileOptions Options;
+  Options.MergingFactor = 1;
+  Options.EmitAnml = false;
+  Result<CompileArtifacts> Artifacts = compileRuleset(Out.Rules, Options);
+  if (!Artifacts.ok()) {
+    std::fprintf(stderr, "fatal: %s compile failed: %s\n",
+                 Spec.Abbrev.c_str(), Artifacts.diag().render().c_str());
+    std::exit(1);
+  }
+  Out.OptimizedFsas = std::move(Artifacts->OptimizedFsas);
+  if (StreamSize > 0)
+    Out.Stream = generateStream(Spec, Out.Rules, StreamSize);
+  return Out;
+}
+
+/// Builds one engine per MFSA of the given merging factor.
+inline std::vector<ImfantEngine>
+buildEngines(const CompiledDataset &Dataset, uint32_t MergingFactor,
+             const MergeOptions &Options = {}) {
+  std::vector<Mfsa> Groups =
+      mergeInGroups(Dataset.OptimizedFsas, MergingFactor, Options);
+  std::vector<ImfantEngine> Engines;
+  Engines.reserve(Groups.size());
+  for (const Mfsa &Z : Groups)
+    Engines.emplace_back(Z);
+  return Engines;
+}
+
+inline double geomean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double LogSum = 0;
+  for (double V : Values)
+    LogSum += std::log(V);
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+/// Prints the standard bench header with the active configuration.
+inline void printHeader(const char *Title, const char *PaperRef) {
+  std::printf("=== %s ===\n", Title);
+  std::printf("reproduces: %s\n", PaperRef);
+  std::printf("config: stream=%zu bytes, reps=%u, max-threads=%u "
+              "(override via MFSA_STREAM_BYTES / MFSA_REPS / "
+              "MFSA_MAX_THREADS)\n\n",
+              streamBytes(), repetitions(), maxThreads());
+}
+
+} // namespace mfsa::bench
+
+#endif // MFSA_BENCH_BENCHCOMMON_H

@@ -1,0 +1,72 @@
+//===- abl_loop_expansion.cpp - ablation A (loop expansion, Fig. 5a) ---------===//
+//
+// Part of the mfsa project. MIT License.
+//
+// Paper §IV-C (2) / Fig. 5a claims loop expansion "maximizes possibly
+// mergeable states by providing additional merging paths". This ablation
+// compiles every dataset with expansion on (default) and off (compact
+// cyclic over-approximation, see fsa/Builder.h) and compares single-FSA
+// sizes and the M = all compression. Expansion costs states per FSA but
+// wins them back — and more — at merge time.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace mfsa;
+using namespace mfsa::bench;
+
+namespace {
+
+struct Row {
+  uint64_t SingleStates = 0;
+  uint64_t MergedStates = 0;
+  double CompressionPct = 0;
+};
+
+Row measure(const std::vector<std::string> &Rules, bool Expand) {
+  CompileOptions Options;
+  Options.MergingFactor = 0;
+  Options.EmitAnml = false;
+  Options.Build.ExpandBoundedRepeats = Expand;
+  Result<CompileArtifacts> Artifacts = compileRuleset(Rules, Options);
+  if (!Artifacts.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", Artifacts.diag().render().c_str());
+    std::exit(1);
+  }
+  Row Out;
+  for (const Nfa &A : Artifacts->OptimizedFsas)
+    Out.SingleStates += A.numStates();
+  Out.MergedStates = computeSetStats(Artifacts->Mfsas).TotalStates;
+  Out.CompressionPct =
+      compressionPercent(Out.SingleStates, Out.MergedStates);
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  printHeader("Ablation A - loop expansion on/off",
+              "Fig. 5a (expanded loops maximize mergeable transitions)");
+
+  std::printf("%-8s | %10s %10s %8s | %10s %10s %8s\n", "dataset",
+              "exp:FSA-st", "MFSA-st", "comp%", "cmp:FSA-st", "MFSA-st",
+              "comp%");
+  for (const DatasetSpec &Spec : standardDatasets()) {
+    std::vector<std::string> Rules = generateRuleset(Spec);
+    Row Expanded = measure(Rules, /*Expand=*/true);
+    Row Compact = measure(Rules, /*Expand=*/false);
+    std::printf("%-8s | %10lu %10lu %8.2f | %10lu %10lu %8.2f\n",
+                Spec.Abbrev.c_str(),
+                static_cast<unsigned long>(Expanded.SingleStates),
+                static_cast<unsigned long>(Expanded.MergedStates),
+                Expanded.CompressionPct,
+                static_cast<unsigned long>(Compact.SingleStates),
+                static_cast<unsigned long>(Compact.MergedStates),
+                Compact.CompressionPct);
+  }
+  std::printf("\nnote: 'cmp' (expansion off) over-approximates bounded "
+              "repetitions (ablation-only mode); compare compression "
+              "columns, not semantics\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+//===- abl_prefilter.cpp - ablation H (Hyperscan-style decomposition) --------===//
+//
+// Part of the mfsa project. MIT License.
+//
+// The paper's §I positions MFSAs against the decomposition approach of
+// Hyperscan [Wang et al.]: "split complex patterns into disjoint sets of
+// string and FSA components ... delaying FSA execution until the string
+// matching analysis is required". This bench runs our literal-prefilter
+// implementation (Aho-Corasick gate + windowed confirmation + MFSA residual,
+// engine/Prefilter.h) against the plain M = all iMFAnt scan, reporting the
+// prefilterable-rule fraction and the throughput on planted streams.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "engine/Prefilter.h"
+#include "support/Timer.h"
+
+using namespace mfsa;
+using namespace mfsa::bench;
+
+int main() {
+  printHeader("Ablation H - literal prefiltering vs plain MFSA scan",
+              "§I decomposition baseline (Hyperscan-style)");
+
+  const unsigned Reps = repetitions();
+  std::printf("%-8s %8s %8s | %10s %10s %8s | %10s\n", "dataset", "prefilt",
+              "resid", "mfsa[s]", "prefil[s]", "ratio", "matches");
+  for (const DatasetSpec &Spec : standardDatasets()) {
+    CompiledDataset Dataset = compileDataset(Spec, streamBytes());
+
+    std::vector<ImfantEngine> MfsaEngines = buildEngines(Dataset, 0);
+    Result<PrefilterEngine> Prefilter =
+        PrefilterEngine::create(Dataset.Rules);
+    if (!Prefilter.ok()) {
+      std::fprintf(stderr, "fatal: %s\n", Prefilter.diag().render().c_str());
+      return 1;
+    }
+
+    double MfsaSec = 0, PrefilterSec = 0;
+    uint64_t MfsaMatches = 0, PrefilterMatches = 0;
+    for (unsigned Rep = 0; Rep < Reps; ++Rep) {
+      {
+        Timer Wall;
+        MatchRecorder Recorder;
+        MfsaEngines[0].run(Dataset.Stream, Recorder);
+        double Sec = Wall.elapsedSec();
+        if (Rep == 0 || Sec < MfsaSec)
+          MfsaSec = Sec;
+        MfsaMatches = Recorder.total();
+      }
+      {
+        Timer Wall;
+        MatchRecorder Recorder;
+        Prefilter->run(Dataset.Stream, Recorder);
+        double Sec = Wall.elapsedSec();
+        if (Rep == 0 || Sec < PrefilterSec)
+          PrefilterSec = Sec;
+        PrefilterMatches = Recorder.total();
+      }
+    }
+
+    if (MfsaMatches != PrefilterMatches) {
+      std::fprintf(stderr, "MISMATCH on %s: %lu vs %lu matches\n",
+                   Spec.Abbrev.c_str(),
+                   static_cast<unsigned long>(MfsaMatches),
+                   static_cast<unsigned long>(PrefilterMatches));
+      return 1;
+    }
+    std::printf("%-8s %8zu %8zu | %10.3f %10.3f %7.2fx | %10lu\n",
+                Spec.Abbrev.c_str(), Prefilter->numPrefiltered(),
+                Prefilter->numResidual(), MfsaSec, PrefilterSec,
+                MfsaSec / PrefilterSec,
+                static_cast<unsigned long>(MfsaMatches));
+  }
+  std::printf("\nexpected shape: literal-rich, bounded rulesets (BRO, TCP, "
+              "PEN) prefilter most of their rules and win when literal hits "
+              "are rare; CC-dominated (PRO) and .*-glued (DS9) rulesets "
+              "keep large residuals where the MFSA does the work anyway\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+//===- fig10_multi_thread.cpp - reproduce Fig. 10 (thread scaling) -----------===//
+//
+// Part of the mfsa project. MIT License.
+//
+// Paper Fig. 10: execution time when the K = ceil(N/M) automata of a
+// benchmark are distributed over T threads, T in [1, 128], for every merging
+// factor. Reported markers: the best-performing M = 1 configuration, the
+// best-performing M > 1 configuration (paper: geomean 4.05x speedup between
+// them), and the MFSA configuration reaching the best single-FSA time with
+// the fewest threads (paper: 1-2 threads suffice).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "engine/Parallel.h"
+
+using namespace mfsa;
+using namespace mfsa::bench;
+
+int main() {
+  printHeader("Fig. 10 - multi-threaded execution scaling",
+              "Fig. 10 (time vs threads per M; speedup and thread-utilization "
+              "markers)");
+
+  const unsigned Reps = repetitions();
+  std::vector<unsigned> Threads;
+  for (unsigned T = 1; T <= maxThreads(); T *= 2)
+    Threads.push_back(T);
+  const std::vector<uint32_t> Factors = {1, 10, 50, 0};
+
+  std::vector<double> Speedups;
+  std::vector<double> ThreadSavings;
+
+  for (const DatasetSpec &Spec : standardDatasets()) {
+    CompiledDataset Dataset = compileDataset(Spec, streamBytes());
+    std::printf("%s (execution time [s])\n%-6s", Spec.Abbrev.c_str(), "M\\T");
+    for (unsigned T : Threads)
+      std::printf(" %8u", T);
+    std::printf("\n");
+
+    double BestSingle = 0;   // best M=1 time over all T
+    double BestMerged = 0;   // best M>1 time over all T
+    unsigned BestSingleT = 1;
+    unsigned FewestThreadsBeatingSingle = 0;
+    uint32_t FewestThreadsM = 0;
+
+    for (uint32_t M : Factors) {
+      std::vector<ImfantEngine> Engines = buildEngines(Dataset, M);
+      std::printf("%-6s", mergingFactorName(M).c_str());
+      for (unsigned T : Threads) {
+        double Best = 0;
+        for (unsigned Rep = 0; Rep < Reps; ++Rep) {
+          ParallelRunResult Result = runParallel(Engines, Dataset.Stream, T);
+          if (Rep == 0 || Result.WallSeconds < Best)
+            Best = Result.WallSeconds;
+        }
+        std::printf(" %8.3f", Best);
+        if (M == 1) {
+          if (BestSingle == 0 || Best < BestSingle) {
+            BestSingle = Best;
+            BestSingleT = T;
+          }
+        } else if (BestMerged == 0 || Best < BestMerged) {
+          BestMerged = Best;
+        }
+      }
+      std::printf("\n");
+    }
+
+    // Thread-utilization marker: the fewest threads at which some M > 1
+    // configuration meets the best single-FSA time.
+    for (unsigned T : Threads) {
+      bool Found = false;
+      for (uint32_t M : Factors) {
+        if (M == 1)
+          continue;
+        std::vector<ImfantEngine> Engines = buildEngines(Dataset, M);
+        ParallelRunResult Result = runParallel(Engines, Dataset.Stream, T);
+        if (Result.WallSeconds <= BestSingle) {
+          FewestThreadsBeatingSingle = T;
+          FewestThreadsM = M;
+          Found = true;
+          break;
+        }
+      }
+      if (Found)
+        break;
+    }
+
+    double Speedup = BestSingle / BestMerged;
+    Speedups.push_back(Speedup);
+    if (FewestThreadsBeatingSingle > 0)
+      ThreadSavings.push_back(static_cast<double>(BestSingleT) /
+                              FewestThreadsBeatingSingle);
+    std::printf("  best M=1: %.3fs @%uT | best M>1: %.3fs | speedup %.2fx | "
+                "matches best M=1 with %u thread(s) at M=%s\n\n",
+                BestSingle, BestSingleT, BestMerged, Speedup,
+                FewestThreadsBeatingSingle,
+                mergingFactorName(FewestThreadsM).c_str());
+  }
+
+  std::printf("geomean best-MFSA speedup over best parallel single-FSAs: "
+              "%.2fx (paper: 4.05x, range 2.52x-6.18x)\n",
+              geomean(Speedups));
+  if (!ThreadSavings.empty())
+    std::printf("geomean thread-count saving at equal performance: %.2fx "
+                "(paper: MFSAs need 1-2 threads to match single-FSA best)\n",
+                geomean(ThreadSavings));
+  return 0;
+}

@@ -1,0 +1,121 @@
+//===- micro_kernels.cpp - google-benchmark microbenchmarks ------------------===//
+//
+// Part of the mfsa project. MIT License.
+//
+// Microbenchmarks for the hot kernels underlying the paper-level numbers:
+// front-end parsing, Thompson construction + optimization, merging, engine
+// scanning at several merging factors, and the INDEL kernels. These are the
+// pieces a performance regression would hide in.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "fsa/Passes.h"
+#include "workload/Indel.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace mfsa;
+using namespace mfsa::bench;
+
+namespace {
+
+/// Shared fixture state, built once.
+struct Fixture {
+  CompiledDataset Bro = compileDataset(*findDataset("BRO"), 1 << 16);
+  std::vector<ImfantEngine> EnginesM1 = buildEngines(Bro, 1);
+  std::vector<ImfantEngine> EnginesM50 = buildEngines(Bro, 50);
+  std::vector<ImfantEngine> EnginesAll = buildEngines(Bro, 0);
+};
+
+Fixture &fixture() {
+  static Fixture F;
+  return F;
+}
+
+void BM_ParseRuleset(benchmark::State &State) {
+  const std::vector<std::string> &Rules = fixture().Bro.Rules;
+  for (auto _ : State) {
+    for (const std::string &Rule : Rules) {
+      Result<Regex> Re = parseRegex(Rule);
+      benchmark::DoNotOptimize(Re.ok());
+    }
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Rules.size()));
+}
+BENCHMARK(BM_ParseRuleset);
+
+void BM_BuildAndOptimize(benchmark::State &State) {
+  Result<Regex> Re = parseRegex("(get|post)[a-z0-9]{2,6}/(http|ftp)x*");
+  for (auto _ : State) {
+    Result<Nfa> A = buildNfa(*Re);
+    Nfa Optimized = optimizeForMerging(*A);
+    benchmark::DoNotOptimize(Optimized.numStates());
+  }
+}
+BENCHMARK(BM_BuildAndOptimize);
+
+void BM_MergeAll(benchmark::State &State) {
+  const std::vector<Nfa> &Fsas = fixture().Bro.OptimizedFsas;
+  for (auto _ : State) {
+    std::vector<Mfsa> Groups = mergeInGroups(Fsas, 0);
+    benchmark::DoNotOptimize(Groups.size());
+  }
+}
+BENCHMARK(BM_MergeAll);
+
+void scanBench(benchmark::State &State,
+               const std::vector<ImfantEngine> &Engines) {
+  const std::string &Stream = fixture().Bro.Stream;
+  for (auto _ : State) {
+    uint64_t Total = 0;
+    for (const ImfantEngine &Engine : Engines) {
+      MatchRecorder Recorder;
+      Engine.run(Stream, Recorder);
+      Total += Recorder.total();
+    }
+    benchmark::DoNotOptimize(Total);
+  }
+  State.SetBytesProcessed(State.iterations() *
+                          static_cast<int64_t>(Stream.size()) *
+                          static_cast<int64_t>(Engines.size()));
+}
+
+void BM_ScanM1(benchmark::State &State) {
+  scanBench(State, fixture().EnginesM1);
+}
+BENCHMARK(BM_ScanM1);
+
+void BM_ScanM50(benchmark::State &State) {
+  scanBench(State, fixture().EnginesM50);
+}
+BENCHMARK(BM_ScanM50);
+
+void BM_ScanAll(benchmark::State &State) {
+  scanBench(State, fixture().EnginesAll);
+}
+BENCHMARK(BM_ScanAll);
+
+void BM_IndelDp(benchmark::State &State) {
+  std::string A(120, 'a'), B(130, 'b');
+  for (size_t I = 0; I < A.size(); I += 3)
+    A[I] = 'b';
+  for (auto _ : State)
+    benchmark::DoNotOptimize(indelDistanceDp(A, B));
+}
+BENCHMARK(BM_IndelDp);
+
+void BM_IndelBitParallel(benchmark::State &State) {
+  std::string A(120, 'a'), B(130, 'b');
+  for (size_t I = 0; I < A.size(); I += 3)
+    A[I] = 'b';
+  for (auto _ : State)
+    benchmark::DoNotOptimize(lcsLengthBitParallel(A, B));
+}
+BENCHMARK(BM_IndelBitParallel);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+//===- genome_motifs.cpp - protein-motif scanning scenario --------------------===//
+//
+// Part of the mfsa project. MIT License.
+//
+// The paper's second motivating domain (§I): genome/proteome analysis.
+// Protomata-style motifs — short patterns dominated by wide amino-acid
+// character classes — are merged into a single MFSA and used to scan a
+// synthetic protein database. Demonstrates character-class merging (§III-A
+// set Y), the activation-pressure statistics of Table II, and per-motif
+// match accounting.
+//
+//   $ ./genome_motifs [sequence-bytes]
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Pipeline.h"
+#include "engine/Imfant.h"
+#include "workload/Datasets.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace mfsa;
+
+int main(int argc, char **argv) {
+  size_t SequenceBytes = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                  : (size_t(1) << 17);
+
+  const DatasetSpec &Spec = *findDataset("PRO");
+  std::vector<std::string> Motifs = generateRuleset(Spec);
+  std::printf("motif set: %s (%zu motifs over the 20-letter amino-acid "
+              "alphabet)\n",
+              Spec.Name.c_str(), Motifs.size());
+  std::printf("example motifs:\n");
+  for (int I = 0; I < 3; ++I)
+    std::printf("  %s\n", Motifs[I].c_str());
+
+  CompileOptions Options;
+  Options.MergingFactor = 0; // one MFSA for the whole motif set
+  Options.EmitAnml = false;
+  Result<CompileArtifacts> Artifacts = compileRuleset(Motifs, Options);
+  if (!Artifacts.ok()) {
+    std::fprintf(stderr, "compile error: %s\n",
+                 Artifacts.diag().render().c_str());
+    return 1;
+  }
+
+  uint64_t SingleStates = 0;
+  for (const Nfa &A : Artifacts->OptimizedFsas)
+    SingleStates += A.numStates();
+  const Mfsa &Z = Artifacts->Mfsas[0];
+  std::printf("\nmerged automaton: %u states, %u transitions (%.1f%% state "
+              "compression; wide classes merge only on exact equality)\n",
+              Z.numStates(), Z.numTransitions(),
+              compressionPercent(SingleStates, Z.numStates()));
+
+  // Scan a synthetic proteome with planted motif instances.
+  std::string Proteome = generateStream(Spec, Motifs, SequenceBytes);
+  ImfantEngine Engine(Z);
+  MatchRecorder Recorder;
+  RunStats Stats;
+  Engine.run(Proteome, Recorder, &Stats);
+
+  std::printf("\nscanned %zu residues: %lu motif hits\n", Proteome.size(),
+              static_cast<unsigned long>(Recorder.total()));
+  std::printf("activation pressure (Table II metric): avg %.1f, peak %u "
+              "simultaneously-active motifs\n",
+              Stats.AvgActiveRules, Stats.MaxActiveRules);
+
+  // Top motifs by hit count.
+  std::vector<std::pair<uint64_t, uint32_t>> Ranked;
+  for (uint32_t R = 0; R < Recorder.perRule().size(); ++R)
+    if (Recorder.perRule()[R] > 0)
+      Ranked.emplace_back(Recorder.perRule()[R], R);
+  std::sort(Ranked.rbegin(), Ranked.rend());
+  std::printf("\ntop motifs by hits:\n");
+  for (size_t I = 0; I < std::min<size_t>(5, Ranked.size()); ++I)
+    std::printf("  %6lu  %s\n",
+                static_cast<unsigned long>(Ranked[I].first),
+                Motifs[Ranked[I].second].c_str());
+  return 0;
+}

@@ -1,0 +1,69 @@
+//===- quickstart.cpp - minimal end-to-end walkthrough ------------------------===//
+//
+// Part of the mfsa project. MIT License.
+//
+// The five-minute tour of the public API: parse a tiny ruleset, compile it
+// through the multi-level pipeline into one MFSA, inspect the compression,
+// serialize to extended ANML, and scan an input with the iMFAnt engine.
+//
+//   $ ./quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "anml/Anml.h"
+#include "compiler/Pipeline.h"
+#include "engine/Imfant.h"
+
+#include <cstdio>
+
+using namespace mfsa;
+
+int main() {
+  // 1. A small ruleset with overlapping structure (shared "user=" prefix).
+  std::vector<std::string> Rules = {
+      "user=admin",
+      "user=[a-z]+[0-9]{1,3}",
+      "user=root",
+      "passwd=[0-9a-f]{4,8}",
+  };
+
+  // 2. Compile: front-end -> FSAs -> optimization -> merging -> ANML.
+  //    MergingFactor 0 merges the whole ruleset into a single MFSA.
+  CompileOptions Options;
+  Options.MergingFactor = 0;
+  Result<CompileArtifacts> Artifacts = compileRuleset(Rules, Options);
+  if (!Artifacts.ok()) {
+    std::fprintf(stderr, "compile error: %s\n",
+                 Artifacts.diag().render().c_str());
+    return 1;
+  }
+
+  // 3. Compression achieved by the merge (paper Fig. 7 metric).
+  uint64_t SingleStates = 0;
+  for (const Nfa &A : Artifacts->OptimizedFsas)
+    SingleStates += A.numStates();
+  const Mfsa &Z = Artifacts->Mfsas[0];
+  std::printf("merged %zu rules: %lu FSA states -> %u MFSA states "
+              "(%.1f%% compression)\n",
+              Rules.size(), static_cast<unsigned long>(SingleStates),
+              Z.numStates(),
+              compressionPercent(SingleStates, Z.numStates()));
+
+  // 4. The extended-ANML document is ready for storage or transfer.
+  std::printf("ANML document: %zu bytes (see Anml.h for the dialect)\n",
+              Artifacts->AnmlDocs[0].size());
+
+  // 5. Scan an input stream; matches report (rule, end offset).
+  ImfantEngine Engine(Z);
+  std::string Input = "GET /?user=admin&user=bob42;passwd=deadbeef";
+  MatchRecorder Recorder(MatchRecorder::Mode::Collect);
+  Engine.run(Input, Recorder);
+
+  std::printf("input: %s\n", Input.c_str());
+  for (const auto &[Rule, End] : Recorder.matches())
+    std::printf("  rule %u (%s) matches ending at offset %lu\n", Rule,
+                Rules[Rule].c_str(), static_cast<unsigned long>(End));
+  std::printf("total matches: %lu\n",
+              static_cast<unsigned long>(Recorder.total()));
+  return 0;
+}

@@ -1,0 +1,437 @@
+//===- Anml.cpp - extended ANML serialization -------------------------------===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "anml/Anml.h"
+
+#include "support/StringUtil.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+using namespace mfsa;
+
+//===----------------------------------------------------------------------===//
+// Writing
+//===----------------------------------------------------------------------===//
+
+/// Encodes a SymbolSet as space-separated inclusive hex ranges ("61-66 6a").
+static std::string encodeSymbols(const SymbolSet &Set) {
+  std::string Out;
+  unsigned C = 0;
+  char Buffer[16];
+  while (C < SymbolSet::NumSymbols) {
+    if (!Set.contains(static_cast<unsigned char>(C))) {
+      ++C;
+      continue;
+    }
+    unsigned Hi = C;
+    while (Hi + 1 < SymbolSet::NumSymbols &&
+           Set.contains(static_cast<unsigned char>(Hi + 1)))
+      ++Hi;
+    if (!Out.empty())
+      Out.push_back(' ');
+    if (Hi == C)
+      std::snprintf(Buffer, sizeof(Buffer), "%02x", C);
+    else
+      std::snprintf(Buffer, sizeof(Buffer), "%02x-%02x", C, Hi);
+    Out += Buffer;
+    C = Hi + 1;
+  }
+  return Out;
+}
+
+/// Encodes a state list or a belonging set as space-separated decimals.
+static std::string encodeList(const std::vector<StateId> &Ids) {
+  std::string Out;
+  for (StateId Id : Ids) {
+    if (!Out.empty())
+      Out.push_back(' ');
+    Out += std::to_string(Id);
+  }
+  return Out;
+}
+
+static std::string encodeBel(const DynamicBitset &Bel) {
+  std::string Out;
+  Bel.forEach([&](unsigned Rule) {
+    if (!Out.empty())
+      Out.push_back(' ');
+    Out += std::to_string(Rule);
+  });
+  return Out;
+}
+
+std::string mfsa::writeAnml(const Mfsa &Z, const std::string &Name) {
+  std::string Out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  Out += "<mfsa-network name=\"" + xmlEscape(Name) + "\" states=\"" +
+         std::to_string(Z.numStates()) + "\" rules=\"" +
+         std::to_string(Z.numRules()) + "\">\n";
+
+  for (RuleId Id = 0; Id < Z.numRules(); ++Id) {
+    const Mfsa::RuleInfo &Info = Z.rule(Id);
+    std::vector<StateId> Finals = Info.Finals;
+    std::sort(Finals.begin(), Finals.end());
+    Out += "  <rule id=\"" + std::to_string(Id) + "\" global-id=\"" +
+           std::to_string(Info.GlobalId) + "\" initial=\"" +
+           std::to_string(Info.Initial) + "\" finals=\"" +
+           encodeList(Finals) + "\" anchored-start=\"" +
+           (Info.AnchoredStart ? "1" : "0") + "\" anchored-end=\"" +
+           (Info.AnchoredEnd ? "1" : "0") + "\"/>\n";
+  }
+
+  // Canonical transition order for reproducible output and round-trips.
+  std::vector<uint32_t> Order(Z.numTransitions());
+  for (uint32_t I = 0; I < Z.numTransitions(); ++I)
+    Order[I] = I;
+  std::sort(Order.begin(), Order.end(), [&](uint32_t A, uint32_t B) {
+    const MfsaTransition &TA = Z.transitions()[A];
+    const MfsaTransition &TB = Z.transitions()[B];
+    if (TA.From != TB.From)
+      return TA.From < TB.From;
+    if (TA.To != TB.To)
+      return TA.To < TB.To;
+    return TA.Label < TB.Label;
+  });
+
+  for (uint32_t I : Order) {
+    const MfsaTransition &T = Z.transitions()[I];
+    Out += "  <transition from=\"" + std::to_string(T.From) + "\" to=\"" +
+           std::to_string(T.To) + "\" symbols=\"" + encodeSymbols(T.Label) +
+           "\" belongs=\"" + encodeBel(T.Bel) + "\"/>\n";
+  }
+  Out += "</mfsa-network>\n";
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Reading
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A parsed XML element: tag name plus attribute key/value pairs. The reader
+/// only needs the flat element stream of the dialect, not a full DOM.
+struct XmlElement {
+  std::string Tag;
+  std::map<std::string, std::string> Attributes;
+  bool SelfClosing = false;
+  bool Closing = false;
+  size_t Offset = 0;
+
+  /// Fetches an attribute; \returns false if absent.
+  bool get(const std::string &Key, std::string &Out) const {
+    auto It = Attributes.find(Key);
+    if (It == Attributes.end())
+      return false;
+    Out = It->second;
+    return true;
+  }
+};
+
+/// Minimal forward-only scanner for the dialect's XML subset: prolog,
+/// comments, and elements with double-quoted attributes.
+class XmlScanner {
+public:
+  explicit XmlScanner(const std::string &Text) : Text(Text) {}
+
+  /// Scans the next element; \returns false at end of input, or an error
+  /// Result via LastError on malformed syntax.
+  Result<bool> next(XmlElement &Out);
+
+private:
+  void skipWhitespace() {
+    while (Cursor < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Cursor])))
+      ++Cursor;
+  }
+
+  const std::string &Text;
+  size_t Cursor = 0;
+};
+
+} // namespace
+
+Result<bool> XmlScanner::next(XmlElement &Out) {
+  for (;;) {
+    skipWhitespace();
+    if (Cursor >= Text.size())
+      return false;
+    if (Text[Cursor] != '<')
+      return Result<bool>::error("expected '<'", Cursor);
+    // Prolog and comments are skipped.
+    if (startsWith(Text.substr(Cursor, 2), "<?")) {
+      size_t End = Text.find("?>", Cursor);
+      if (End == std::string::npos)
+        return Result<bool>::error("unterminated XML prolog", Cursor);
+      Cursor = End + 2;
+      continue;
+    }
+    if (startsWith(Text.substr(Cursor, 4), "<!--")) {
+      size_t End = Text.find("-->", Cursor);
+      if (End == std::string::npos)
+        return Result<bool>::error("unterminated comment", Cursor);
+      Cursor = End + 3;
+      continue;
+    }
+    break;
+  }
+
+  Out = XmlElement();
+  Out.Offset = Cursor;
+  ++Cursor; // consume '<'
+  if (Cursor < Text.size() && Text[Cursor] == '/') {
+    Out.Closing = true;
+    ++Cursor;
+  }
+
+  size_t NameBegin = Cursor;
+  while (Cursor < Text.size() &&
+         (std::isalnum(static_cast<unsigned char>(Text[Cursor])) ||
+          Text[Cursor] == '-' || Text[Cursor] == '_'))
+    ++Cursor;
+  Out.Tag = Text.substr(NameBegin, Cursor - NameBegin);
+  if (Out.Tag.empty())
+    return Result<bool>::error("missing element name", NameBegin);
+
+  for (;;) {
+    skipWhitespace();
+    if (Cursor >= Text.size())
+      return Result<bool>::error("unterminated element", Out.Offset);
+    if (Text[Cursor] == '/') {
+      Out.SelfClosing = true;
+      ++Cursor;
+      continue;
+    }
+    if (Text[Cursor] == '>') {
+      ++Cursor;
+      return true;
+    }
+    // Attribute: name="value"
+    size_t KeyBegin = Cursor;
+    while (Cursor < Text.size() &&
+           (std::isalnum(static_cast<unsigned char>(Text[Cursor])) ||
+            Text[Cursor] == '-' || Text[Cursor] == '_'))
+      ++Cursor;
+    std::string Key = Text.substr(KeyBegin, Cursor - KeyBegin);
+    if (Key.empty())
+      return Result<bool>::error("malformed attribute", Cursor);
+    skipWhitespace();
+    if (Cursor >= Text.size() || Text[Cursor] != '=')
+      return Result<bool>::error("expected '=' after attribute name", Cursor);
+    ++Cursor;
+    skipWhitespace();
+    if (Cursor >= Text.size() || Text[Cursor] != '"')
+      return Result<bool>::error("expected '\"' opening attribute value",
+                                 Cursor);
+    ++Cursor;
+    size_t ValueBegin = Cursor;
+    while (Cursor < Text.size() && Text[Cursor] != '"')
+      ++Cursor;
+    if (Cursor >= Text.size())
+      return Result<bool>::error("unterminated attribute value", ValueBegin);
+    Out.Attributes[Key] =
+        xmlUnescape(Text.substr(ValueBegin, Cursor - ValueBegin));
+    ++Cursor; // closing quote
+  }
+}
+
+/// Parses a non-negative decimal; \returns false on malformed input.
+static bool parseUint(const std::string &Text, uint64_t &Out) {
+  if (Text.empty())
+    return false;
+  uint64_t Value = 0;
+  for (char C : Text) {
+    if (!std::isdigit(static_cast<unsigned char>(C)))
+      return false;
+    Value = Value * 10 + static_cast<uint64_t>(C - '0');
+    if (Value > UINT32_MAX)
+      return false;
+  }
+  Out = Value;
+  return true;
+}
+
+/// Parses a space-separated decimal list.
+static bool parseUintList(const std::string &Text,
+                          std::vector<uint32_t> &Out) {
+  for (const std::string &Field : splitString(trimString(Text), ' ')) {
+    if (Field.empty())
+      continue;
+    uint64_t Value;
+    if (!parseUint(Field, Value))
+      return false;
+    Out.push_back(static_cast<uint32_t>(Value));
+  }
+  return true;
+}
+
+/// Parses the hex-range symbols encoding ("61-66 6a").
+static bool parseSymbols(const std::string &Text, SymbolSet &Out) {
+  Out = SymbolSet();
+  for (const std::string &Field : splitString(trimString(Text), ' ')) {
+    if (Field.empty())
+      continue;
+    unsigned Lo, Hi;
+    if (std::sscanf(Field.c_str(), "%x-%x", &Lo, &Hi) == 2) {
+      if (Lo > 255 || Hi > 255 || Lo > Hi)
+        return false;
+      Out |= SymbolSet::range(static_cast<unsigned char>(Lo),
+                              static_cast<unsigned char>(Hi));
+    } else if (std::sscanf(Field.c_str(), "%x", &Lo) == 1) {
+      if (Lo > 255)
+        return false;
+      Out.insert(static_cast<unsigned char>(Lo));
+    } else {
+      return false;
+    }
+  }
+  return !Out.empty();
+}
+
+Result<Mfsa> mfsa::readAnml(const std::string &Document) {
+  XmlScanner Scanner(Document);
+  XmlElement Element;
+
+  // Header: <mfsa-network states=... rules=...>
+  Result<bool> Scan = Scanner.next(Element);
+  if (!Scan)
+    return Scan.diag();
+  if (!*Scan || Element.Tag != "mfsa-network" || Element.Closing)
+    return Result<Mfsa>::error("expected <mfsa-network> root element");
+  std::string StatesText, RulesText;
+  uint64_t NumStates = 0, NumRules = 0;
+  if (!Element.get("states", StatesText) ||
+      !parseUint(StatesText, NumStates) || !Element.get("rules", RulesText) ||
+      !parseUint(RulesText, NumRules))
+    return Result<Mfsa>::error("missing or malformed states/rules attributes",
+                               Element.Offset);
+
+  Mfsa Z(static_cast<uint32_t>(NumRules));
+  for (uint64_t I = 0; I < NumStates; ++I)
+    Z.addState();
+  std::vector<bool> RuleSeen(NumRules, false);
+
+  for (;;) {
+    Scan = Scanner.next(Element);
+    if (!Scan)
+      return Scan.diag();
+    if (!*Scan)
+      return Result<Mfsa>::error("missing </mfsa-network> close tag");
+    if (Element.Closing) {
+      if (Element.Tag != "mfsa-network")
+        return Result<Mfsa>::error("unexpected close tag </" + Element.Tag +
+                                       ">",
+                                   Element.Offset);
+      break;
+    }
+
+    if (Element.Tag == "rule") {
+      std::string IdText, InitialText, FinalsText, Text;
+      uint64_t Id = 0, Initial = 0;
+      if (!Element.get("id", IdText) || !parseUint(IdText, Id) ||
+          Id >= NumRules)
+        return Result<Mfsa>::error("malformed rule id", Element.Offset);
+      if (RuleSeen[Id])
+        return Result<Mfsa>::error("duplicate rule id", Element.Offset);
+      RuleSeen[Id] = true;
+      Mfsa::RuleInfo &Info = Z.rule(static_cast<RuleId>(Id));
+      if (!Element.get("initial", InitialText) ||
+          !parseUint(InitialText, Initial) || Initial >= NumStates)
+        return Result<Mfsa>::error("malformed rule initial state",
+                                   Element.Offset);
+      Info.Initial = static_cast<StateId>(Initial);
+      std::vector<uint32_t> Finals;
+      if (!Element.get("finals", FinalsText) ||
+          !parseUintList(FinalsText, Finals))
+        return Result<Mfsa>::error("malformed rule finals", Element.Offset);
+      for (uint32_t F : Finals) {
+        if (F >= NumStates)
+          return Result<Mfsa>::error("rule final state out of range",
+                                     Element.Offset);
+        Info.Finals.push_back(F);
+      }
+      if (Element.get("global-id", Text)) {
+        uint64_t GlobalId;
+        if (!parseUint(Text, GlobalId))
+          return Result<Mfsa>::error("malformed global-id", Element.Offset);
+        Info.GlobalId = static_cast<uint32_t>(GlobalId);
+      }
+      if (Element.get("anchored-start", Text))
+        Info.AnchoredStart = (Text == "1");
+      if (Element.get("anchored-end", Text))
+        Info.AnchoredEnd = (Text == "1");
+      continue;
+    }
+
+    if (Element.Tag == "transition") {
+      std::string FromText, ToText, SymbolsText, BelongsText;
+      uint64_t From = 0, To = 0;
+      if (!Element.get("from", FromText) || !parseUint(FromText, From) ||
+          From >= NumStates || !Element.get("to", ToText) ||
+          !parseUint(ToText, To) || To >= NumStates)
+        return Result<Mfsa>::error("malformed transition endpoints",
+                                   Element.Offset);
+      SymbolSet Label;
+      if (!Element.get("symbols", SymbolsText) ||
+          !parseSymbols(SymbolsText, Label))
+        return Result<Mfsa>::error("malformed transition symbols",
+                                   Element.Offset);
+      std::vector<uint32_t> Belongs;
+      if (!Element.get("belongs", BelongsText) ||
+          !parseUintList(BelongsText, Belongs) || Belongs.empty())
+        return Result<Mfsa>::error("malformed transition belongs",
+                                   Element.Offset);
+      DynamicBitset Bel(static_cast<unsigned>(NumRules));
+      for (uint32_t Rule : Belongs) {
+        if (Rule >= NumRules)
+          return Result<Mfsa>::error("belongs rule id out of range",
+                                     Element.Offset);
+        Bel.set(Rule);
+      }
+      Z.addTransition(static_cast<StateId>(From), static_cast<StateId>(To),
+                      Label, std::move(Bel));
+      continue;
+    }
+
+    return Result<Mfsa>::error("unknown element <" + Element.Tag + ">",
+                               Element.Offset);
+  }
+
+  for (uint64_t Id = 0; Id < NumRules; ++Id)
+    if (!RuleSeen[Id])
+      return Result<Mfsa>::error("missing <rule> element for rule " +
+                                 std::to_string(Id));
+  std::string Violation = Z.verify();
+  if (!Violation.empty())
+    return Result<Mfsa>::error("invalid MFSA: " + Violation);
+  return Z;
+}
+
+//===----------------------------------------------------------------------===//
+// File helpers
+//===----------------------------------------------------------------------===//
+
+bool mfsa::saveFile(const std::string &Path, const std::string &Document) {
+  std::ofstream Stream(Path, std::ios::binary);
+  if (!Stream)
+    return false;
+  Stream.write(Document.data(),
+               static_cast<std::streamsize>(Document.size()));
+  return static_cast<bool>(Stream);
+}
+
+Result<std::string> mfsa::loadFile(const std::string &Path) {
+  std::ifstream Stream(Path, std::ios::binary);
+  if (!Stream)
+    return Result<std::string>::error("cannot open " + Path);
+  std::ostringstream Buffer;
+  Buffer << Stream.rdbuf();
+  return Buffer.str();
+}

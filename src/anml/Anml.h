@@ -1,0 +1,57 @@
+//===- Anml.h - extended ANML serialization ---------------------*- C++ -*-===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Declares the back-end (paper §IV-E): lowering MFSAs to an Automata
+/// Network Markup Language representation "extended ... to include the REs
+/// each transition belongs to". Standard ANML is homogeneous/state-centric;
+/// the paper's extension is unpublished, so this library defines its own
+/// documented transition-centric dialect carrying the same information:
+///
+/// \code
+///   <?xml version="1.0" encoding="UTF-8"?>
+///   <mfsa-network name="..." states="N" rules="M">
+///     <rule id="0" global-id="17" initial="3" finals="5 6"
+///           anchored-start="0" anchored-end="0"/>
+///     <transition from="0" to="1" symbols="61-66 6a" belongs="0 2"/>
+///   </mfsa-network>
+/// \endcode
+///
+/// `symbols` is a list of inclusive hex byte ranges (lo-hi, or a single
+/// byte); `belongs` is the transition's belonging set; per-rule elements
+/// carry the activation-function anchors (initial state, final states).
+/// The format round-trips losslessly: readAnml(writeAnml(Z)) == Z up to
+/// transition order, which writeAnml makes canonical.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MFSA_ANML_ANML_H
+#define MFSA_ANML_ANML_H
+
+#include "mfsa/Mfsa.h"
+#include "support/Result.h"
+
+#include <string>
+
+namespace mfsa {
+
+/// Serializes \p Z into the extended-ANML dialect with canonical
+/// (from, to, label) transition order.
+std::string writeAnml(const Mfsa &Z, const std::string &Name);
+
+/// Parses an extended-ANML document back into an Mfsa, validating index
+/// ranges and belonging-set widths.
+Result<Mfsa> readAnml(const std::string &Document);
+
+/// Writes \p Document to \p Path; \returns false on I/O failure.
+bool saveFile(const std::string &Path, const std::string &Document);
+
+/// Reads the whole file at \p Path.
+Result<std::string> loadFile(const std::string &Path);
+
+} // namespace mfsa
+
+#endif // MFSA_ANML_ANML_H

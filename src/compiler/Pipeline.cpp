@@ -1,0 +1,74 @@
+//===- Pipeline.cpp - multi-level compilation framework ----------------------===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Pipeline.h"
+
+#include "anml/Anml.h"
+#include "fsa/AlphabetPartition.h"
+#include "fsa/Passes.h"
+
+using namespace mfsa;
+
+Result<CompileArtifacts>
+mfsa::compileRuleset(const std::vector<std::string> &Patterns,
+                     const CompileOptions &Options) {
+  CompileArtifacts Artifacts;
+  Timer Stage;
+
+  // Stage 1 — Front-End: lexical and syntactic analyses (§IV-A).
+  Stage.reset();
+  Artifacts.Asts.reserve(Patterns.size());
+  for (size_t I = 0; I < Patterns.size(); ++I) {
+    Result<Regex> Re = parseRegex(Patterns[I], Options.Parse);
+    if (!Re)
+      return Diag("rule " + std::to_string(I) + ": " + Re.diag().Message,
+                  Re.diag().Offset);
+    Artifacts.Asts.push_back(Re.take());
+  }
+  Artifacts.Times.FrontEndMs = Stage.elapsedMs();
+
+  // Stage 2 — AST to FSA: Thompson-like construction (§IV-B), bounded loops
+  // expanded per §IV-C (2).
+  Stage.reset();
+  Artifacts.RawFsas.reserve(Patterns.size());
+  for (size_t I = 0; I < Artifacts.Asts.size(); ++I) {
+    Result<Nfa> A = buildNfa(Artifacts.Asts[I], Options.Build);
+    if (!A)
+      return Diag("rule " + std::to_string(I) + ": " + A.diag().Message,
+                  A.diag().Offset);
+    Artifacts.RawFsas.push_back(A.take());
+  }
+  Artifacts.Times.AstToFsaMs = Stage.elapsedMs();
+
+  // Stage 3 — single-FSA optimization: ε-removal, multiplicity folding,
+  // compaction (§IV-C (1) and (3)).
+  Stage.reset();
+  Artifacts.OptimizedFsas.reserve(Artifacts.RawFsas.size());
+  for (const Nfa &Raw : Artifacts.RawFsas)
+    Artifacts.OptimizedFsas.push_back(optimizeForMerging(Raw));
+  if (Options.SplitCcByAtoms)
+    Artifacts.OptimizedFsas = splitAllByAtoms(Artifacts.OptimizedFsas);
+  Artifacts.Times.SingleOptMs = Stage.elapsedMs();
+
+  // Stage 4 — merging into ⌈N/M⌉ MFSAs (§III, Algorithm 1).
+  Stage.reset();
+  Artifacts.Mfsas = mergeInGroups(Artifacts.OptimizedFsas,
+                                  Options.MergingFactor, Options.Merge,
+                                  &Artifacts.Merging);
+  Artifacts.Times.MergingMs = Stage.elapsedMs();
+
+  // Stage 5 — Back-End: extended-ANML generation (§IV-E).
+  if (Options.EmitAnml) {
+    Stage.reset();
+    Artifacts.AnmlDocs.reserve(Artifacts.Mfsas.size());
+    for (size_t I = 0; I < Artifacts.Mfsas.size(); ++I)
+      Artifacts.AnmlDocs.push_back(
+          writeAnml(Artifacts.Mfsas[I], "mfsa-" + std::to_string(I)));
+    Artifacts.Times.BackEndMs = Stage.elapsedMs();
+  }
+
+  return Artifacts;
+}

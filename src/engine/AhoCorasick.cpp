@@ -1,0 +1,94 @@
+//===- AhoCorasick.cpp - multi-literal string matcher ---------------------------===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/AhoCorasick.h"
+
+#include <cassert>
+#include <map>
+#include <queue>
+
+using namespace mfsa;
+
+AhoCorasick::AhoCorasick(const std::vector<std::string> &Literals)
+    : NumLiterals(Literals.size()) {
+  // Build the trie with sparse child maps first; densify afterwards.
+  struct TrieNode {
+    std::map<unsigned char, uint32_t> Children;
+    std::vector<uint32_t> Ends; ///< Literals terminating here.
+    uint32_t Fail = 0;
+  };
+  std::vector<TrieNode> Trie(1);
+
+  for (size_t L = 0; L < Literals.size(); ++L) {
+    const std::string &Literal = Literals[L];
+    assert(!Literal.empty() && "empty prefilter literal");
+    uint32_t Node = 0;
+    for (char C : Literal) {
+      unsigned char Byte = static_cast<unsigned char>(C);
+      auto It = Trie[Node].Children.find(Byte);
+      if (It == Trie[Node].Children.end()) {
+        uint32_t Fresh = static_cast<uint32_t>(Trie.size());
+        Trie[Node].Children.emplace(Byte, Fresh);
+        Trie.emplace_back();
+        Node = Fresh;
+      } else {
+        Node = It->second;
+      }
+    }
+    Trie[Node].Ends.push_back(static_cast<uint32_t>(L));
+  }
+
+  NumNodes = static_cast<uint32_t>(Trie.size());
+  Next.assign(static_cast<size_t>(NumNodes) * 256, 0);
+
+  // BFS: fail links, flattened outputs (own ends plus the fail target's
+  // already-flattened outputs), and the dense next table (goto where a
+  // child exists, fail-resolved transition otherwise).
+  std::vector<std::vector<uint32_t>> Flattened(NumNodes);
+  std::queue<uint32_t> Work;
+
+  Flattened[0] = Trie[0].Ends;
+  for (unsigned Byte = 0; Byte < 256; ++Byte) {
+    auto It = Trie[0].Children.find(static_cast<unsigned char>(Byte));
+    if (It != Trie[0].Children.end()) {
+      Trie[It->second].Fail = 0;
+      Next[Byte] = It->second;
+      Work.push(It->second);
+    } else {
+      Next[Byte] = 0;
+    }
+  }
+
+  while (!Work.empty()) {
+    uint32_t Node = Work.front();
+    Work.pop();
+    uint32_t Fail = Trie[Node].Fail;
+    Flattened[Node] = Trie[Node].Ends;
+    Flattened[Node].insert(Flattened[Node].end(), Flattened[Fail].begin(),
+                           Flattened[Fail].end());
+    for (unsigned Byte = 0; Byte < 256; ++Byte) {
+      size_t Row = static_cast<size_t>(Node) * 256 + Byte;
+      auto It = Trie[Node].Children.find(static_cast<unsigned char>(Byte));
+      if (It != Trie[Node].Children.end()) {
+        Trie[It->second].Fail =
+            Next[static_cast<size_t>(Fail) * 256 + Byte];
+        Next[Row] = It->second;
+        Work.push(It->second);
+      } else {
+        Next[Row] = Next[static_cast<size_t>(Fail) * 256 + Byte];
+      }
+    }
+  }
+
+  OutputOffsets.assign(NumNodes + 1, 0);
+  for (uint32_t Node = 0; Node < NumNodes; ++Node)
+    OutputOffsets[Node + 1] =
+        OutputOffsets[Node] + static_cast<uint32_t>(Flattened[Node].size());
+  Outputs.resize(OutputOffsets[NumNodes]);
+  for (uint32_t Node = 0; Node < NumNodes; ++Node)
+    std::copy(Flattened[Node].begin(), Flattened[Node].end(),
+              Outputs.begin() + OutputOffsets[Node]);
+}

@@ -1,0 +1,69 @@
+//===- AhoCorasick.h - multi-literal string matcher -------------*- C++ -*-===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Declares AhoCorasick, the classic multi-pattern string matcher used as
+/// the literal-prefilter substrate (see Prefilter.h). The paper's §I/§VII
+/// discuss the decomposition approach of Hyperscan [Wang et al., NSDI'19]:
+/// "exploits regex decomposition to split complex patterns into disjoint
+/// sets of string and FSA components, thus alleviating the computation load
+/// by delaying FSA execution until the string matching analysis is
+/// required". This class is the string-matching half of that baseline.
+///
+/// The automaton is built goto/fail-style and then flattened into a dense
+/// per-byte next table (one lookup per input byte); outputs are flattened
+/// through the suffix links at build time, so scanning reports every
+/// occurrence of every literal, including overlapping and nested ones.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MFSA_ENGINE_AHOCORASICK_H
+#define MFSA_ENGINE_AHOCORASICK_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mfsa {
+
+/// Dense Aho-Corasick automaton over byte strings.
+class AhoCorasick {
+public:
+  /// Builds the automaton for \p Literals (empty literals are rejected by
+  /// assertion; duplicates are allowed and each reports separately).
+  explicit AhoCorasick(const std::vector<std::string> &Literals);
+
+  /// Scans \p Input, invoking Fn(LiteralIndex, EndOffset) for every
+  /// occurrence (end-exclusive offset, matching the library's match
+  /// convention).
+  template <typename CallableT>
+  void scan(std::string_view Input, CallableT Fn) const {
+    uint32_t State = 0;
+    for (size_t Pos = 0; Pos < Input.size(); ++Pos) {
+      State = Next[static_cast<size_t>(State) * 256 +
+                   static_cast<unsigned char>(Input[Pos])];
+      for (uint32_t OutIdx = OutputOffsets[State],
+                    OutEnd = OutputOffsets[State + 1];
+           OutIdx != OutEnd; ++OutIdx)
+        Fn(Outputs[OutIdx], Pos + 1);
+    }
+  }
+
+  uint32_t numNodes() const { return NumNodes; }
+  size_t numLiterals() const { return NumLiterals; }
+
+private:
+  uint32_t NumNodes = 0;
+  size_t NumLiterals = 0;
+  std::vector<uint32_t> Next;          ///< NumNodes x 256 dense table.
+  std::vector<uint32_t> Outputs;       ///< Flattened literal indices.
+  std::vector<uint32_t> OutputOffsets; ///< NumNodes + 1 row starts.
+};
+
+} // namespace mfsa
+
+#endif // MFSA_ENGINE_AHOCORASICK_H

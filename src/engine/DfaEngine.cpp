@@ -1,0 +1,33 @@
+//===- DfaEngine.cpp - dense DFA scanning engine --------------------------------===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/DfaEngine.h"
+
+using namespace mfsa;
+
+void DfaEngine::run(std::string_view Input, MatchRecorder &Recorder) const {
+  const uint32_t NumAtoms = Automaton.NumAtoms;
+  const uint32_t *Next = Automaton.Next.data();
+  const uint8_t *AtomOf = Automaton.AtomOfByte.data();
+
+  uint32_t State = Automaton.start();
+  for (size_t Pos = 0; Pos < Input.size(); ++Pos) {
+    State = Next[static_cast<size_t>(State) * NumAtoms +
+                 AtomOf[static_cast<unsigned char>(Input[Pos])]];
+    const DynamicBitset &Accept = Automaton.Accept[State];
+    if (Accept.any())
+      Accept.forEach([&](unsigned Rule) {
+        Recorder.onMatch(Automaton.GlobalIds[Rule], Pos + 1);
+      });
+    if (Pos + 1 == Input.size()) {
+      const DynamicBitset &AtEnd = Automaton.AcceptAtEnd[State];
+      if (AtEnd.any())
+        AtEnd.forEach([&](unsigned Rule) {
+          Recorder.onMatch(Automaton.GlobalIds[Rule], Pos + 1);
+        });
+    }
+  }
+}

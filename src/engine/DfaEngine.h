@@ -1,0 +1,45 @@
+//===- DfaEngine.h - dense DFA scanning engine ------------------*- C++ -*-===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Declares DfaEngine, the single-active-state baseline of the paper's §II:
+/// one table lookup per input byte, the upper-bound-throughput counterpart
+/// to the NFA engines — paid for in DFA state count (see Determinize.h).
+/// Matches, semantics, and recorders are shared with ImfantEngine, so the
+/// two engines cross-validate each other in the tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MFSA_ENGINE_DFAENGINE_H
+#define MFSA_ENGINE_DFAENGINE_H
+
+#include "engine/Imfant.h"
+#include "fsa/Determinize.h"
+
+#include <string_view>
+
+namespace mfsa {
+
+/// Executes a scanning Dfa over an input stream. Construction borrows the
+/// Dfa (which must outlive the engine); run() is const and thread-safe.
+class DfaEngine {
+public:
+  explicit DfaEngine(const Dfa &Automaton) : Automaton(Automaton) {}
+
+  /// Scans \p Input, reporting (rule, end offset) matches into \p Recorder
+  /// with the same semantics as ImfantEngine::run.
+  void run(std::string_view Input, MatchRecorder &Recorder) const;
+
+  uint32_t numStates() const { return Automaton.NumStates; }
+  size_t footprintBytes() const { return Automaton.footprintBytes(); }
+
+private:
+  const Dfa &Automaton;
+};
+
+} // namespace mfsa
+
+#endif // MFSA_ENGINE_DFAENGINE_H

@@ -1,0 +1,296 @@
+//===- Imfant.cpp - iMFAnt execution engine ----------------------------------===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Imfant.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <unordered_map>
+
+using namespace mfsa;
+
+namespace {
+
+/// Hash for a Words-wide bitset block, used to deduplicate belonging sets.
+struct BlockHash {
+  size_t operator()(const std::vector<uint64_t> &Block) const {
+    uint64_t H = 0x9e3779b97f4a7c15ULL;
+    for (uint64_t W : Block) {
+      H ^= W + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);
+      H *= 0xbf58476d1ce4e5b9ULL;
+    }
+    return static_cast<size_t>(H);
+  }
+};
+
+} // namespace
+
+ImfantEngine::ImfantEngine(const Mfsa &Z)
+    : NumStates(Z.numStates()), NumRules(Z.numRules()),
+      Words((Z.numRules() + 63) / 64) {
+  assert(NumRules > 0 && "engine over an MFSA with no rules");
+
+  // Deduplicate belonging sets into BelPool; MFSAs built from similar rules
+  // reuse few distinct sets, so the pool stays small.
+  std::unordered_map<std::vector<uint64_t>, uint32_t, BlockHash> PoolIndex;
+  auto InternBel = [&](const DynamicBitset &Bel) -> uint32_t {
+    std::vector<uint64_t> Block(Words, 0);
+    std::copy(Bel.words().begin(), Bel.words().end(), Block.begin());
+    auto It = PoolIndex.find(Block);
+    if (It != PoolIndex.end())
+      return It->second;
+    uint32_t Idx = static_cast<uint32_t>(PoolIndex.size());
+    PoolIndex.emplace(Block, Idx);
+    BelPool.insert(BelPool.end(), Block.begin(), Block.end());
+    return Idx;
+  };
+
+  // Bucket transitions per enabling symbol (the iNFAnt layout): first count,
+  // then fill, keeping entries contiguous per symbol.
+  std::vector<uint32_t> Counts(257, 0);
+  for (const MfsaTransition &T : Z.transitions())
+    T.Label.forEach([&](unsigned char C) { ++Counts[C]; });
+  Offsets.assign(257, 0);
+  for (unsigned C = 0; C < 256; ++C)
+    Offsets[C + 1] = Offsets[C] + Counts[C];
+  Entries.resize(Offsets[256]);
+  std::vector<uint32_t> Fill(Offsets.begin(), Offsets.end() - 1);
+  for (const MfsaTransition &T : Z.transitions()) {
+    uint32_t BelIdx = InternBel(T.Bel);
+    T.Label.forEach([&](unsigned char C) {
+      Entries[Fill[C]++] = TableEntry{T.From, T.To, BelIdx};
+    });
+  }
+
+  // Per-state activation metadata.
+  InitialRules.assign(static_cast<size_t>(NumStates) * Words, 0);
+  FinalRules.assign(static_cast<size_t>(NumStates) * Words, 0);
+  InitialAny.assign(NumStates, 0);
+  FinalAny.assign(NumStates, 0);
+  NotAnchoredStartMask.assign(Words, ~0ULL);
+  NotAnchoredEndMask.assign(Words, ~0ULL);
+  GlobalIds.resize(NumRules);
+
+  for (RuleId Rule = 0; Rule < NumRules; ++Rule) {
+    const Mfsa::RuleInfo &Info = Z.rule(Rule);
+    GlobalIds[Rule] = Info.GlobalId;
+    InitialRules[static_cast<size_t>(Info.Initial) * Words + Rule / 64] |=
+        1ULL << (Rule % 64);
+    InitialAny[Info.Initial] = 1;
+    for (StateId F : Info.Finals) {
+      FinalRules[static_cast<size_t>(F) * Words + Rule / 64] |=
+          1ULL << (Rule % 64);
+      FinalAny[F] = 1;
+    }
+    if (Info.AnchoredStart)
+      NotAnchoredStartMask[Rule / 64] &= ~(1ULL << (Rule % 64));
+    if (Info.AnchoredEnd)
+      NotAnchoredEndMask[Rule / 64] &= ~(1ULL << (Rule % 64));
+  }
+}
+
+size_t ImfantEngine::footprintBytes() const {
+  return Entries.size() * sizeof(TableEntry) + Offsets.size() * 4 +
+         (BelPool.size() + InitialRules.size() + FinalRules.size() +
+          NotAnchoredStartMask.size() + NotAnchoredEndMask.size()) *
+             8 +
+         InitialAny.size() + FinalAny.size() + GlobalIds.size() * 4;
+}
+
+void ImfantEngine::run(std::string_view Input, MatchRecorder &Recorder,
+                       RunStats *Stats) const {
+  Scanner Scan(*this);
+  Scan.feed(Input, Recorder, Stats);
+  Scan.finish(Recorder);
+}
+
+//===----------------------------------------------------------------------===//
+// Scanner
+//===----------------------------------------------------------------------===//
+
+ImfantEngine::Scanner::Scanner(const ImfantEngine &Engine)
+    : Engine(Engine), CurActive(Engine.NumStates, 0),
+      NextActive(Engine.NumStates, 0),
+      CurJ(static_cast<size_t>(Engine.NumStates) * Engine.Words, 0),
+      NextJ(static_cast<size_t>(Engine.NumStates) * Engine.Words, 0),
+      MatchedThisStep(Engine.Words, 0), ActivationScratch(Engine.Words, 0),
+      PendingAtEnd(Engine.Words, 0) {
+  CurTouched.reserve(64);
+  NextTouched.reserve(64);
+}
+
+void ImfantEngine::Scanner::feed(std::string_view Chunk,
+                                 MatchRecorder &Recorder, RunStats *Stats) {
+  assert(!Finished && "feed() after finish()");
+  if (Engine.Words == 1)
+    feedLoop<true>(Chunk, Recorder, Stats);
+  else
+    feedLoop<false>(Chunk, Recorder, Stats);
+}
+
+template <bool SingleWord>
+void ImfantEngine::Scanner::feedLoop(std::string_view Chunk,
+                                     MatchRecorder &Recorder,
+                                     RunStats *Stats) {
+  const ImfantEngine &E = Engine;
+  // With SingleWord the compiler folds every bitset loop to one scalar op.
+  const uint32_t W = SingleWord ? 1u : E.Words;
+  assert(W == E.Words && "dispatch mismatch");
+  uint64_t *A = ActivationScratch.data();
+
+  uint64_t ActiveRuleSum = 0;
+  uint32_t ActiveRuleMax = 0;
+  uint64_t TransitionsEvaluated = 0;
+  std::vector<uint64_t> UnionJ;
+  if (Stats)
+    UnionJ.assign(W, 0);
+
+  for (size_t Pos = 0; Pos < Chunk.size(); ++Pos) {
+    const unsigned char C = static_cast<unsigned char>(Chunk[Pos]);
+    const bool AtStart = (AbsoluteOffset == 0);
+    ++AbsoluteOffset;
+
+    const uint32_t Begin = E.Offsets[C];
+    const uint32_t End = E.Offsets[C + 1];
+    if (Stats) {
+      TransitionsEvaluated += End - Begin;
+      std::fill(UnionJ.begin(), UnionJ.end(), 0);
+    }
+
+    // `$`-anchored matches only survive if this symbol turns out to be the
+    // stream's last; restart the pending set for this offset.
+    std::fill(PendingAtEnd.begin(), PendingAtEnd.end(), 0);
+
+    for (uint32_t EIdx = Begin; EIdx < End; ++EIdx) {
+      const TableEntry &Entry = E.Entries[EIdx];
+      const bool FromActive = CurActive[Entry.From];
+      const bool FromInitial = E.InitialAny[Entry.From];
+      // iNFAnt enables a transition when it starts in an active or initial
+      // state; everything else is skipped outright.
+      if (!FromActive && !FromInitial)
+        continue;
+
+      const uint64_t *Bel = &E.BelPool[static_cast<size_t>(Entry.BelIdx) * W];
+      bool Any = false;
+
+      // Activation set crossing this transition: propagate J from the
+      // source (rule pruning per Eq. 6 is the ∩ bel) and inject rules whose
+      // match may begin here (Eq. 4), respecting start anchors away from
+      // offset 0.
+      if (FromActive) {
+        const uint64_t *SrcJ = &CurJ[static_cast<size_t>(Entry.From) * W];
+        for (uint32_t I = 0; I < W; ++I) {
+          A[I] = SrcJ[I] & Bel[I];
+          Any = Any || A[I];
+        }
+      } else {
+        std::fill(ActivationScratch.begin(), ActivationScratch.end(), 0);
+      }
+      if (FromInitial) {
+        const uint64_t *Init =
+            &E.InitialRules[static_cast<size_t>(Entry.From) * W];
+        for (uint32_t I = 0; I < W; ++I) {
+          uint64_t Inject = Init[I] & Bel[I];
+          if (!AtStart)
+            Inject &= E.NotAnchoredStartMask[I];
+          A[I] |= Inject;
+          Any = Any || A[I];
+        }
+      }
+      if (!Any)
+        continue;
+
+      // Arrival: merge the activation set into the destination state.
+      uint64_t *DstJ = &NextJ[static_cast<size_t>(Entry.To) * W];
+      if (!NextActive[Entry.To]) {
+        NextActive[Entry.To] = 1;
+        NextTouched.push_back(Entry.To);
+      }
+      for (uint32_t I = 0; I < W; ++I)
+        DstJ[I] |= A[I];
+
+      // Match reporting (Eq. 5): active rules for which the destination is
+      // final. Unanchored-end rules report immediately (minus pairs already
+      // reported this step); `$`-anchored ones park in PendingAtEnd.
+      if (E.FinalAny[Entry.To]) {
+        const uint64_t *Fin = &E.FinalRules[static_cast<size_t>(Entry.To) * W];
+        for (uint32_t I = 0; I < W; ++I) {
+          uint64_t Arrived = A[I] & Fin[I];
+          if (!Arrived)
+            continue;
+          PendingAtEnd[I] |= Arrived & ~E.NotAnchoredEndMask[I];
+          uint64_t Hits =
+              Arrived & E.NotAnchoredEndMask[I] & ~MatchedThisStep[I];
+          if (!Hits)
+            continue;
+          if (!MatchedThisStep[I])
+            MatchedDirtyWords.push_back(I);
+          MatchedThisStep[I] |= Hits;
+          while (Hits) {
+            unsigned Bit = static_cast<unsigned>(__builtin_ctzll(Hits));
+            Hits &= Hits - 1;
+            Recorder.onMatch(E.GlobalIds[I * 64 + Bit], AbsoluteOffset);
+          }
+        }
+      }
+    }
+
+    if (Stats) {
+      for (StateId S : NextTouched) {
+        const uint64_t *J = &NextJ[static_cast<size_t>(S) * W];
+        for (uint32_t I = 0; I < W; ++I)
+          UnionJ[I] |= J[I];
+      }
+      uint32_t ActiveRules = 0;
+      for (uint32_t I = 0; I < W; ++I)
+        ActiveRules += static_cast<uint32_t>(__builtin_popcountll(UnionJ[I]));
+      ActiveRuleSum += ActiveRules;
+      ActiveRuleMax = std::max(ActiveRuleMax, ActiveRules);
+    }
+
+    // Swap buffers; scrub only what the finished step touched.
+    for (StateId S : CurTouched) {
+      CurActive[S] = 0;
+      std::memset(&CurJ[static_cast<size_t>(S) * W], 0, W * 8);
+    }
+    CurTouched.clear();
+    std::swap(CurActive, NextActive);
+    std::swap(CurJ, NextJ);
+    std::swap(CurTouched, NextTouched);
+    for (uint32_t I : MatchedDirtyWords)
+      MatchedThisStep[I] = 0;
+    MatchedDirtyWords.clear();
+  }
+
+  if (Stats) {
+    Stats->Steps += Chunk.size();
+    Stats->TransitionsEvaluated += TransitionsEvaluated;
+    Stats->MaxActiveRules = std::max(Stats->MaxActiveRules, ActiveRuleMax);
+    // Fold this chunk's mean into the running mean by weight.
+    if (Stats->Steps > 0) {
+      double PriorWeight =
+          static_cast<double>(Stats->Steps - Chunk.size());
+      Stats->AvgActiveRules =
+          (Stats->AvgActiveRules * PriorWeight +
+           static_cast<double>(ActiveRuleSum)) /
+          static_cast<double>(Stats->Steps);
+    }
+  }
+}
+
+void ImfantEngine::Scanner::finish(MatchRecorder &Recorder) {
+  assert(!Finished && "finish() called twice");
+  Finished = true;
+  for (uint32_t I = 0; I < Engine.Words; ++I) {
+    uint64_t Hits = PendingAtEnd[I];
+    while (Hits) {
+      unsigned Bit = static_cast<unsigned>(__builtin_ctzll(Hits));
+      Hits &= Hits - 1;
+      Recorder.onMatch(Engine.GlobalIds[I * 64 + Bit], AbsoluteOffset);
+    }
+  }
+}

@@ -1,0 +1,192 @@
+//===- Imfant.h - iMFAnt execution engine -----------------------*- C++ -*-===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Declares ImfantEngine, the execution engine of the paper's §V: an
+/// extension of the iNFAnt NFA-matching algorithm that supports MFSAs.
+///
+/// Like iNFAnt, the engine pre-processes the automaton into a data structure
+/// "linking each symbol in a standard 256-characters alphabet to the
+/// transitions it enables" and keeps a state vector of active states; all
+/// transitions enabled by the current symbol are evaluated per input
+/// character. The iMFAnt extension stores, for each active state, "the
+/// result of the activation function upon reaching it": a per-state rule
+/// bitset J maintained according to the paper's rules (4)-(6):
+///
+///   (4) crossing a transition out of rule j's initial state activates j;
+///   (5) arriving in a final state of an active rule j reports a match;
+///   (6) rules whose automaton lacks the crossed transition are deactivated
+///       — implemented as J(q1) ∩ bel(t), since `bel` records exactly which
+///       rules own each transition.
+///
+/// Running a single-rule MFSA (merging factor M = 1) degenerates to the
+/// original iNFAnt algorithm and serves as the paper's baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MFSA_ENGINE_IMFANT_H
+#define MFSA_ENGINE_IMFANT_H
+
+#include "mfsa/Mfsa.h"
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace mfsa {
+
+/// Collects matches emitted by an engine run. A match is a (rule, end
+/// offset) pair; the engine already deduplicates pairs arising from multiple
+/// simultaneous paths.
+class MatchRecorder {
+public:
+  enum class Mode : uint8_t {
+    CountOnly, ///< Only per-rule and total counters (benchmark default).
+    Collect    ///< Also keep (global rule id, end offset) pairs, up to Cap.
+  };
+
+  explicit MatchRecorder(Mode Mode = Mode::CountOnly) : RecordMode(Mode) {}
+
+  void onMatch(uint32_t GlobalRuleId, uint64_t EndOffset) {
+    ++Total;
+    if (GlobalRuleId >= PerRule.size())
+      PerRule.resize(GlobalRuleId + 1, 0);
+    ++PerRule[GlobalRuleId];
+    if (RecordMode == Mode::Collect && Matches.size() < Cap)
+      Matches.emplace_back(GlobalRuleId, EndOffset);
+  }
+
+  uint64_t total() const { return Total; }
+  const std::vector<uint64_t> &perRule() const { return PerRule; }
+  const std::vector<std::pair<uint32_t, uint64_t>> &matches() const {
+    return Matches;
+  }
+
+  /// Maximum number of retained pairs in Collect mode.
+  size_t Cap = size_t(1) << 22;
+
+private:
+  Mode RecordMode;
+  uint64_t Total = 0;
+  std::vector<uint64_t> PerRule;
+  std::vector<std::pair<uint32_t, uint64_t>> Matches;
+};
+
+/// Per-run traversal statistics backing Table II (active-rule pressure).
+struct RunStats {
+  uint64_t Steps = 0;           ///< Input symbols consumed.
+  double AvgActiveRules = 0.0;  ///< Mean |∪ J(q)| over steps.
+  uint32_t MaxActiveRules = 0;  ///< Peak |∪ J(q)| over steps.
+  uint64_t TransitionsEvaluated = 0; ///< Total per-symbol table entries seen.
+};
+
+/// The iMFAnt engine. Construction performs the algorithm's pre-processing
+/// (symbol-indexed transition table, belonging pool, per-state activation
+/// metadata); run() is const and allocates only per-run scratch, so one
+/// engine may be shared across threads.
+class ImfantEngine {
+public:
+  explicit ImfantEngine(const Mfsa &Z);
+
+  /// Scans \p Input, reporting every (rule, end-offset) match into
+  /// \p Recorder. When \p Stats is non-null, traversal statistics are
+  /// collected (slightly slower; use a separate run for timing).
+  void run(std::string_view Input, MatchRecorder &Recorder,
+           RunStats *Stats = nullptr) const;
+
+  /// Incremental scanning over a stream that arrives in chunks (network
+  /// payloads, file blocks): the activation state carries across feed()
+  /// calls, matches spanning chunk boundaries are found, and offsets are
+  /// absolute. finish() flushes the `$`-anchored matches pending at the
+  /// final offset. A Scanner borrows its engine, which must outlive it.
+  ///
+  /// \code
+  ///   ImfantEngine::Scanner Scan(Engine);
+  ///   while (auto Chunk = nextChunk())
+  ///     Scan.feed(*Chunk, Recorder);
+  ///   Scan.finish(Recorder);
+  /// \endcode
+  class Scanner {
+  public:
+    explicit Scanner(const ImfantEngine &Engine);
+
+    /// Consumes \p Chunk; reports all matches ending inside it (except
+    /// `$`-anchored ones, which wait for finish()).
+    void feed(std::string_view Chunk, MatchRecorder &Recorder,
+              RunStats *Stats = nullptr);
+
+    /// Marks end-of-stream: reports `$`-anchored matches at the final
+    /// offset. The scanner must not be fed afterwards.
+    void finish(MatchRecorder &Recorder);
+
+    /// Absolute offset consumed so far.
+    uint64_t offset() const { return AbsoluteOffset; }
+
+  private:
+    /// The scan loop, compiled twice: SingleWord folds the per-rule-bitset
+    /// loops to scalar ops for MFSAs of up to 64 rules — which covers every
+    /// M = 1 baseline engine, keeping the Fig. 9 comparison fair.
+    template <bool SingleWord>
+    void feedLoop(std::string_view Chunk, MatchRecorder &Recorder,
+                  RunStats *Stats);
+
+    const ImfantEngine &Engine;
+    uint64_t AbsoluteOffset = 0;
+    bool Finished = false;
+
+    // Double-buffered state vector plus per-step scratch (see Imfant.cpp).
+    std::vector<uint8_t> CurActive, NextActive;
+    std::vector<uint64_t> CurJ, NextJ;
+    std::vector<StateId> CurTouched, NextTouched;
+    std::vector<uint64_t> MatchedThisStep;
+    std::vector<uint32_t> MatchedDirtyWords;
+    std::vector<uint64_t> ActivationScratch;
+    std::vector<uint64_t> PendingAtEnd; ///< `$` rules matched at offset().
+  };
+
+  uint32_t numStates() const { return NumStates; }
+  uint32_t numRules() const { return NumRules; }
+
+  /// Bytes of the pre-processed matching structure (transition table plus
+  /// activation metadata), a memory-footprint proxy for the benches.
+  size_t footprintBytes() const;
+
+private:
+  friend class Scanner;
+
+  /// One entry of the per-symbol transition table.
+  struct TableEntry {
+    StateId From;
+    StateId To;
+    uint32_t BelIdx; ///< Index into BelPool (words offset = BelIdx * Words).
+  };
+
+  uint32_t NumStates = 0;
+  uint32_t NumRules = 0;
+  uint32_t Words = 0; ///< 64-bit words per rule bitset.
+
+  /// Symbol-indexed table: Table[c] spans [Offsets[c], Offsets[c+1]).
+  std::vector<TableEntry> Entries;
+  std::vector<uint32_t> Offsets; ///< 257 entries.
+
+  std::vector<uint64_t> BelPool; ///< Deduplicated belonging bitsets.
+
+  /// Per-state activation metadata, flat Words-wide blocks.
+  std::vector<uint64_t> InitialRules; ///< Rules whose initial state is q.
+  std::vector<uint64_t> FinalRules;   ///< Rules for which q is final.
+  std::vector<uint8_t> InitialAny;
+  std::vector<uint8_t> FinalAny;
+
+  /// Masks excluding anchored rules away from their anchor position.
+  std::vector<uint64_t> NotAnchoredStartMask;
+  std::vector<uint64_t> NotAnchoredEndMask;
+
+  std::vector<uint32_t> GlobalIds; ///< Local rule -> dataset rule id.
+};
+
+} // namespace mfsa
+
+#endif // MFSA_ENGINE_IMFANT_H

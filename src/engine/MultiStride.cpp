@@ -1,0 +1,90 @@
+//===- MultiStride.cpp - 2-stride DFA transformation ----------------------------===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/MultiStride.h"
+
+using namespace mfsa;
+
+Result<StridedDfa> mfsa::makeStride2(const Dfa &Automaton,
+                                     const StrideOptions &Options) {
+  const uint64_t Entries = static_cast<uint64_t>(Automaton.NumStates) *
+                           Automaton.NumAtoms * Automaton.NumAtoms;
+  if (Entries > Options.MaxTableEntries)
+    return Result<StridedDfa>::error(
+        "stride-2 table blowup: " + std::to_string(Entries) +
+        " entries exceed the cap of " +
+        std::to_string(Options.MaxTableEntries));
+
+  StridedDfa Out;
+  Out.NumStates = Automaton.NumStates;
+  Out.NumAtoms = Automaton.NumAtoms;
+  Out.NumRules = Automaton.NumRules;
+  Out.AtomOfByte = Automaton.AtomOfByte;
+  Out.Accept = Automaton.Accept;
+  Out.AcceptAtEnd = Automaton.AcceptAtEnd;
+  Out.GlobalIds = Automaton.GlobalIds;
+
+  const uint32_t A = Automaton.NumAtoms;
+  Out.Mid = Automaton.Next; // identical layout: state x atom
+  Out.MidAcceptAny.resize(Out.Mid.size());
+  Out.Next2.resize(Entries);
+  for (uint32_t S = 0; S < Automaton.NumStates; ++S)
+    for (uint32_t A1 = 0; A1 < A; ++A1) {
+      uint32_t MidState = Automaton.Next[static_cast<size_t>(S) * A + A1];
+      Out.MidAcceptAny[static_cast<size_t>(S) * A + A1] =
+          Automaton.Accept[MidState].any() ||
+          Automaton.AcceptAtEnd[MidState].any();
+      const uint32_t *MidRow = &Automaton.Next[static_cast<size_t>(MidState) * A];
+      uint32_t *OutRow =
+          &Out.Next2[(static_cast<size_t>(S) * A + A1) * A];
+      for (uint32_t A2 = 0; A2 < A; ++A2)
+        OutRow[A2] = MidRow[A2];
+    }
+  return Out;
+}
+
+void StridedDfaEngine::reportAt(uint32_t State, size_t EndOffset, bool AtEnd,
+                                MatchRecorder &Recorder) const {
+  const DynamicBitset &Accept = Automaton.Accept[State];
+  if (Accept.any())
+    Accept.forEach([&](unsigned Rule) {
+      Recorder.onMatch(Automaton.GlobalIds[Rule], EndOffset);
+    });
+  if (AtEnd) {
+    const DynamicBitset &AtEndSet = Automaton.AcceptAtEnd[State];
+    if (AtEndSet.any())
+      AtEndSet.forEach([&](unsigned Rule) {
+        Recorder.onMatch(Automaton.GlobalIds[Rule], EndOffset);
+      });
+  }
+}
+
+void StridedDfaEngine::run(std::string_view Input,
+                           MatchRecorder &Recorder) const {
+  const uint32_t A = Automaton.NumAtoms;
+  const uint8_t *AtomOf = Automaton.AtomOfByte.data();
+
+  uint32_t State = 0;
+  size_t Pos = 0;
+  const size_t PairedEnd = Input.size() & ~size_t(1);
+  for (; Pos < PairedEnd; Pos += 2) {
+    uint32_t A1 = AtomOf[static_cast<unsigned char>(Input[Pos])];
+    uint32_t A2 = AtomOf[static_cast<unsigned char>(Input[Pos + 1])];
+    // Mid-stride accept: matches ending at the odd offset Pos+1. The flag
+    // keeps the half-step state untouched unless something accepts there.
+    if (Automaton.MidAcceptAny[static_cast<size_t>(State) * A + A1]) {
+      uint32_t MidState = Automaton.Mid[static_cast<size_t>(State) * A + A1];
+      reportAt(MidState, Pos + 1, false, Recorder);
+    }
+    State = Automaton.Next2[(static_cast<size_t>(State) * A + A1) * A + A2];
+    reportAt(State, Pos + 2, Pos + 2 == Input.size(), Recorder);
+  }
+  if (Pos < Input.size()) { // odd trailing byte
+    uint32_t A1 = AtomOf[static_cast<unsigned char>(Input[Pos])];
+    State = Automaton.Mid[static_cast<size_t>(State) * A + A1];
+    reportAt(State, Pos + 1, /*AtEnd=*/true, Recorder);
+  }
+}

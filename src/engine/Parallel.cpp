@@ -1,0 +1,60 @@
+//===- Parallel.cpp - multi-threaded ruleset execution -----------------------===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Parallel.h"
+
+#include "support/Timer.h"
+
+#include <atomic>
+#include <cassert>
+#include <thread>
+
+using namespace mfsa;
+
+ParallelRunResult mfsa::runParallel(const std::vector<ImfantEngine> &Engines,
+                                    std::string_view Input,
+                                    unsigned NumThreads,
+                                    std::vector<MatchRecorder> *Recorders) {
+  assert((!Recorders || Recorders->size() == Engines.size()) &&
+         "one recorder per engine");
+  if (NumThreads == 0)
+    NumThreads = 1;
+
+  // Work-stealing by atomic index: each worker claims the next unexecuted
+  // automaton until the queue drains (§VI-C2).
+  std::atomic<size_t> NextEngine{0};
+  std::atomic<uint64_t> TotalMatches{0};
+
+  auto Worker = [&] {
+    for (;;) {
+      size_t Index = NextEngine.fetch_add(1, std::memory_order_relaxed);
+      if (Index >= Engines.size())
+        return;
+      if (Recorders) {
+        Engines[Index].run(Input, (*Recorders)[Index]);
+        TotalMatches.fetch_add((*Recorders)[Index].total(),
+                               std::memory_order_relaxed);
+      } else {
+        MatchRecorder Local;
+        Engines[Index].run(Input, Local);
+        TotalMatches.fetch_add(Local.total(), std::memory_order_relaxed);
+      }
+    }
+  };
+
+  Timer Wall;
+  std::vector<std::thread> Threads;
+  Threads.reserve(NumThreads);
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Threads.emplace_back(Worker);
+  for (std::thread &T : Threads)
+    T.join();
+
+  ParallelRunResult Result;
+  Result.WallSeconds = Wall.elapsedSec();
+  Result.TotalMatches = TotalMatches.load();
+  return Result;
+}

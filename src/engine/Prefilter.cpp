@@ -1,0 +1,109 @@
+//===- Prefilter.cpp - literal-prefiltered ruleset matcher ---------------------===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Prefilter.h"
+
+#include "fsa/Builder.h"
+#include "fsa/LiteralAnalysis.h"
+#include "fsa/Passes.h"
+#include "mfsa/Merge.h"
+#include "regex/Parser.h"
+
+#include <algorithm>
+
+using namespace mfsa;
+
+Result<PrefilterEngine>
+PrefilterEngine::create(const std::vector<std::string> &Patterns,
+                        uint32_t MinLiteralLength) {
+  PrefilterEngine Engine;
+
+  std::vector<std::string> LiteralList;
+  std::vector<Nfa> ResidualFsas;
+  std::vector<uint32_t> ResidualIds;
+
+  for (size_t I = 0; I < Patterns.size(); ++I) {
+    Result<Regex> Re = parseRegex(Patterns[I]);
+    if (!Re)
+      return Diag("rule " + std::to_string(I) + ": " + Re.diag().Message,
+                  Re.diag().Offset);
+    Result<Nfa> Built = buildNfa(*Re);
+    if (!Built)
+      return Diag("rule " + std::to_string(I) + ": " + Built.diag().Message,
+                  Built.diag().Offset);
+    Nfa Optimized = optimizeForMerging(*Built);
+
+    PrefilterInfo Info = analyzeForPrefilter(*Re, Optimized,
+                                             MinLiteralLength);
+    if (!Info.Prefilterable) {
+      ResidualFsas.push_back(std::move(Optimized));
+      ResidualIds.push_back(static_cast<uint32_t>(I));
+      continue;
+    }
+
+    PrefilteredRule Rule;
+    Rule.MaxMatchLength = Info.MaxMatchLength;
+    Mfsa Single = mergeFsas({Optimized}, {static_cast<uint32_t>(I)});
+    Rule.Confirm = std::make_unique<ImfantEngine>(Single);
+    Engine.PrefilteredRules.push_back(std::move(Rule));
+    LiteralList.push_back(Info.Literal);
+  }
+
+  if (!LiteralList.empty())
+    Engine.Literals = std::make_unique<AhoCorasick>(LiteralList);
+  if (!ResidualFsas.empty()) {
+    Mfsa Merged = mergeFsas(ResidualFsas, ResidualIds);
+    Engine.Residual = std::make_unique<ImfantEngine>(Merged);
+    Engine.NumResidualRules = ResidualFsas.size();
+  }
+  return Engine;
+}
+
+void PrefilterEngine::run(std::string_view Input,
+                          MatchRecorder &Recorder) const {
+  // Residual rules scan the whole stream the ordinary way.
+  if (Residual)
+    Residual->run(Input, Recorder);
+
+  if (!Literals || Input.empty())
+    return;
+
+  // Phase 1: literal scan, collecting hit end-offsets per prefiltered rule.
+  std::vector<std::vector<size_t>> Hits(PrefilteredRules.size());
+  Literals->scan(Input, [&](uint32_t RuleIdx, size_t EndOffset) {
+    Hits[RuleIdx].push_back(EndOffset);
+  });
+
+  // Phase 2: per rule, widen hits into ±MaxMatchLength windows, coalesce
+  // overlaps (hits arrive already sorted), and confirm with the rule's own
+  // automaton. Coalescing keeps windows disjoint, so no (rule, end) pair is
+  // reported twice.
+  for (size_t RuleIdx = 0; RuleIdx < PrefilteredRules.size(); ++RuleIdx) {
+    const PrefilteredRule &Rule = PrefilteredRules[RuleIdx];
+    const std::vector<size_t> &RuleHits = Hits[RuleIdx];
+    if (RuleHits.empty())
+      continue;
+    const size_t Reach = Rule.MaxMatchLength;
+
+    size_t Cursor = 0;
+    while (Cursor < RuleHits.size()) {
+      size_t Begin = RuleHits[Cursor] > Reach ? RuleHits[Cursor] - Reach : 0;
+      size_t End = std::min(Input.size(), RuleHits[Cursor] + Reach);
+      ++Cursor;
+      while (Cursor < RuleHits.size() &&
+             (RuleHits[Cursor] > Reach ? RuleHits[Cursor] - Reach : 0) <=
+                 End) {
+        End = std::min(Input.size(), RuleHits[Cursor] + Reach);
+        ++Cursor;
+      }
+
+      MatchRecorder Window(MatchRecorder::Mode::Collect);
+      Rule.Confirm->run(Input.substr(Begin, End - Begin), Window);
+      for (const auto &[GlobalId, Offset] : Window.matches())
+        Recorder.onMatch(GlobalId, Begin + Offset);
+    }
+  }
+}

@@ -1,0 +1,72 @@
+//===- Prefilter.h - literal-prefiltered ruleset matcher --------*- C++ -*-===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Declares PrefilterEngine, the Hyperscan-style decomposition baseline the
+/// paper positions itself against (§I/§VII, Wang et al. NSDI'19): rules with
+/// a mandatory literal and a bounded match length are matched lazily — an
+/// Aho-Corasick pass over the stream finds literal hits, and each rule's own
+/// automaton runs only inside a bounded window around its hits. Rules the
+/// analysis cannot prefilter (anchored, literal-poor, or unbounded) fall
+/// back to one merged MFSA scanned in full.
+///
+/// Match output is identical to running every rule everywhere: every match
+/// of a prefiltered rule contains its mandatory literal, every literal
+/// occurrence spawns a window wide enough (± MaxMatchLength) to contain all
+/// matches through it, and overlapping windows are coalesced so no (rule,
+/// end) pair reports twice.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MFSA_ENGINE_PREFILTER_H
+#define MFSA_ENGINE_PREFILTER_H
+
+#include "engine/AhoCorasick.h"
+#include "engine/Imfant.h"
+#include "support/Result.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mfsa {
+
+/// Ruleset matcher combining literal prefiltering with MFSA fallback.
+class PrefilterEngine {
+public:
+  /// Compiles \p Patterns (global ids = indices). Fails on malformed rules.
+  /// \p MinLiteralLength tunes the analysis (shorter literals hit more
+  /// often, widening the slow path).
+  static Result<PrefilterEngine>
+  create(const std::vector<std::string> &Patterns,
+         uint32_t MinLiteralLength = 3);
+
+  /// Scans \p Input with the same (rule, end offset) semantics as
+  /// ImfantEngine over the full ruleset.
+  void run(std::string_view Input, MatchRecorder &Recorder) const;
+
+  size_t numPrefiltered() const { return PrefilteredRules.size(); }
+  size_t numResidual() const { return NumResidualRules; }
+
+private:
+  PrefilterEngine() = default;
+
+  /// One literal-gated rule: its confirmation engine and window bound.
+  struct PrefilteredRule {
+    std::unique_ptr<ImfantEngine> Confirm;
+    uint32_t MaxMatchLength = 0;
+  };
+
+  std::vector<PrefilteredRule> PrefilteredRules;
+  std::unique_ptr<AhoCorasick> Literals; ///< Index-aligned with the rules.
+  std::unique_ptr<ImfantEngine> Residual;
+  size_t NumResidualRules = 0;
+};
+
+} // namespace mfsa
+
+#endif // MFSA_ENGINE_PREFILTER_H

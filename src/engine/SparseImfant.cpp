@@ -1,0 +1,186 @@
+//===- SparseImfant.cpp - state-major iMFAnt variant ----------------------------===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/SparseImfant.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <unordered_map>
+
+using namespace mfsa;
+
+namespace {
+
+struct BlockHash {
+  size_t operator()(const std::vector<uint64_t> &Block) const {
+    uint64_t H = 0x9e3779b97f4a7c15ULL;
+    for (uint64_t W : Block) {
+      H ^= W + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);
+      H *= 0xbf58476d1ce4e5b9ULL;
+    }
+    return static_cast<size_t>(H);
+  }
+};
+
+} // namespace
+
+SparseImfantEngine::SparseImfantEngine(const Mfsa &Z)
+    : NumStates(Z.numStates()), NumRules(Z.numRules()),
+      Words((Z.numRules() + 63) / 64) {
+  assert(NumRules > 0 && "engine over an MFSA with no rules");
+
+  std::unordered_map<std::vector<uint64_t>, uint32_t, BlockHash> PoolIndex;
+  auto InternBel = [&](const DynamicBitset &Bel) -> uint32_t {
+    std::vector<uint64_t> Block(Words, 0);
+    std::copy(Bel.words().begin(), Bel.words().end(), Block.begin());
+    auto It = PoolIndex.find(Block);
+    if (It != PoolIndex.end())
+      return It->second;
+    uint32_t Idx = static_cast<uint32_t>(PoolIndex.size());
+    PoolIndex.emplace(Block, Idx);
+    BelPool.insert(BelPool.end(), Block.begin(), Block.end());
+    return Idx;
+  };
+
+  // CSR adjacency by source state.
+  std::vector<uint32_t> Counts(NumStates + 1, 0);
+  for (const MfsaTransition &T : Z.transitions())
+    ++Counts[T.From + 1];
+  EdgeOffsets.assign(NumStates + 1, 0);
+  for (uint32_t S = 0; S < NumStates; ++S)
+    EdgeOffsets[S + 1] = EdgeOffsets[S] + Counts[S + 1];
+  Edges.resize(EdgeOffsets[NumStates]);
+  std::vector<uint32_t> Fill(EdgeOffsets.begin(), EdgeOffsets.end() - 1);
+  for (const MfsaTransition &T : Z.transitions())
+    Edges[Fill[T.From]++] = OutEdge{T.Label, T.To, InternBel(T.Bel)};
+
+  InitialRules.assign(static_cast<size_t>(NumStates) * Words, 0);
+  FinalRules.assign(static_cast<size_t>(NumStates) * Words, 0);
+  FinalAny.assign(NumStates, 0);
+  NotAnchoredStartMask.assign(Words, ~0ULL);
+  NotAnchoredEndMask.assign(Words, ~0ULL);
+  GlobalIds.resize(NumRules);
+
+  for (RuleId Rule = 0; Rule < NumRules; ++Rule) {
+    const Mfsa::RuleInfo &Info = Z.rule(Rule);
+    GlobalIds[Rule] = Info.GlobalId;
+    uint64_t *Init = &InitialRules[static_cast<size_t>(Info.Initial) * Words];
+    if (!(Init[Rule / 64] >> (Rule % 64) & 1) &&
+        std::find(InitialStates.begin(), InitialStates.end(), Info.Initial) ==
+            InitialStates.end())
+      InitialStates.push_back(Info.Initial);
+    Init[Rule / 64] |= 1ULL << (Rule % 64);
+    for (StateId F : Info.Finals) {
+      FinalRules[static_cast<size_t>(F) * Words + Rule / 64] |=
+          1ULL << (Rule % 64);
+      FinalAny[F] = 1;
+    }
+    if (Info.AnchoredStart)
+      NotAnchoredStartMask[Rule / 64] &= ~(1ULL << (Rule % 64));
+    if (Info.AnchoredEnd)
+      NotAnchoredEndMask[Rule / 64] &= ~(1ULL << (Rule % 64));
+  }
+  std::sort(InitialStates.begin(), InitialStates.end());
+  InitialStates.erase(
+      std::unique(InitialStates.begin(), InitialStates.end()),
+      InitialStates.end());
+}
+
+void SparseImfantEngine::run(std::string_view Input,
+                             MatchRecorder &Recorder) const {
+  const uint32_t W = Words;
+  const size_t N = NumStates;
+
+  std::vector<uint8_t> CurActive(N, 0), NextActive(N, 0);
+  std::vector<uint64_t> CurJ(N * W, 0), NextJ(N * W, 0);
+  std::vector<StateId> CurTouched, NextTouched;
+  std::vector<uint64_t> MatchedThisStep(W, 0);
+  std::vector<uint32_t> MatchedDirtyWords;
+  std::vector<uint64_t> A(W, 0);
+
+  // Walks one source state's out-edges for symbol C with activation-source
+  // words SrcJ (already masked to the rules that may cross).
+  auto Expand = [&](StateId From, const uint64_t *SrcJ, size_t Pos,
+                    bool AtEnd) {
+    const unsigned char C = static_cast<unsigned char>(Input[Pos]);
+    for (uint32_t EIdx = EdgeOffsets[From], EEnd = EdgeOffsets[From + 1];
+         EIdx != EEnd; ++EIdx) {
+      const OutEdge &Edge = Edges[EIdx];
+      if (!Edge.Label.contains(C))
+        continue;
+      const uint64_t *Bel = &BelPool[static_cast<size_t>(Edge.BelIdx) * W];
+      bool Any = false;
+      for (uint32_t I = 0; I < W; ++I) {
+        A[I] = SrcJ[I] & Bel[I];
+        Any = Any || A[I];
+      }
+      if (!Any)
+        continue;
+      uint64_t *DstJ = &NextJ[static_cast<size_t>(Edge.To) * W];
+      if (!NextActive[Edge.To]) {
+        NextActive[Edge.To] = 1;
+        NextTouched.push_back(Edge.To);
+      }
+      for (uint32_t I = 0; I < W; ++I)
+        DstJ[I] |= A[I];
+      if (FinalAny[Edge.To]) {
+        const uint64_t *Fin = &FinalRules[static_cast<size_t>(Edge.To) * W];
+        for (uint32_t I = 0; I < W; ++I) {
+          uint64_t Hits = A[I] & Fin[I] & ~MatchedThisStep[I];
+          if (!AtEnd)
+            Hits &= NotAnchoredEndMask[I];
+          if (!Hits)
+            continue;
+          if (!MatchedThisStep[I])
+            MatchedDirtyWords.push_back(I);
+          MatchedThisStep[I] |= Hits;
+          while (Hits) {
+            unsigned Bit = static_cast<unsigned>(__builtin_ctzll(Hits));
+            Hits &= Hits - 1;
+            Recorder.onMatch(GlobalIds[I * 64 + Bit], Pos + 1);
+          }
+        }
+      }
+    }
+  };
+
+  std::vector<uint64_t> Scratch(W, 0);
+  for (size_t Pos = 0; Pos < Input.size(); ++Pos) {
+    const bool AtStart = (Pos == 0);
+    const bool AtEnd = (Pos + 1 == Input.size());
+
+    // Active states propagate their J...
+    for (StateId S : CurTouched)
+      Expand(S, &CurJ[static_cast<size_t>(S) * W], Pos, AtEnd);
+
+    // ...and initial-bearing states inject fresh attempts (Eq. 4). A state
+    // that is both active and initial is visited twice; the per-destination
+    // OR and the per-step match dedup keep that sound.
+    for (StateId S : InitialStates) {
+      const uint64_t *Init = &InitialRules[static_cast<size_t>(S) * W];
+      bool Any = false;
+      for (uint32_t I = 0; I < W; ++I) {
+        Scratch[I] = AtStart ? Init[I] : (Init[I] & NotAnchoredStartMask[I]);
+        Any = Any || Scratch[I];
+      }
+      if (Any)
+        Expand(S, Scratch.data(), Pos, AtEnd);
+    }
+
+    for (StateId S : CurTouched) {
+      CurActive[S] = 0;
+      std::memset(&CurJ[static_cast<size_t>(S) * W], 0, W * 8);
+    }
+    CurTouched.clear();
+    std::swap(CurActive, NextActive);
+    std::swap(CurJ, NextJ);
+    std::swap(CurTouched, NextTouched);
+    for (uint32_t I : MatchedDirtyWords)
+      MatchedThisStep[I] = 0;
+    MatchedDirtyWords.clear();
+  }
+}

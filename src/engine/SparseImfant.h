@@ -1,0 +1,70 @@
+//===- SparseImfant.h - state-major iMFAnt variant --------------*- C++ -*-===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Declares SparseImfantEngine, an alternative execution layout for MFSAs.
+/// iNFAnt (and ImfantEngine) is *symbol-major*: per input character it scans
+/// every transition that character enables — the GPU-friendly layout of the
+/// original algorithm. This variant is *state-major*: it keeps an explicit
+/// list of active states and walks only their outgoing transitions (CSR
+/// adjacency), the layout a CPU engine would naturally choose when few
+/// states are active. The ablation bench `abl_engine_variants` measures
+/// where each layout wins as active-set pressure changes; the test suite
+/// checks the two engines report identical matches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MFSA_ENGINE_SPARSEIMFANT_H
+#define MFSA_ENGINE_SPARSEIMFANT_H
+
+#include "engine/Imfant.h"
+#include "mfsa/Mfsa.h"
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace mfsa {
+
+/// State-major MFSA engine; match semantics identical to ImfantEngine.
+class SparseImfantEngine {
+public:
+  explicit SparseImfantEngine(const Mfsa &Z);
+
+  /// Scans \p Input, reporting (rule, end-offset) matches.
+  void run(std::string_view Input, MatchRecorder &Recorder) const;
+
+  uint32_t numStates() const { return NumStates; }
+  uint32_t numRules() const { return NumRules; }
+
+private:
+  /// One CSR adjacency entry.
+  struct OutEdge {
+    SymbolSet Label;
+    StateId To;
+    uint32_t BelIdx;
+  };
+
+  uint32_t NumStates = 0;
+  uint32_t NumRules = 0;
+  uint32_t Words = 0;
+
+  std::vector<OutEdge> Edges;        ///< CSR payload.
+  std::vector<uint32_t> EdgeOffsets; ///< NumStates + 1 row starts.
+  std::vector<uint64_t> BelPool;
+
+  std::vector<uint64_t> InitialRules;
+  std::vector<uint64_t> FinalRules;
+  std::vector<uint8_t> FinalAny;
+  std::vector<StateId> InitialStates; ///< Unique states hosting some initial.
+  std::vector<uint64_t> NotAnchoredStartMask;
+  std::vector<uint64_t> NotAnchoredEndMask;
+  std::vector<uint32_t> GlobalIds;
+};
+
+} // namespace mfsa
+
+#endif // MFSA_ENGINE_SPARSEIMFANT_H

@@ -1,0 +1,123 @@
+//===- Trace.cpp - activation-function execution tracing -----------------------===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Trace.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace mfsa;
+
+std::vector<TraceStep> mfsa::traceActivation(const Mfsa &Z,
+                                             std::string_view Input) {
+  const uint32_t NumRules = Z.numRules();
+
+  // Per-rule metadata.
+  std::vector<DynamicBitset> InitialAt(Z.numStates(),
+                                       DynamicBitset(NumRules));
+  std::vector<DynamicBitset> FinalAt(Z.numStates(), DynamicBitset(NumRules));
+  DynamicBitset NotAnchoredStart(NumRules), NotAnchoredEnd(NumRules);
+  for (RuleId Rule = 0; Rule < NumRules; ++Rule) {
+    const Mfsa::RuleInfo &Info = Z.rule(Rule);
+    InitialAt[Info.Initial].set(Rule);
+    for (StateId F : Info.Finals)
+      FinalAt[F].set(Rule);
+    if (!Info.AnchoredStart)
+      NotAnchoredStart.set(Rule);
+    if (!Info.AnchoredEnd)
+      NotAnchoredEnd.set(Rule);
+  }
+
+  std::map<StateId, DynamicBitset> Current;
+  std::vector<TraceStep> Trace;
+  Trace.reserve(Input.size());
+
+  for (size_t Pos = 0; Pos < Input.size(); ++Pos) {
+    const unsigned char C = static_cast<unsigned char>(Input[Pos]);
+    const bool AtStart = (Pos == 0);
+    const bool AtEnd = (Pos + 1 == Input.size());
+
+    std::map<StateId, DynamicBitset> Next;
+    DynamicBitset Matched(NumRules);
+
+    for (const MfsaTransition &T : Z.transitions()) {
+      if (!T.Label.contains(C))
+        continue;
+      // Rule (6): propagation prunes rules not owning this transition.
+      DynamicBitset Crossing(NumRules);
+      auto It = Current.find(T.From);
+      if (It != Current.end())
+        Crossing = It->second & T.Bel;
+      // Rule (4): rules whose initial state is the source inject here.
+      DynamicBitset Inject = InitialAt[T.From] & T.Bel;
+      if (!AtStart)
+        Inject &= NotAnchoredStart;
+      Crossing |= Inject;
+      if (Crossing.none())
+        continue;
+
+      auto [Slot, Inserted] = Next.emplace(T.To, Crossing);
+      if (!Inserted)
+        Slot->second |= Crossing;
+
+      // Rule (5): arrival in a final state of an active rule is a match.
+      DynamicBitset Hits = Crossing & FinalAt[T.To];
+      if (!AtEnd)
+        Hits &= NotAnchoredEnd;
+      Matched |= Hits;
+    }
+
+    TraceStep Step;
+    Step.Offset = Pos + 1;
+    Step.Symbol = C;
+    for (const auto &[State, Rules] : Next) {
+      TraceStep::ActiveEntry Entry;
+      Entry.State = State;
+      Rules.forEach([&](unsigned Rule) {
+        Entry.ActiveRules.push_back(static_cast<RuleId>(Rule));
+      });
+      Step.Active.push_back(std::move(Entry));
+    }
+    Matched.forEach([&](unsigned Rule) {
+      Step.Matches.emplace_back(static_cast<RuleId>(Rule),
+                                Z.rule(Rule).GlobalId);
+    });
+    Trace.push_back(std::move(Step));
+    Current = std::move(Next);
+  }
+  return Trace;
+}
+
+std::string mfsa::formatTrace(const Mfsa &Z, std::string_view Input) {
+  std::vector<TraceStep> Trace = traceActivation(Z, Input);
+  std::string Out;
+  for (const TraceStep &Step : Trace) {
+    Out += std::to_string(Step.Offset) + ") '";
+    if (Step.Symbol >= 0x20 && Step.Symbol < 0x7f)
+      Out.push_back(static_cast<char>(Step.Symbol));
+    else
+      Out += "\\x" + std::to_string(Step.Symbol);
+    Out += "' ->";
+    if (Step.Active.empty())
+      Out += " (no active states)";
+    for (const TraceStep::ActiveEntry &Entry : Step.Active) {
+      Out += " {" + std::to_string(Entry.State) + ": J={";
+      for (size_t I = 0; I < Entry.ActiveRules.size(); ++I) {
+        if (I)
+          Out += ",";
+        Out += std::to_string(Entry.ActiveRules[I]);
+      }
+      Out += "}}";
+    }
+    if (!Step.Matches.empty()) {
+      Out += "   match:";
+      for (const auto &[Rule, GlobalId] : Step.Matches)
+        Out += " rule " + std::to_string(GlobalId);
+    }
+    Out += "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,58 @@
+//===- Trace.h - activation-function execution tracing ----------*- C++ -*-===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Declares traceActivation(), a clarity-first re-execution of the iMFAnt
+/// algorithm that records, per consumed symbol, every active state with its
+/// activation set J and every match — the information the paper's Fig. 3
+/// and Fig. 6 walkthroughs display. Intended for debugging merged rulesets
+/// and for teaching the activation-function rules; the optimized engine is
+/// ImfantEngine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MFSA_ENGINE_TRACE_H
+#define MFSA_ENGINE_TRACE_H
+
+#include "mfsa/Mfsa.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mfsa {
+
+/// The activation snapshot after consuming one input symbol.
+struct TraceStep {
+  uint64_t Offset = 0;    ///< Offset *after* consuming Symbol.
+  unsigned char Symbol = 0;
+
+  /// One active state with the rules J(q) active on it.
+  struct ActiveEntry {
+    StateId State = 0;
+    std::vector<RuleId> ActiveRules;
+  };
+  std::vector<ActiveEntry> Active; ///< Sorted by state id.
+
+  /// Matches reported at this offset: (local rule, global id).
+  std::vector<std::pair<RuleId, uint32_t>> Matches;
+};
+
+/// Executes \p Z over \p Input with full bookkeeping. Match semantics are
+/// identical to ImfantEngine (including `$` rules reporting only at the
+/// final offset).
+std::vector<TraceStep> traceActivation(const Mfsa &Z, std::string_view Input);
+
+/// Renders a trace in the style of the paper's Fig. 6 narration:
+///
+///   1) 'a' -> {3: J={0}}, {5: J={1}}   match: rule 1
+///
+std::string formatTrace(const Mfsa &Z, std::string_view Input);
+
+} // namespace mfsa
+
+#endif // MFSA_ENGINE_TRACE_H

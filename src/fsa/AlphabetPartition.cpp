@@ -1,0 +1,101 @@
+//===- AlphabetPartition.cpp - symbol-equivalence atoms ------------------------===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fsa/AlphabetPartition.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace mfsa;
+
+std::vector<SymbolSet>
+mfsa::computeAlphabetAtoms(const std::vector<Nfa> &Fsas) {
+  // Two symbols are equivalent iff they appear in exactly the same set of
+  // labels. Assign each symbol a signature: the sorted list of distinct
+  // labels containing it — compactly, refine a partition label by label.
+  //
+  // Partition refinement over 256 symbols: represent each symbol's class by
+  // an integer; each label splits every class into in-label / out-of-label
+  // halves.
+  std::vector<uint16_t> ClassOf(SymbolSet::NumSymbols, 0);
+  uint16_t NextClass = 1;
+
+  // Deduplicate labels first; refinement is order-independent.
+  std::vector<SymbolSet> Labels;
+  for (const Nfa &A : Fsas)
+    for (const Transition &T : A.transitions())
+      if (!T.Label.empty())
+        Labels.push_back(T.Label);
+  std::sort(Labels.begin(), Labels.end());
+  Labels.erase(std::unique(Labels.begin(), Labels.end()), Labels.end());
+
+  for (const SymbolSet &Label : Labels) {
+    // Map old class -> new class for the in-label members.
+    std::map<uint16_t, uint16_t> SplitClass;
+    for (unsigned C = 0; C < SymbolSet::NumSymbols; ++C) {
+      if (!Label.contains(static_cast<unsigned char>(C)))
+        continue;
+      uint16_t Old = ClassOf[C];
+      auto [It, Inserted] = SplitClass.emplace(Old, NextClass);
+      if (Inserted)
+        ++NextClass;
+      ClassOf[C] = It->second;
+    }
+  }
+
+  // Collect classes into atoms, ordered by their smallest symbol.
+  std::map<uint16_t, SymbolSet> AtomOf;
+  for (unsigned C = 0; C < SymbolSet::NumSymbols; ++C)
+    AtomOf[ClassOf[C]].insert(static_cast<unsigned char>(C));
+  std::vector<SymbolSet> Atoms;
+  Atoms.reserve(AtomOf.size());
+  for (auto &[Class, Atom] : AtomOf)
+    Atoms.push_back(Atom);
+  std::sort(Atoms.begin(), Atoms.end(),
+            [](const SymbolSet &A, const SymbolSet &B) {
+              return A.min() < B.min();
+            });
+  return Atoms;
+}
+
+Nfa mfsa::splitByAtoms(const Nfa &A, const std::vector<SymbolSet> &Atoms) {
+  Nfa Out;
+  for (StateId Q = 0; Q < A.numStates(); ++Q)
+    Out.addState();
+  Out.setInitial(A.initial());
+  Out.setAnchors(A.anchoredStart(), A.anchoredEnd());
+  for (StateId F : A.finals())
+    Out.addFinal(F);
+
+  for (const Transition &T : A.transitions()) {
+    assert(!T.Label.empty() && "splitByAtoms requires an ε-free automaton");
+    SymbolSet Remaining = T.Label;
+    for (const SymbolSet &Atom : Atoms) {
+      if (!Remaining.intersects(Atom))
+        continue;
+      SymbolSet Piece = Remaining & Atom;
+      assert(Piece == (T.Label & Atom) &&
+             "atom partially consumed twice — atoms not disjoint?");
+      Out.addTransition(T.From, T.To, Piece);
+      Remaining &= Atom.complement();
+      if (Remaining.empty())
+        break;
+    }
+    assert(Remaining.empty() && "label not covered by the atom partition");
+  }
+  Out.canonicalize();
+  return Out;
+}
+
+std::vector<Nfa> mfsa::splitAllByAtoms(const std::vector<Nfa> &Fsas) {
+  std::vector<SymbolSet> Atoms = computeAlphabetAtoms(Fsas);
+  std::vector<Nfa> Out;
+  Out.reserve(Fsas.size());
+  for (const Nfa &A : Fsas)
+    Out.push_back(splitByAtoms(A, Atoms));
+  return Out;
+}

@@ -1,0 +1,199 @@
+//===- Builder.cpp - Thompson-like AST-to-NFA construction -----------------===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fsa/Builder.h"
+
+#include <cassert>
+
+using namespace mfsa;
+
+namespace {
+
+/// A sub-automaton under construction, with unique entry and exit states.
+struct Fragment {
+  StateId Entry = 0;
+  StateId Exit = 0;
+};
+
+/// Depth-first Thompson builder appending into a single Nfa.
+class Builder {
+public:
+  Builder(Nfa &Out, const BuildOptions &Options)
+      : Out(Out), Options(Options) {}
+
+  Result<Fragment> build(const AstNode &Node);
+
+private:
+  Result<Fragment> buildRepeat(const RepeatNode &Node);
+
+  void addEpsilon(StateId From, StateId To) {
+    Out.addTransition(From, To, SymbolSet());
+  }
+
+  Nfa &Out;
+  const BuildOptions &Options;
+};
+
+} // namespace
+
+Result<Fragment> Builder::build(const AstNode &Node) {
+  switch (Node.kind()) {
+  case AstKind::Empty: {
+    Fragment F;
+    F.Entry = Out.addState();
+    F.Exit = Out.addState();
+    addEpsilon(F.Entry, F.Exit);
+    return F;
+  }
+  case AstKind::Symbols: {
+    Fragment F;
+    F.Entry = Out.addState();
+    F.Exit = Out.addState();
+    Out.addTransition(F.Entry, F.Exit,
+                      static_cast<const SymbolsNode &>(Node).symbols());
+    return F;
+  }
+  case AstKind::Concat: {
+    const auto &Children = static_cast<const ConcatNode &>(Node).children();
+    assert(!Children.empty() && "parser never emits empty Concat");
+    Fragment Whole;
+    bool First = true;
+    for (const auto &Child : Children) {
+      Result<Fragment> Part = build(*Child);
+      if (!Part)
+        return Part;
+      if (First) {
+        Whole = *Part;
+        First = false;
+        continue;
+      }
+      addEpsilon(Whole.Exit, Part->Entry);
+      Whole.Exit = Part->Exit;
+    }
+    return Whole;
+  }
+  case AstKind::Alternate: {
+    const auto &Children =
+        static_cast<const AlternateNode &>(Node).children();
+    Fragment F;
+    F.Entry = Out.addState();
+    F.Exit = Out.addState();
+    for (const auto &Child : Children) {
+      Result<Fragment> Branch = build(*Child);
+      if (!Branch)
+        return Branch;
+      addEpsilon(F.Entry, Branch->Entry);
+      addEpsilon(Branch->Exit, F.Exit);
+    }
+    return F;
+  }
+  case AstKind::Repeat:
+    return buildRepeat(static_cast<const RepeatNode &>(Node));
+  }
+  return Result<Fragment>::error("corrupt AST node");
+}
+
+Result<Fragment> Builder::buildRepeat(const RepeatNode &Node) {
+  uint32_t Min = Node.min();
+  uint32_t Max = Node.max();
+
+  // Classic Kleene constructions for the unbounded cases reachable without
+  // cloning: X* and X+.
+  if (Node.isUnbounded() && Min <= 1) {
+    Result<Fragment> Child = build(Node.child());
+    if (!Child)
+      return Child;
+    Fragment F;
+    F.Entry = Out.addState();
+    F.Exit = Out.addState();
+    addEpsilon(F.Entry, Child->Entry);
+    addEpsilon(Child->Exit, F.Exit);
+    addEpsilon(Child->Exit, Child->Entry); // loop back
+    if (Min == 0)
+      addEpsilon(F.Entry, F.Exit); // skip
+    return F;
+  }
+
+  if (Min > Options.MaxRepeatBound ||
+      (!Node.isUnbounded() && Max > Options.MaxRepeatBound))
+    return Result<Fragment>::error(
+        "repetition bound exceeds MaxRepeatBound (" +
+        std::to_string(Options.MaxRepeatBound) + ")");
+
+  // Ablation mode: keep the loop compact. `X{m,n}` (m >= 1) degrades to the
+  // cyclic over-approximation X+, and `X{0,n}` to X*. See Builder.h.
+  if (!Options.ExpandBoundedRepeats && !Node.isUnbounded()) {
+    Result<Fragment> Child = build(Node.child());
+    if (!Child)
+      return Child;
+    Fragment F;
+    F.Entry = Out.addState();
+    F.Exit = Out.addState();
+    addEpsilon(F.Entry, Child->Entry);
+    addEpsilon(Child->Exit, F.Exit);
+    if (Max > 1)
+      addEpsilon(Child->Exit, Child->Entry);
+    if (Min == 0)
+      addEpsilon(F.Entry, F.Exit);
+    return F;
+  }
+
+  // Loop expansion (paper §IV-C (2), Fig. 5a): X{m,n} becomes a linear spine
+  // of m mandatory copies followed by (n-m) optional copies, each junction at
+  // depth >= m short-circuiting to the common exit. X{m,} ends in X+ instead
+  // of the optional tail.
+  Fragment F;
+  F.Entry = Out.addState();
+  F.Exit = Out.addState();
+  StateId Junction = F.Entry;
+  if (Min == 0)
+    addEpsilon(F.Entry, F.Exit);
+
+  for (uint32_t I = 0; I < Min; ++I) {
+    Result<Fragment> Copy = build(Node.child());
+    if (!Copy)
+      return Copy;
+    addEpsilon(Junction, Copy->Entry);
+    Junction = Copy->Exit;
+  }
+
+  if (Node.isUnbounded()) {
+    // Tail is X+ unless Min copies already exist, in which case X*.
+    Result<Fragment> Loop = build(Node.child());
+    if (!Loop)
+      return Loop;
+    addEpsilon(Junction, Loop->Entry);
+    addEpsilon(Loop->Exit, Loop->Entry);
+    addEpsilon(Loop->Exit, F.Exit);
+    addEpsilon(Junction, F.Exit); // Min copies alone suffice
+    return F;
+  }
+
+  for (uint32_t I = Min; I < Max; ++I) {
+    Result<Fragment> Copy = build(Node.child());
+    if (!Copy)
+      return Copy;
+    addEpsilon(Junction, Copy->Entry);
+    if (I > 0 || Min > 0)
+      addEpsilon(Junction, F.Exit); // stopping after I copies is allowed
+    Junction = Copy->Exit;
+  }
+  addEpsilon(Junction, F.Exit);
+  return F;
+}
+
+Result<Nfa> mfsa::buildNfa(const Regex &Re, const BuildOptions &Options) {
+  assert(Re.Root && "Regex without a root AST");
+  Nfa Out;
+  Builder B(Out, Options);
+  Result<Fragment> Root = B.build(*Re.Root);
+  if (!Root)
+    return Root.diag();
+  Out.setInitial(Root->Entry);
+  Out.addFinal(Root->Exit);
+  Out.setAnchors(Re.AnchoredStart, Re.AnchoredEnd);
+  return Out;
+}

@@ -1,0 +1,51 @@
+//===- Builder.h - Thompson-like AST-to-NFA construction --------*- C++ -*-===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Declares the AST-to-FSA conversion stage (paper §IV-B): a depth-first
+/// Thompson-like construction that encodes leaves as atomic sub-FSAs and
+/// wires them per the parent operators, producing a lightweight
+/// nondeterministic automaton with ε-arcs.
+///
+/// Bounded repetitions are handled by the loop-expansion optimization the
+/// paper describes in §IV-C/Fig. 5a: `X{m,n}` expands into m mandatory plus
+/// (n-m) optional copies, maximizing linear sub-paths the merger can share.
+/// With expansion disabled (ablation A) a compact cyclic loop is emitted
+/// instead, which over-approximates the bounded language exactly like
+/// counter-less IDS engines do when they saturate a repetition counter; the
+/// ablation measures the compression cost of expansion, not semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MFSA_FSA_BUILDER_H
+#define MFSA_FSA_BUILDER_H
+
+#include "fsa/Nfa.h"
+#include "regex/Ast.h"
+#include "support/Result.h"
+
+namespace mfsa {
+
+/// Knobs for the AST-to-FSA conversion.
+struct BuildOptions {
+  /// Expand `{m,n}` structurally (paper default). When false, bounded loops
+  /// are kept compact as cyclic over-approximations (ablation A only).
+  bool ExpandBoundedRepeats = true;
+
+  /// Hard cap on m and n in `{m,n}` to bound state growth; exceeding it is a
+  /// diagnostic, mirroring the limits production matchers place on bounded
+  /// repetitions.
+  uint32_t MaxRepeatBound = 1024;
+};
+
+/// Converts a parsed RE into an ε-NFA with a single final state.
+/// The result intentionally contains ε-arcs; run removeEpsilons() (§IV-C)
+/// before merging or execution.
+Result<Nfa> buildNfa(const Regex &Re, const BuildOptions &Options = {});
+
+} // namespace mfsa
+
+#endif // MFSA_FSA_BUILDER_H

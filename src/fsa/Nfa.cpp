@@ -1,0 +1,96 @@
+//===- Nfa.cpp - edge-labeled nondeterministic automaton -------------------===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fsa/Nfa.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace mfsa;
+
+void Nfa::addTransition(StateId From, StateId To, const SymbolSet &Label) {
+  assert(From < NumStatesValue && "transition from unknown state");
+  assert(To < NumStatesValue && "transition to unknown state");
+  Transitions.push_back(Transition{From, To, Label});
+}
+
+void Nfa::addFinal(StateId S) {
+  assert(S < NumStatesValue && "final marking of unknown state");
+  if (!isFinal(S))
+    FinalStates.push_back(S);
+}
+
+bool Nfa::isFinal(StateId S) const {
+  return std::find(FinalStates.begin(), FinalStates.end(), S) !=
+         FinalStates.end();
+}
+
+bool Nfa::hasEpsilons() const {
+  for (const Transition &T : Transitions)
+    if (T.isEpsilon())
+      return true;
+  return false;
+}
+
+void Nfa::canonicalize() {
+  std::sort(Transitions.begin(), Transitions.end());
+  Transitions.erase(std::unique(Transitions.begin(), Transitions.end()),
+                    Transitions.end());
+  std::sort(FinalStates.begin(), FinalStates.end());
+  FinalStates.erase(std::unique(FinalStates.begin(), FinalStates.end()),
+                    FinalStates.end());
+}
+
+std::vector<std::vector<uint32_t>> Nfa::buildOutgoingIndex() const {
+  std::vector<std::vector<uint32_t>> Index(NumStatesValue);
+  for (uint32_t I = 0, E = numTransitions(); I != E; ++I)
+    Index[Transitions[I].From].push_back(I);
+  return Index;
+}
+
+bool mfsa::operator==(const Nfa &A, const Nfa &B) {
+  return A.NumStatesValue == B.NumStatesValue &&
+         A.InitialState == B.InitialState && A.Transitions == B.Transitions &&
+         A.FinalStates == B.FinalStates &&
+         A.AnchoredStart == B.AnchoredStart && A.AnchoredEnd == B.AnchoredEnd;
+}
+
+NfaStats mfsa::computeStats(const Nfa &A) {
+  NfaStats S;
+  S.NumStates = A.numStates();
+  S.NumTransitions = A.numTransitions();
+  for (const Transition &T : A.transitions()) {
+    unsigned Count = T.Label.count();
+    if (Count > 1) {
+      ++S.NumCcTransitions;
+      S.TotalCcLength += Count;
+    }
+  }
+  return S;
+}
+
+std::string mfsa::writeDot(const Nfa &A, const std::string &Name) {
+  std::string Out = "digraph \"" + Name + "\" {\n  rankdir=LR;\n";
+  Out += "  node [shape=circle];\n";
+  for (StateId F : A.finals())
+    Out += "  " + std::to_string(F) + " [shape=doublecircle];\n";
+  Out += "  __start [shape=point];\n  __start -> " +
+         std::to_string(A.initial()) + ";\n";
+  for (const Transition &T : A.transitions()) {
+    std::string Label = T.isEpsilon() ? "eps" : T.Label.toString();
+    // Escape label quotes for DOT.
+    std::string Escaped;
+    for (char C : Label) {
+      if (C == '"' || C == '\\')
+        Escaped.push_back('\\');
+      Escaped.push_back(C);
+    }
+    Out += "  " + std::to_string(T.From) + " -> " + std::to_string(T.To) +
+           " [label=\"" + Escaped + "\"];\n";
+  }
+  Out += "}\n";
+  return Out;
+}

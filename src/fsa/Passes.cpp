@@ -1,0 +1,260 @@
+//===- Passes.cpp - single-FSA optimization passes --------------------------===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fsa/Passes.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <queue>
+
+using namespace mfsa;
+
+/// Computes the ε-closure of every state by BFS over ε-arcs.
+static std::vector<std::vector<StateId>>
+computeEpsilonClosures(const Nfa &A) {
+  std::vector<std::vector<StateId>> EpsOut(A.numStates());
+  for (const Transition &T : A.transitions())
+    if (T.isEpsilon())
+      EpsOut[T.From].push_back(T.To);
+
+  std::vector<std::vector<StateId>> Closures(A.numStates());
+  std::vector<bool> Seen(A.numStates());
+  for (StateId Q = 0; Q < A.numStates(); ++Q) {
+    std::fill(Seen.begin(), Seen.end(), false);
+    std::queue<StateId> Work;
+    Work.push(Q);
+    Seen[Q] = true;
+    while (!Work.empty()) {
+      StateId R = Work.front();
+      Work.pop();
+      Closures[Q].push_back(R);
+      for (StateId S : EpsOut[R])
+        if (!Seen[S]) {
+          Seen[S] = true;
+          Work.push(S);
+        }
+    }
+    std::sort(Closures[Q].begin(), Closures[Q].end());
+  }
+  return Closures;
+}
+
+Nfa mfsa::removeEpsilons(const Nfa &A) {
+  std::vector<std::vector<StateId>> Closures = computeEpsilonClosures(A);
+
+  // Group non-ε transitions by source for the closure expansion.
+  std::vector<std::vector<uint32_t>> SymbolicOut(A.numStates());
+  for (uint32_t I = 0, E = A.numTransitions(); I != E; ++I)
+    if (!A.transitions()[I].isEpsilon())
+      SymbolicOut[A.transitions()[I].From].push_back(I);
+
+  std::vector<bool> FinalFlag(A.numStates(), false);
+  for (StateId F : A.finals())
+    FinalFlag[F] = true;
+
+  Nfa Out;
+  for (StateId Q = 0; Q < A.numStates(); ++Q)
+    Out.addState();
+  Out.setInitial(A.initial());
+  Out.setAnchors(A.anchoredStart(), A.anchoredEnd());
+
+  for (StateId Q = 0; Q < A.numStates(); ++Q) {
+    bool IsFinal = false;
+    for (StateId R : Closures[Q]) {
+      IsFinal = IsFinal || FinalFlag[R];
+      for (uint32_t TIdx : SymbolicOut[R]) {
+        const Transition &T = A.transitions()[TIdx];
+        Out.addTransition(Q, T.To, T.Label);
+      }
+    }
+    if (IsFinal)
+      Out.addFinal(Q);
+  }
+  Out.canonicalize();
+  return Out;
+}
+
+Nfa mfsa::foldMultiplicity(const Nfa &A) {
+  assert(!A.hasEpsilons() && "foldMultiplicity requires an ε-free automaton");
+  // Union the labels of all arcs sharing (From, To). std::map keeps the
+  // output order deterministic.
+  std::map<std::pair<StateId, StateId>, SymbolSet> Folded;
+  for (const Transition &T : A.transitions())
+    Folded[{T.From, T.To}] |= T.Label;
+
+  Nfa Out;
+  for (StateId Q = 0; Q < A.numStates(); ++Q)
+    Out.addState();
+  Out.setInitial(A.initial());
+  Out.setAnchors(A.anchoredStart(), A.anchoredEnd());
+  for (StateId F : A.finals())
+    Out.addFinal(F);
+  for (const auto &[Pair, Label] : Folded)
+    Out.addTransition(Pair.first, Pair.second, Label);
+  Out.canonicalize();
+  return Out;
+}
+
+Nfa mfsa::compactReachable(const Nfa &A) {
+  std::vector<std::vector<uint32_t>> OutIdx = A.buildOutgoingIndex();
+  std::vector<std::vector<StateId>> InAdj(A.numStates());
+  for (const Transition &T : A.transitions())
+    InAdj[T.To].push_back(T.From);
+
+  // Forward reachability from the initial state.
+  std::vector<bool> Fwd(A.numStates(), false);
+  {
+    std::queue<StateId> Work;
+    Work.push(A.initial());
+    Fwd[A.initial()] = true;
+    while (!Work.empty()) {
+      StateId Q = Work.front();
+      Work.pop();
+      for (uint32_t TIdx : OutIdx[Q]) {
+        StateId To = A.transitions()[TIdx].To;
+        if (!Fwd[To]) {
+          Fwd[To] = true;
+          Work.push(To);
+        }
+      }
+    }
+  }
+
+  // Backward co-reachability from the finals.
+  std::vector<bool> Bwd(A.numStates(), false);
+  {
+    std::queue<StateId> Work;
+    for (StateId F : A.finals())
+      if (!Bwd[F]) {
+        Bwd[F] = true;
+        Work.push(F);
+      }
+    while (!Work.empty()) {
+      StateId Q = Work.front();
+      Work.pop();
+      for (StateId P : InAdj[Q])
+        if (!Bwd[P]) {
+          Bwd[P] = true;
+          Work.push(P);
+        }
+    }
+  }
+
+  // Keep live states; the initial state always survives so that even an
+  // empty-language automaton stays well-formed.
+  std::vector<bool> Keep(A.numStates(), false);
+  for (StateId Q = 0; Q < A.numStates(); ++Q)
+    Keep[Q] = Fwd[Q] && Bwd[Q];
+  Keep[A.initial()] = true;
+
+  // Renumber survivors in BFS discovery order from the initial state for a
+  // deterministic, locality-friendly layout.
+  constexpr StateId Unmapped = UINT32_MAX;
+  std::vector<StateId> NewId(A.numStates(), Unmapped);
+  Nfa Out;
+  {
+    std::queue<StateId> Work;
+    NewId[A.initial()] = Out.addState();
+    Work.push(A.initial());
+    while (!Work.empty()) {
+      StateId Q = Work.front();
+      Work.pop();
+      for (uint32_t TIdx : OutIdx[Q]) {
+        StateId To = A.transitions()[TIdx].To;
+        if (Keep[To] && NewId[To] == Unmapped) {
+          NewId[To] = Out.addState();
+          Work.push(To);
+        }
+      }
+    }
+  }
+
+  Out.setInitial(NewId[A.initial()]);
+  Out.setAnchors(A.anchoredStart(), A.anchoredEnd());
+  for (StateId F : A.finals())
+    if (NewId[F] != Unmapped)
+      Out.addFinal(NewId[F]);
+  for (const Transition &T : A.transitions())
+    if (NewId[T.From] != Unmapped && NewId[T.To] != Unmapped)
+      Out.addTransition(NewId[T.From], NewId[T.To], T.Label);
+  Out.canonicalize();
+  return Out;
+}
+
+Nfa mfsa::mergeBisimilarStates(const Nfa &A) {
+  assert(!A.hasEpsilons() &&
+         "mergeBisimilarStates requires an ε-free automaton");
+  std::vector<std::vector<uint32_t>> OutIdx = A.buildOutgoingIndex();
+
+  // Partition refinement: start from finality, refine by outgoing
+  // signatures until stable.
+  std::vector<uint32_t> ClassOf(A.numStates(), 0);
+  for (StateId F : A.finals())
+    ClassOf[F] = 1;
+  size_t NumClasses = A.finals().empty() ? 1 : 2;
+
+  using Signature =
+      std::pair<uint32_t, std::vector<std::pair<SymbolSet, uint32_t>>>;
+  for (;;) {
+    std::map<Signature, uint32_t> NewClassIds;
+    std::vector<uint32_t> NewClassOf(A.numStates());
+    for (StateId Q = 0; Q < A.numStates(); ++Q) {
+      Signature Sig;
+      Sig.first = ClassOf[Q];
+      for (uint32_t TIdx : OutIdx[Q]) {
+        const Transition &T = A.transitions()[TIdx];
+        Sig.second.emplace_back(T.Label, ClassOf[T.To]);
+      }
+      std::sort(Sig.second.begin(), Sig.second.end());
+      Sig.second.erase(std::unique(Sig.second.begin(), Sig.second.end()),
+                       Sig.second.end());
+      auto [It, Inserted] = NewClassIds.emplace(
+          std::move(Sig), static_cast<uint32_t>(NewClassIds.size()));
+      NewClassOf[Q] = It->second;
+    }
+    size_t NewCount = NewClassIds.size();
+    ClassOf = std::move(NewClassOf);
+    if (NewCount == NumClasses)
+      break;
+    NumClasses = NewCount;
+  }
+
+  // Rebuild with one state per class, renumbered by first occurrence for
+  // determinism.
+  constexpr uint32_t Unset = UINT32_MAX;
+  std::vector<StateId> ClassState(NumClasses, Unset);
+  Nfa Out;
+  for (StateId Q = 0; Q < A.numStates(); ++Q)
+    if (ClassState[ClassOf[Q]] == Unset)
+      ClassState[ClassOf[Q]] = Out.addState();
+  Out.setInitial(ClassState[ClassOf[A.initial()]]);
+  Out.setAnchors(A.anchoredStart(), A.anchoredEnd());
+  for (StateId F : A.finals())
+    Out.addFinal(ClassState[ClassOf[F]]);
+  for (const Transition &T : A.transitions())
+    Out.addTransition(ClassState[ClassOf[T.From]], ClassState[ClassOf[T.To]],
+                      T.Label);
+  Out.canonicalize();
+  return Out;
+}
+
+Nfa mfsa::optimizeForMerging(const Nfa &A) {
+  Nfa Current = removeEpsilons(A);
+  // Folding and bisimulation merging enable each other: folding normalizes
+  // parallel arcs into classes so more signatures coincide; merging aligns
+  // targets so more arcs become parallel. Iterate to a fixpoint (bounded —
+  // each round strictly shrinks the automaton).
+  for (;;) {
+    uint32_t StatesBefore = Current.numStates();
+    uint32_t TransBefore = Current.numTransitions();
+    Current = mergeBisimilarStates(foldMultiplicity(Current));
+    if (Current.numStates() == StatesBefore &&
+        Current.numTransitions() == TransBefore)
+      break;
+  }
+  return compactReachable(foldMultiplicity(Current));
+}

@@ -1,0 +1,67 @@
+//===- Passes.h - single-FSA optimization passes ----------------*- C++ -*-===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Declares the per-FSA transformations the middle-end applies before
+/// merging (paper §IV-C):
+///
+///   1. ε-arc removal — merging and ANML generation require non-empty
+///      transitions only.
+///   2. multiplicity folding — parallel single-character alternations between
+///      the same state pair become one character-class transition, which
+///      prevents incorrect merges (Fig. 5b).
+///   3. compaction — drops unreachable and dead states and renumbers the
+///      remainder deterministically.
+///
+/// Loop expansion, the third optimization of §IV-C, lives in the AST-to-FSA
+/// builder (see Builder.h) because structural expansion happens naturally at
+/// construction time.
+///
+/// Each pass is a pure function Nfa -> Nfa so tests can compose them freely;
+/// optimizeForMerging() is the pipeline-standard composition.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MFSA_FSA_PASSES_H
+#define MFSA_FSA_PASSES_H
+
+#include "fsa/Nfa.h"
+
+namespace mfsa {
+
+/// Removes every ε-arc: δ'(q, c) = ∪ { δ(r, c) : r ∈ ε-closure(q) }, and a
+/// state becomes final if its closure intersects the final set. The language
+/// is preserved; unreachable states are NOT dropped here (see
+/// compactReachable).
+Nfa removeEpsilons(const Nfa &A);
+
+/// Folds transitions with multiplicity > 1 (several arcs between one state
+/// pair) into a single character-class arc (paper §IV-C (3), Fig. 5b).
+/// Requires an ε-free automaton.
+Nfa foldMultiplicity(const Nfa &A);
+
+/// Keeps only states both reachable from the initial state and co-reachable
+/// to some final state, renumbering survivors in BFS discovery order. An
+/// automaton with the empty language collapses to a single initial state.
+Nfa compactReachable(const Nfa &A);
+
+/// Merges bisimilar states (coarsest partition stable under the signature
+/// (finality, {(label, class(target))})). Thompson construction gives every
+/// alternation branch its own exit state, so the single-character
+/// alternations of §IV-C (3) only become parallel arcs — and thus foldable
+/// into one character class — after the equivalent exits are merged.
+/// Requires an ε-free automaton; preserves the language (bisimilar states
+/// have identical right languages).
+Nfa mergeBisimilarStates(const Nfa &A);
+
+/// The standard pre-merge pipeline: removeEpsilons, then alternating
+/// foldMultiplicity / mergeBisimilarStates to a fixpoint (each enables the
+/// other), then compactReachable.
+Nfa optimizeForMerging(const Nfa &A);
+
+} // namespace mfsa
+
+#endif // MFSA_FSA_PASSES_H

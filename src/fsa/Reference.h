@@ -1,0 +1,49 @@
+//===- Reference.h - semantic oracles for testing ---------------*- C++ -*-===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Declares two independent reference matchers that define the library's
+/// match semantics and anchor the correctness test pyramid (DESIGN.md §5):
+///
+///   - astMatchEnds: a positional-set evaluator walking the AST directly.
+///     Independent of every automaton component; the ground truth on small
+///     inputs.
+///   - simulateNfa: a textbook ε-closure sweep over any (possibly ε-full)
+///     Nfa. Independent of ε-removal, folding, merging, and the iNFAnt/
+///     iMFAnt engines; fast enough for medium streams.
+///
+/// Match semantics (library-wide): a match is a pair (rule, end offset) such
+/// that some non-empty substring ending at `end` belongs to the rule's
+/// language; a start-anchored rule additionally requires the substring to
+/// begin at offset 0, and an end-anchored rule requires end == input size.
+/// Zero-length matches are never reported (automata report on transition
+/// traversal, so they cannot observe ε matches).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MFSA_FSA_REFERENCE_H
+#define MFSA_FSA_REFERENCE_H
+
+#include "fsa/Nfa.h"
+#include "regex/Ast.h"
+
+#include <set>
+#include <string_view>
+
+namespace mfsa {
+
+/// \returns every offset at which a non-empty match of \p Re ends in
+/// \p Input, per the AST evaluator. Quadratic in |Input|; tests only.
+std::set<size_t> astMatchEnds(const Regex &Re, std::string_view Input);
+
+/// \returns every offset at which a non-empty match of \p A ends in
+/// \p Input, by direct NFA simulation with ε-closures. Linear sweep with a
+/// per-symbol cost of O(transitions).
+std::set<size_t> simulateNfa(const Nfa &A, std::string_view Input);
+
+} // namespace mfsa
+
+#endif // MFSA_FSA_REFERENCE_H

@@ -1,0 +1,100 @@
+//===- Ast.cpp - regular-expression AST helpers ----------------------------===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regex/Ast.h"
+
+using namespace mfsa;
+
+/// Recursive printer; \p ParentPrecedence decides parenthesization
+/// (alternate=0 < concat=1 < repeat=2).
+static void printNode(const AstNode &Node, unsigned ParentPrecedence,
+                      std::string &Out) {
+  switch (Node.kind()) {
+  case AstKind::Empty:
+    // An empty branch prints as `()`; reparses as empty group.
+    Out += "()";
+    return;
+  case AstKind::Symbols:
+    Out += static_cast<const SymbolsNode &>(Node).symbols().toString();
+    return;
+  case AstKind::Concat: {
+    const auto &Children = static_cast<const ConcatNode &>(Node).children();
+    bool Paren = ParentPrecedence > 1;
+    if (Paren)
+      Out.push_back('(');
+    for (const auto &C : Children)
+      printNode(*C, 1, Out);
+    if (Paren)
+      Out.push_back(')');
+    return;
+  }
+  case AstKind::Alternate: {
+    const auto &Children =
+        static_cast<const AlternateNode &>(Node).children();
+    bool Paren = ParentPrecedence > 0;
+    if (Paren)
+      Out.push_back('(');
+    for (size_t I = 0; I < Children.size(); ++I) {
+      if (I)
+        Out.push_back('|');
+      printNode(*Children[I], 0, Out);
+    }
+    if (Paren)
+      Out.push_back(')');
+    return;
+  }
+  case AstKind::Repeat: {
+    const auto &R = static_cast<const RepeatNode &>(Node);
+    printNode(R.child(), 2, Out);
+    if (R.min() == 0 && R.isUnbounded())
+      Out.push_back('*');
+    else if (R.min() == 1 && R.isUnbounded())
+      Out.push_back('+');
+    else if (R.min() == 0 && R.max() == 1)
+      Out.push_back('?');
+    else {
+      Out.push_back('{');
+      Out += std::to_string(R.min());
+      if (R.max() != R.min()) {
+        Out.push_back(',');
+        if (!R.isUnbounded())
+          Out += std::to_string(R.max());
+      }
+      Out.push_back('}');
+    }
+    return;
+  }
+  }
+}
+
+std::string mfsa::printAst(const AstNode &Node) {
+  std::string Out;
+  printNode(Node, 0, Out);
+  return Out;
+}
+
+unsigned mfsa::countAstNodes(const AstNode &Node) {
+  switch (Node.kind()) {
+  case AstKind::Empty:
+  case AstKind::Symbols:
+    return 1;
+  case AstKind::Concat: {
+    unsigned N = 1;
+    for (const auto &C : static_cast<const ConcatNode &>(Node).children())
+      N += countAstNodes(*C);
+    return N;
+  }
+  case AstKind::Alternate: {
+    unsigned N = 1;
+    for (const auto &C : static_cast<const AlternateNode &>(Node).children())
+      N += countAstNodes(*C);
+    return N;
+  }
+  case AstKind::Repeat:
+    return 1 + countAstNodes(static_cast<const RepeatNode &>(Node).child());
+  }
+  return 0;
+}

@@ -1,0 +1,179 @@
+//===- Ast.h - regular-expression abstract syntax tree ----------*- C++ -*-===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Defines the AST produced by the front-end (paper §IV-A): "an Abstract
+/// Syntax Tree for each input RE, containing all the tokenized elements in a
+/// high-level syntactic structure". The middle-end walks this tree with a
+/// depth-first Thompson-like construction (§IV-B). Nodes form a small closed
+/// hierarchy discriminated by AstKind (no RTTI).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MFSA_REGEX_AST_H
+#define MFSA_REGEX_AST_H
+
+#include "regex/Token.h"
+#include "support/SymbolSet.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mfsa {
+
+/// Discriminator for the closed AstNode hierarchy.
+enum class AstKind : uint8_t {
+  Empty,     ///< Matches the empty string (an empty alternation branch).
+  Symbols,   ///< One symbol drawn from a SymbolSet (char, class, or `.`).
+  Concat,    ///< Sequence of sub-expressions.
+  Alternate, ///< `a|b|...` choice among sub-expressions.
+  Repeat     ///< Quantified sub-expression: `*` `+` `?` `{m,n}`.
+};
+
+/// Base of every AST node. Children own their sub-trees via unique_ptr; the
+/// tree is immutable after parsing.
+class AstNode {
+public:
+  explicit AstNode(AstKind Kind) : Kind(Kind) {}
+  virtual ~AstNode() = default;
+
+  AstNode(const AstNode &) = delete;
+  AstNode &operator=(const AstNode &) = delete;
+
+  AstKind kind() const { return Kind; }
+
+  /// Deep structural copy.
+  virtual std::unique_ptr<AstNode> clone() const = 0;
+
+private:
+  AstKind Kind;
+};
+
+/// Matches the empty string.
+class EmptyNode : public AstNode {
+public:
+  EmptyNode() : AstNode(AstKind::Empty) {}
+  std::unique_ptr<AstNode> clone() const override {
+    return std::make_unique<EmptyNode>();
+  }
+};
+
+/// Matches exactly one symbol from Set.
+class SymbolsNode : public AstNode {
+public:
+  explicit SymbolsNode(SymbolSet Set)
+      : AstNode(AstKind::Symbols), Set(Set) {}
+
+  const SymbolSet &symbols() const { return Set; }
+
+  std::unique_ptr<AstNode> clone() const override {
+    return std::make_unique<SymbolsNode>(Set);
+  }
+
+private:
+  SymbolSet Set;
+};
+
+/// Matches its children in sequence.
+class ConcatNode : public AstNode {
+public:
+  explicit ConcatNode(std::vector<std::unique_ptr<AstNode>> Children)
+      : AstNode(AstKind::Concat), Children(std::move(Children)) {}
+
+  const std::vector<std::unique_ptr<AstNode>> &children() const {
+    return Children;
+  }
+
+  std::unique_ptr<AstNode> clone() const override {
+    std::vector<std::unique_ptr<AstNode>> Copy;
+    Copy.reserve(Children.size());
+    for (const auto &C : Children)
+      Copy.push_back(C->clone());
+    return std::make_unique<ConcatNode>(std::move(Copy));
+  }
+
+private:
+  std::vector<std::unique_ptr<AstNode>> Children;
+};
+
+/// Matches any one of its children.
+class AlternateNode : public AstNode {
+public:
+  explicit AlternateNode(std::vector<std::unique_ptr<AstNode>> Children)
+      : AstNode(AstKind::Alternate), Children(std::move(Children)) {}
+
+  const std::vector<std::unique_ptr<AstNode>> &children() const {
+    return Children;
+  }
+
+  std::unique_ptr<AstNode> clone() const override {
+    std::vector<std::unique_ptr<AstNode>> Copy;
+    Copy.reserve(Children.size());
+    for (const auto &C : Children)
+      Copy.push_back(C->clone());
+    return std::make_unique<AlternateNode>(std::move(Copy));
+  }
+
+private:
+  std::vector<std::unique_ptr<AstNode>> Children;
+};
+
+/// Matches Child repeated between Min and Max times; Max == RepeatUnbounded
+/// encodes `{m,}`, `*` (0,inf) and `+` (1,inf).
+class RepeatNode : public AstNode {
+public:
+  RepeatNode(std::unique_ptr<AstNode> Child, uint32_t Min, uint32_t Max)
+      : AstNode(AstKind::Repeat), Child(std::move(Child)), Min(Min),
+        Max(Max) {
+    assert(Min <= Max && "inverted repeat bounds");
+  }
+
+  const AstNode &child() const { return *Child; }
+  uint32_t min() const { return Min; }
+  uint32_t max() const { return Max; }
+  bool isUnbounded() const { return Max == RepeatUnbounded; }
+
+  std::unique_ptr<AstNode> clone() const override {
+    return std::make_unique<RepeatNode>(Child->clone(), Min, Max);
+  }
+
+private:
+  std::unique_ptr<AstNode> Child;
+  uint32_t Min;
+  uint32_t Max;
+};
+
+/// A parsed regular expression: the AST root plus the pattern-level anchor
+/// flags and the original source text (kept for reporting and round-trips).
+struct Regex {
+  std::unique_ptr<AstNode> Root;
+  bool AnchoredStart = false; ///< Pattern began with `^`.
+  bool AnchoredEnd = false;   ///< Pattern ended with `$`.
+  std::string Source;
+
+  Regex clone() const {
+    Regex R;
+    R.Root = Root->clone();
+    R.AnchoredStart = AnchoredStart;
+    R.AnchoredEnd = AnchoredEnd;
+    R.Source = Source;
+    return R;
+  }
+};
+
+/// Renders the AST back to a normalized pattern string (for debugging and
+/// golden tests). The output reparses to an equivalent tree.
+std::string printAst(const AstNode &Node);
+
+/// \returns the number of nodes in the tree, used by tests and stats.
+unsigned countAstNodes(const AstNode &Node);
+
+} // namespace mfsa
+
+#endif // MFSA_REGEX_AST_H

@@ -1,0 +1,364 @@
+//===- Lexer.cpp - POSIX ERE lexer -----------------------------------------===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regex/Lexer.h"
+
+#include <cctype>
+
+using namespace mfsa;
+
+const char *mfsa::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Symbols:
+    return "character";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Question:
+    return "'?'";
+  case TokenKind::Repeat:
+    return "repetition bounds";
+  case TokenKind::Pipe:
+    return "'|'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::Caret:
+    return "'^'";
+  case TokenKind::Dollar:
+    return "'$'";
+  case TokenKind::End:
+    return "end of pattern";
+  }
+  return "unknown token";
+}
+
+/// Builds the symbol set for a Perl-style shorthand class. \returns false if
+/// \p C is not a shorthand.
+static bool shorthandClass(char C, SymbolSet &Out) {
+  switch (C) {
+  case 'd':
+    Out = SymbolSet::range('0', '9');
+    return true;
+  case 'D':
+    Out = SymbolSet::range('0', '9').complement();
+    return true;
+  case 'w':
+    Out = SymbolSet::range('a', 'z') | SymbolSet::range('A', 'Z') |
+          SymbolSet::range('0', '9') | SymbolSet::singleton('_');
+    return true;
+  case 'W': {
+    SymbolSet W;
+    shorthandClass('w', W);
+    Out = W.complement();
+    return true;
+  }
+  case 's':
+    Out = SymbolSet::of(" \t\n\r\f\v");
+    return true;
+  case 'S':
+    Out = SymbolSet::of(" \t\n\r\f\v").complement();
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool Lexer::namedClass(const std::string &Name, SymbolSet &Out) {
+  if (Name == "alpha")
+    Out = SymbolSet::range('a', 'z') | SymbolSet::range('A', 'Z');
+  else if (Name == "digit")
+    Out = SymbolSet::range('0', '9');
+  else if (Name == "alnum")
+    Out = SymbolSet::range('a', 'z') | SymbolSet::range('A', 'Z') |
+          SymbolSet::range('0', '9');
+  else if (Name == "upper")
+    Out = SymbolSet::range('A', 'Z');
+  else if (Name == "lower")
+    Out = SymbolSet::range('a', 'z');
+  else if (Name == "space")
+    Out = SymbolSet::of(" \t\n\r\f\v");
+  else if (Name == "blank")
+    Out = SymbolSet::of(" \t");
+  else if (Name == "punct") {
+    Out = SymbolSet();
+    for (unsigned C = 0x21; C < 0x7f; ++C)
+      if (std::ispunct(C))
+        Out.insert(static_cast<unsigned char>(C));
+  } else if (Name == "xdigit")
+    Out = SymbolSet::range('0', '9') | SymbolSet::range('a', 'f') |
+          SymbolSet::range('A', 'F');
+  else if (Name == "print")
+    Out = SymbolSet::range(0x20, 0x7e);
+  else if (Name == "graph")
+    Out = SymbolSet::range(0x21, 0x7e);
+  else if (Name == "cntrl") {
+    Out = SymbolSet::range(0x00, 0x1f) | SymbolSet::singleton(0x7f);
+  } else
+    return false;
+  return true;
+}
+
+Result<SymbolSet> Lexer::lexEscape() {
+  // The leading backslash has been consumed; Cursor points at the escape
+  // body.
+  if (atEnd())
+    return Result<SymbolSet>::error("trailing backslash", Cursor - 1);
+  char C = Pattern[Cursor++];
+  SymbolSet Short;
+  if (shorthandClass(C, Short))
+    return Short;
+  switch (C) {
+  case 'n':
+    return SymbolSet::singleton('\n');
+  case 't':
+    return SymbolSet::singleton('\t');
+  case 'r':
+    return SymbolSet::singleton('\r');
+  case 'f':
+    return SymbolSet::singleton('\f');
+  case 'v':
+    return SymbolSet::singleton('\v');
+  case 'a':
+    return SymbolSet::singleton('\a');
+  case '0':
+    return SymbolSet::singleton('\0');
+  case 'x': {
+    // \xHH with exactly one or two hex digits.
+    unsigned Value = 0;
+    unsigned Digits = 0;
+    while (Digits < 2 && !atEnd() &&
+           std::isxdigit(static_cast<unsigned char>(peek()))) {
+      char D = Pattern[Cursor++];
+      unsigned Nibble = std::isdigit(static_cast<unsigned char>(D))
+                            ? static_cast<unsigned>(D - '0')
+                            : static_cast<unsigned>(
+                                  std::tolower(static_cast<unsigned char>(D)) -
+                                  'a' + 10);
+      Value = Value * 16 + Nibble;
+      ++Digits;
+    }
+    if (Digits == 0)
+      return Result<SymbolSet>::error("\\x requires hex digits", Cursor);
+    return SymbolSet::singleton(static_cast<unsigned char>(Value));
+  }
+  default:
+    // Any other escaped character stands for itself (covers the ERE
+    // metacharacters \. \* \[ \\ ... and, permissively, ordinary letters).
+    return SymbolSet::singleton(static_cast<unsigned char>(C));
+  }
+}
+
+Result<SymbolSet> Lexer::lexBracketExpression() {
+  // The opening '[' has been consumed.
+  size_t OpenOffset = Cursor - 1;
+  bool Negated = false;
+  if (!atEnd() && peek() == '^') {
+    Negated = true;
+    ++Cursor;
+  }
+  SymbolSet Set;
+  bool First = true;
+  for (;;) {
+    if (atEnd())
+      return Result<SymbolSet>::error("unterminated bracket expression",
+                                      OpenOffset);
+    char C = Pattern[Cursor];
+    if (C == ']' && !First) {
+      ++Cursor;
+      break;
+    }
+    First = false;
+
+    // POSIX named class [:name:].
+    if (C == '[' && Cursor + 1 < Pattern.size() &&
+        Pattern[Cursor + 1] == ':') {
+      size_t NameBegin = Cursor + 2;
+      size_t NameEnd = Pattern.find(":]", NameBegin);
+      if (NameEnd == std::string::npos)
+        return Result<SymbolSet>::error("unterminated [:class:]", Cursor);
+      std::string Name = Pattern.substr(NameBegin, NameEnd - NameBegin);
+      SymbolSet Named;
+      if (!namedClass(Name, Named))
+        return Result<SymbolSet>::error("unknown class [:" + Name + ":]",
+                                        Cursor);
+      Set |= Named;
+      Cursor = NameEnd + 2;
+      continue;
+    }
+
+    // A range endpoint: either an escape or a plain character.
+    SymbolSet Lo;
+    if (C == '\\') {
+      ++Cursor;
+      Result<SymbolSet> Esc = lexEscape();
+      if (!Esc)
+        return Esc;
+      Lo = *Esc;
+    } else {
+      Lo = SymbolSet::singleton(static_cast<unsigned char>(C));
+      ++Cursor;
+    }
+
+    // `X-Y` range (but `-` just before `]` is a literal dash, and a
+    // multi-symbol escape such as \d cannot open a range).
+    if (!atEnd() && peek() == '-' && Cursor + 1 < Pattern.size() &&
+        Pattern[Cursor + 1] != ']' && Lo.isSingleton()) {
+      ++Cursor; // consume '-'
+      char HiChar = Pattern[Cursor];
+      SymbolSet Hi;
+      if (HiChar == '\\') {
+        ++Cursor;
+        Result<SymbolSet> Esc = lexEscape();
+        if (!Esc)
+          return Esc;
+        Hi = *Esc;
+      } else {
+        Hi = SymbolSet::singleton(static_cast<unsigned char>(HiChar));
+        ++Cursor;
+      }
+      if (!Hi.isSingleton() || Hi.min() < Lo.min())
+        return Result<SymbolSet>::error("invalid character range", Cursor);
+      Set |= SymbolSet::range(Lo.min(), Hi.min());
+      continue;
+    }
+    Set |= Lo;
+  }
+  if (Negated)
+    Set = Set.complement();
+  if (Set.empty())
+    return Result<SymbolSet>::error("empty bracket expression", OpenOffset);
+  return Set;
+}
+
+Result<Token> Lexer::lexRepeatBounds() {
+  // The opening '{' has been consumed.
+  size_t OpenOffset = Cursor - 1;
+  Token T;
+  T.Kind = TokenKind::Repeat;
+  T.Offset = OpenOffset;
+
+  auto LexNumber = [&](uint32_t &Out) -> bool {
+    if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek())))
+      return false;
+    uint64_t Value = 0;
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      Value = Value * 10 + static_cast<uint64_t>(Pattern[Cursor++] - '0');
+      if (Value > 100000) // reject absurd bounds early
+        return false;
+    }
+    Out = static_cast<uint32_t>(Value);
+    return true;
+  };
+
+  if (!LexNumber(T.RepeatMin))
+    return Result<Token>::error("expected number after '{'", Cursor);
+  if (!atEnd() && peek() == '}') {
+    ++Cursor;
+    T.RepeatMax = T.RepeatMin;
+    return T;
+  }
+  if (atEnd() || peek() != ',')
+    return Result<Token>::error("expected ',' or '}' in bounds", Cursor);
+  ++Cursor; // consume ','
+  if (!atEnd() && peek() == '}') {
+    ++Cursor;
+    T.RepeatMax = RepeatUnbounded;
+    return T;
+  }
+  if (!LexNumber(T.RepeatMax))
+    return Result<Token>::error("expected number after ',' in bounds", Cursor);
+  if (atEnd() || peek() != '}')
+    return Result<Token>::error("expected '}' closing bounds", Cursor);
+  ++Cursor;
+  if (T.RepeatMax < T.RepeatMin)
+    return Result<Token>::error("bounds {m,n} require m <= n", OpenOffset);
+  return T;
+}
+
+Result<Token> Lexer::lexOne() {
+  Token T;
+  T.Offset = Cursor;
+  char C = Pattern[Cursor++];
+  switch (C) {
+  case '*':
+    T.Kind = TokenKind::Star;
+    return T;
+  case '+':
+    T.Kind = TokenKind::Plus;
+    return T;
+  case '?':
+    T.Kind = TokenKind::Question;
+    return T;
+  case '|':
+    T.Kind = TokenKind::Pipe;
+    return T;
+  case '(':
+    T.Kind = TokenKind::LParen;
+    return T;
+  case ')':
+    T.Kind = TokenKind::RParen;
+    return T;
+  case '^':
+    T.Kind = TokenKind::Caret;
+    return T;
+  case '$':
+    T.Kind = TokenKind::Dollar;
+    return T;
+  case '{':
+    return lexRepeatBounds();
+  case '}':
+    // POSIX treats a stray '}' as a literal; we follow suit.
+    T.Kind = TokenKind::Symbols;
+    T.Symbols = SymbolSet::singleton('}');
+    return T;
+  case ']':
+    return Result<Token>::error("unmatched ']'", T.Offset);
+  case '[': {
+    Result<SymbolSet> Class = lexBracketExpression();
+    if (!Class)
+      return Class.diag();
+    T.Kind = TokenKind::Symbols;
+    T.Symbols = *Class;
+    return T;
+  }
+  case '.':
+    T.Kind = TokenKind::Symbols;
+    // Match any symbol except newline, the conventional `.` semantics for
+    // line-oriented rulesets such as Snort's.
+    T.Symbols = SymbolSet::singleton('\n').complement();
+    return T;
+  case '\\': {
+    Result<SymbolSet> Esc = lexEscape();
+    if (!Esc)
+      return Esc.diag();
+    T.Kind = TokenKind::Symbols;
+    T.Symbols = *Esc;
+    return T;
+  }
+  default:
+    T.Kind = TokenKind::Symbols;
+    T.Symbols = SymbolSet::singleton(static_cast<unsigned char>(C));
+    return T;
+  }
+}
+
+Result<std::vector<Token>> Lexer::tokenize() {
+  std::vector<Token> Tokens;
+  while (!atEnd()) {
+    Result<Token> T = lexOne();
+    if (!T)
+      return T.diag();
+    Tokens.push_back(*T);
+  }
+  Token EndToken;
+  EndToken.Kind = TokenKind::End;
+  EndToken.Offset = Pattern.size();
+  Tokens.push_back(EndToken);
+  return Tokens;
+}

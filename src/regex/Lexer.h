@@ -1,0 +1,53 @@
+//===- Lexer.h - POSIX ERE lexer --------------------------------*- C++ -*-===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Defines Lexer, the lexical-analysis half of the front-end (paper §IV-A;
+/// the paper uses Flex, we hand-write the equivalent). The lexer validates
+/// escape sequences, bracket expressions (including ranges, negation, and
+/// POSIX named classes such as [:digit:]) and `{m,n}` bounds, reporting
+/// malformed input with byte-accurate diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MFSA_REGEX_LEXER_H
+#define MFSA_REGEX_LEXER_H
+
+#include "regex/Token.h"
+#include "support/Result.h"
+
+#include <string>
+#include <vector>
+
+namespace mfsa {
+
+/// Lexes a whole pattern into a token vector ending with TokenKind::End.
+class Lexer {
+public:
+  explicit Lexer(std::string Pattern) : Pattern(std::move(Pattern)) {}
+
+  /// Tokenizes the pattern; fails on malformed escapes, classes, or bounds.
+  Result<std::vector<Token>> tokenize();
+
+private:
+  bool atEnd() const { return Cursor >= Pattern.size(); }
+  char peek() const { return Pattern[Cursor]; }
+
+  Result<Token> lexOne();
+  Result<SymbolSet> lexEscape();
+  Result<SymbolSet> lexBracketExpression();
+  Result<Token> lexRepeatBounds();
+
+  /// Parses a POSIX named class body (the `alpha` in `[:alpha:]`).
+  static bool namedClass(const std::string &Name, SymbolSet &Out);
+
+  std::string Pattern;
+  size_t Cursor = 0;
+};
+
+} // namespace mfsa
+
+#endif // MFSA_REGEX_LEXER_H

@@ -1,0 +1,195 @@
+//===- Parser.cpp - POSIX ERE recursive-descent parser ---------------------===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regex/Parser.h"
+
+#include "regex/Lexer.h"
+
+#include <cassert>
+
+using namespace mfsa;
+
+namespace {
+
+/// Recursive-descent parser over the lexer's token vector.
+class Parser {
+public:
+  explicit Parser(std::vector<Token> Tokens) : Tokens(std::move(Tokens)) {}
+
+  Result<std::unique_ptr<AstNode>> parseAlternation();
+
+  const Token &current() const { return Tokens[Cursor]; }
+  void advance() {
+    assert(current().Kind != TokenKind::End && "advancing past End");
+    ++Cursor;
+  }
+
+private:
+  Result<std::unique_ptr<AstNode>> parseConcat();
+  Result<std::unique_ptr<AstNode>> parseRepeated();
+  Result<std::unique_ptr<AstNode>> parseAtom();
+
+  std::vector<Token> Tokens;
+  size_t Cursor = 0;
+};
+
+} // namespace
+
+Result<std::unique_ptr<AstNode>> Parser::parseAlternation() {
+  std::vector<std::unique_ptr<AstNode>> Branches;
+  Result<std::unique_ptr<AstNode>> First = parseConcat();
+  if (!First)
+    return First;
+  Branches.push_back(First.take());
+  while (current().Kind == TokenKind::Pipe) {
+    advance();
+    Result<std::unique_ptr<AstNode>> Branch = parseConcat();
+    if (!Branch)
+      return Branch;
+    Branches.push_back(Branch.take());
+  }
+  if (Branches.size() == 1)
+    return std::move(Branches.front());
+  return std::unique_ptr<AstNode>(
+      std::make_unique<AlternateNode>(std::move(Branches)));
+}
+
+Result<std::unique_ptr<AstNode>> Parser::parseConcat() {
+  std::vector<std::unique_ptr<AstNode>> Parts;
+  for (;;) {
+    TokenKind K = current().Kind;
+    if (K == TokenKind::Pipe || K == TokenKind::RParen ||
+        K == TokenKind::End || K == TokenKind::Dollar)
+      break;
+    Result<std::unique_ptr<AstNode>> Part = parseRepeated();
+    if (!Part)
+      return Part;
+    Parts.push_back(Part.take());
+  }
+  if (Parts.empty())
+    return std::unique_ptr<AstNode>(std::make_unique<EmptyNode>());
+  if (Parts.size() == 1)
+    return std::move(Parts.front());
+  return std::unique_ptr<AstNode>(
+      std::make_unique<ConcatNode>(std::move(Parts)));
+}
+
+Result<std::unique_ptr<AstNode>> Parser::parseRepeated() {
+  Result<std::unique_ptr<AstNode>> Atom = parseAtom();
+  if (!Atom)
+    return Atom;
+  std::unique_ptr<AstNode> Node = Atom.take();
+  for (;;) {
+    const Token &T = current();
+    uint32_t Min, Max;
+    switch (T.Kind) {
+    case TokenKind::Star:
+      Min = 0;
+      Max = RepeatUnbounded;
+      break;
+    case TokenKind::Plus:
+      Min = 1;
+      Max = RepeatUnbounded;
+      break;
+    case TokenKind::Question:
+      Min = 0;
+      Max = 1;
+      break;
+    case TokenKind::Repeat:
+      Min = T.RepeatMin;
+      Max = T.RepeatMax;
+      break;
+    default:
+      return Node;
+    }
+    advance();
+    if (Node->kind() == AstKind::Empty)
+      return Result<std::unique_ptr<AstNode>>::error(
+          "quantifier applies to nothing", T.Offset);
+    Node = std::make_unique<RepeatNode>(std::move(Node), Min, Max);
+  }
+}
+
+Result<std::unique_ptr<AstNode>> Parser::parseAtom() {
+  const Token &T = current();
+  switch (T.Kind) {
+  case TokenKind::Symbols: {
+    SymbolSet Set = T.Symbols;
+    advance();
+    return std::unique_ptr<AstNode>(std::make_unique<SymbolsNode>(Set));
+  }
+  case TokenKind::LParen: {
+    advance();
+    Result<std::unique_ptr<AstNode>> Inner = parseAlternation();
+    if (!Inner)
+      return Inner;
+    if (current().Kind != TokenKind::RParen)
+      return Result<std::unique_ptr<AstNode>>::error("expected ')'",
+                                                     current().Offset);
+    advance();
+    return Inner;
+  }
+  case TokenKind::Star:
+  case TokenKind::Plus:
+  case TokenKind::Question:
+  case TokenKind::Repeat:
+    return Result<std::unique_ptr<AstNode>>::error(
+        std::string("quantifier ") + tokenKindName(T.Kind) +
+            " with no preceding expression",
+        T.Offset);
+  case TokenKind::Caret:
+    return Result<std::unique_ptr<AstNode>>::error(
+        "'^' is only supported at the start of the pattern", T.Offset);
+  default:
+    return Result<std::unique_ptr<AstNode>>::error(
+        std::string("unexpected ") + tokenKindName(T.Kind), T.Offset);
+  }
+}
+
+Result<Regex> mfsa::parseRegex(const std::string &Pattern,
+                               const ParseOptions &Options) {
+  Lexer Lex(Pattern);
+  Result<std::vector<Token>> Tokens = Lex.tokenize();
+  if (!Tokens)
+    return Tokens.diag();
+
+  Regex Re;
+  Re.Source = Pattern;
+
+  std::vector<Token> Toks = Tokens.take();
+  if (Options.CaseInsensitive)
+    for (Token &T : Toks)
+      if (T.Kind == TokenKind::Symbols)
+        T.Symbols = T.Symbols.caseFolded();
+  // Strip a leading '^' anchor.
+  if (Toks.front().Kind == TokenKind::Caret) {
+    Re.AnchoredStart = true;
+    Toks.erase(Toks.begin());
+  }
+  // Strip a trailing '$' anchor (the token before End).
+  if (Toks.size() >= 2 &&
+      Toks[Toks.size() - 2].Kind == TokenKind::Dollar) {
+    Re.AnchoredEnd = true;
+    Toks.erase(Toks.end() - 2);
+  }
+
+  Parser P(std::move(Toks));
+  Result<std::unique_ptr<AstNode>> Root = P.parseAlternation();
+  if (!Root)
+    return Root.diag();
+  if (P.current().Kind != TokenKind::End) {
+    if (P.current().Kind == TokenKind::RParen)
+      return Result<Regex>::error("unmatched ')'", P.current().Offset);
+    if (P.current().Kind == TokenKind::Dollar)
+      return Result<Regex>::error(
+          "'$' is only supported at the end of the pattern",
+          P.current().Offset);
+    return Result<Regex>::error("trailing input after pattern",
+                                P.current().Offset);
+  }
+  Re.Root = Root.take();
+  return Re;
+}

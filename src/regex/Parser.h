@@ -1,0 +1,51 @@
+//===- Parser.h - POSIX ERE recursive-descent parser ------------*- C++ -*-===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Defines the syntactic-analysis half of the front-end (paper §IV-A; the
+/// paper uses Bison, we hand-write a recursive-descent parser for the same
+/// POSIX ERE grammar):
+///
+/// \code
+///   pattern     := '^'? alternation '$'?
+///   alternation := concat ('|' concat)*
+///   concat      := repeated*
+///   repeated    := atom ('*' | '+' | '?' | '{m[,[n]]}')*
+///   atom        := SYMBOLS | '(' alternation ')'
+/// \endcode
+///
+/// Anchors are only accepted at the pattern boundaries and surface as Regex
+/// flags; mid-pattern anchors are rejected with a diagnostic since the
+/// automata model (and the paper's rulesets) use unanchored stream matching.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MFSA_REGEX_PARSER_H
+#define MFSA_REGEX_PARSER_H
+
+#include "regex/Ast.h"
+#include "support/Result.h"
+
+#include <string>
+
+namespace mfsa {
+
+/// Front-end knobs.
+struct ParseOptions {
+  /// Widen every symbol set so ASCII letters match either case, the
+  /// equivalent of Snort's `nocase` / PCRE's `/i` applied rule-wide.
+  bool CaseInsensitive = false;
+};
+
+/// Parses \p Pattern as a POSIX ERE; returns the AST or a positioned
+/// diagnostic. This is the front-end entry point used by the compiler
+/// pipeline.
+Result<Regex> parseRegex(const std::string &Pattern,
+                         const ParseOptions &Options = {});
+
+} // namespace mfsa
+
+#endif // MFSA_REGEX_PARSER_H

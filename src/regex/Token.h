@@ -1,0 +1,59 @@
+//===- Token.h - POSIX ERE token stream -------------------------*- C++ -*-===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Defines the token vocabulary produced by the front-end lexer (paper
+/// §IV-A). Character classes are lexed whole: a `[...]` expression, an
+/// escape, `.` and a plain character all surface as a single Symbols token
+/// carrying the SymbolSet the parser will attach to the AST leaf.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MFSA_REGEX_TOKEN_H
+#define MFSA_REGEX_TOKEN_H
+
+#include "support/SymbolSet.h"
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+
+namespace mfsa {
+
+/// Token kinds of the POSIX-ERE lexical grammar.
+enum class TokenKind : uint8_t {
+  Symbols,  ///< A character, escape, `.`, or bracket expression.
+  Star,     ///< `*`
+  Plus,     ///< `+`
+  Question, ///< `?`
+  Repeat,   ///< `{m}`, `{m,}` or `{m,n}`
+  Pipe,     ///< `|`
+  LParen,   ///< `(`
+  RParen,   ///< `)`
+  Caret,    ///< `^` (start anchor)
+  Dollar,   ///< `$` (end anchor)
+  End       ///< end of pattern
+};
+
+/// \returns a stable spelling for diagnostics ("'*'", "character class"...).
+const char *tokenKindName(TokenKind Kind);
+
+/// Sentinel for an unbounded repetition upper bound, i.e. `{m,}`.
+inline constexpr uint32_t RepeatUnbounded = UINT32_MAX;
+
+/// One lexed token; Symbols/Repeat payloads are only meaningful for the
+/// corresponding kinds.
+struct Token {
+  TokenKind Kind = TokenKind::End;
+  size_t Offset = 0;        ///< Byte offset of the token in the pattern.
+  SymbolSet Symbols;        ///< Payload for TokenKind::Symbols.
+  uint32_t RepeatMin = 0;   ///< Payload for TokenKind::Repeat.
+  uint32_t RepeatMax = 0;   ///< Payload for TokenKind::Repeat.
+};
+
+} // namespace mfsa
+
+#endif // MFSA_REGEX_TOKEN_H

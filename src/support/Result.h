@@ -1,0 +1,87 @@
+//===- Result.h - lightweight error-or-value type ---------------*- C++ -*-===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Defines Diag (a positioned diagnostic) and Result<T>, a minimal
+/// expected-like carrier used by the front-end and the ANML reader. The
+/// library is exception-free; recoverable errors (malformed REs, malformed
+/// ANML) travel back to callers as values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MFSA_SUPPORT_RESULT_H
+#define MFSA_SUPPORT_RESULT_H
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mfsa {
+
+/// A diagnostic with the byte offset in the offending input. Offset is
+/// SIZE_MAX when no position applies.
+struct Diag {
+  std::string Message;
+  size_t Offset = static_cast<size_t>(-1);
+
+  Diag() = default;
+  Diag(std::string Message, size_t Offset)
+      : Message(std::move(Message)), Offset(Offset) {}
+
+  /// Renders "offset N: message" (or just the message without a position).
+  std::string render() const {
+    if (Offset == static_cast<size_t>(-1))
+      return Message;
+    return "offset " + std::to_string(Offset) + ": " + Message;
+  }
+};
+
+/// Either a T or a Diag. Callers must test ok() before dereferencing.
+template <typename T> class Result {
+public:
+  Result(T Value) : Storage(std::in_place_index<0>, std::move(Value)) {}
+  Result(Diag Error) : Storage(std::in_place_index<1>, std::move(Error)) {}
+
+  /// Convenience factory mirroring createStringError.
+  static Result error(std::string Message,
+                      size_t Offset = static_cast<size_t>(-1)) {
+    return Result(Diag(std::move(Message), Offset));
+  }
+
+  bool ok() const { return Storage.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  T &operator*() {
+    assert(ok() && "dereferencing an error Result");
+    return std::get<0>(Storage);
+  }
+  const T &operator*() const {
+    assert(ok() && "dereferencing an error Result");
+    return std::get<0>(Storage);
+  }
+  T *operator->() { return &**this; }
+  const T *operator->() const { return &**this; }
+
+  /// Moves the value out; requires ok().
+  T take() {
+    assert(ok() && "taking from an error Result");
+    return std::move(std::get<0>(Storage));
+  }
+
+  const Diag &diag() const {
+    assert(!ok() && "no diagnostic on a success Result");
+    return std::get<1>(Storage);
+  }
+
+private:
+  std::variant<T, Diag> Storage;
+};
+
+} // namespace mfsa
+
+#endif // MFSA_SUPPORT_RESULT_H

@@ -1,0 +1,86 @@
+//===- Rng.h - deterministic pseudo-random generator ------------*- C++ -*-===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Defines Rng, a small xoshiro256** generator. The synthetic ruleset and
+/// stream generators (DESIGN.md §2) must be reproducible across runs and
+/// platforms, so we avoid std::mt19937's distribution portability caveats and
+/// keep everything seeded and self-contained.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MFSA_SUPPORT_RNG_H
+#define MFSA_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace mfsa {
+
+/// xoshiro256** with splitmix64 seeding; deterministic for a given seed.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x853c49e6748fea9bULL) {
+    // splitmix64 expansion of the seed into the four-word state.
+    uint64_t X = Seed;
+    for (uint64_t &W : State) {
+      X += 0x9e3779b97f4a7c15ULL;
+      uint64_t Z = X;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+      W = Z ^ (Z >> 31);
+    }
+  }
+
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// \returns a uniform integer in [0, Bound). Requires Bound > 0.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "nextBelow(0)");
+    // Rejection sampling to avoid modulo bias.
+    uint64_t Threshold = -Bound % Bound;
+    for (;;) {
+      uint64_t R = next();
+      if (R >= Threshold)
+        return R % Bound;
+    }
+  }
+
+  /// \returns a uniform integer in the inclusive range [Lo, Hi].
+  uint64_t nextInRange(uint64_t Lo, uint64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + nextBelow(Hi - Lo + 1);
+  }
+
+  /// \returns a uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// \returns true with probability \p P (clamped to [0, 1]).
+  bool nextBool(double P) { return nextDouble() < P; }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace mfsa
+
+#endif // MFSA_SUPPORT_RNG_H

@@ -1,0 +1,121 @@
+//===- StringUtil.cpp - small string helpers ------------------------------===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtil.h"
+
+#include <cctype>
+#include <cstdio>
+
+using namespace mfsa;
+
+std::string mfsa::xmlEscape(const std::string &Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (char C : Text) {
+    switch (C) {
+    case '&':
+      Out += "&amp;";
+      break;
+    case '<':
+      Out += "&lt;";
+      break;
+    case '>':
+      Out += "&gt;";
+      break;
+    case '"':
+      Out += "&quot;";
+      break;
+    case '\'':
+      Out += "&apos;";
+      break;
+    default:
+      Out.push_back(C);
+    }
+  }
+  return Out;
+}
+
+std::string mfsa::xmlUnescape(const std::string &Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (size_t I = 0; I < Text.size();) {
+    if (Text[I] != '&') {
+      Out.push_back(Text[I++]);
+      continue;
+    }
+    size_t End = Text.find(';', I);
+    if (End == std::string::npos) {
+      Out.push_back(Text[I++]);
+      continue;
+    }
+    std::string Entity = Text.substr(I, End - I + 1);
+    if (Entity == "&amp;")
+      Out.push_back('&');
+    else if (Entity == "&lt;")
+      Out.push_back('<');
+    else if (Entity == "&gt;")
+      Out.push_back('>');
+    else if (Entity == "&quot;")
+      Out.push_back('"');
+    else if (Entity == "&apos;")
+      Out.push_back('\'');
+    else if (Entity.size() > 3 && Entity[1] == '#') {
+      // Numeric character reference, decimal or hex.
+      int Base = 10;
+      size_t Digits = 2;
+      if (Entity[2] == 'x' || Entity[2] == 'X') {
+        Base = 16;
+        Digits = 3;
+      }
+      long Code = strtol(Entity.c_str() + Digits, nullptr, Base);
+      if (Code >= 0 && Code < 256)
+        Out.push_back(static_cast<char>(Code));
+      else
+        Out += Entity;
+    } else {
+      Out += Entity;
+    }
+    I = End + 1;
+  }
+  return Out;
+}
+
+std::vector<std::string> mfsa::splitString(const std::string &Text,
+                                           char Separator) {
+  std::vector<std::string> Fields;
+  size_t Start = 0;
+  for (;;) {
+    size_t Pos = Text.find(Separator, Start);
+    if (Pos == std::string::npos) {
+      Fields.push_back(Text.substr(Start));
+      return Fields;
+    }
+    Fields.push_back(Text.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}
+
+std::string mfsa::trimString(const std::string &Text) {
+  size_t Begin = 0;
+  size_t End = Text.size();
+  while (Begin < End && std::isspace(static_cast<unsigned char>(Text[Begin])))
+    ++Begin;
+  while (End > Begin &&
+         std::isspace(static_cast<unsigned char>(Text[End - 1])))
+    --End;
+  return Text.substr(Begin, End - Begin);
+}
+
+std::string mfsa::formatDouble(double Value, int Decimals) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Decimals, Value);
+  return Buffer;
+}
+
+bool mfsa::startsWith(const std::string &Text, const std::string &Prefix) {
+  return Text.size() >= Prefix.size() &&
+         Text.compare(0, Prefix.size(), Prefix) == 0;
+}

@@ -1,0 +1,42 @@
+//===- StringUtil.h - small string helpers ----------------------*- C++ -*-===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small string helpers shared by the ANML back-end (XML escaping), the DOT
+/// exporter, and the benchmark harnesses (number formatting).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MFSA_SUPPORT_STRINGUTIL_H
+#define MFSA_SUPPORT_STRINGUTIL_H
+
+#include <string>
+#include <vector>
+
+namespace mfsa {
+
+/// Escapes the five XML special characters (& < > " ') in \p Text.
+std::string xmlEscape(const std::string &Text);
+
+/// Inverse of xmlEscape for the ANML reader; unknown entities are kept
+/// verbatim.
+std::string xmlUnescape(const std::string &Text);
+
+/// Splits \p Text on \p Separator; empty fields are preserved.
+std::vector<std::string> splitString(const std::string &Text, char Separator);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string trimString(const std::string &Text);
+
+/// Formats \p Value with \p Decimals fractional digits (printf "%.*f").
+std::string formatDouble(double Value, int Decimals);
+
+/// \returns true if \p Text begins with \p Prefix.
+bool startsWith(const std::string &Text, const std::string &Prefix);
+
+} // namespace mfsa
+
+#endif // MFSA_SUPPORT_STRINGUTIL_H

@@ -1,0 +1,102 @@
+//===- SymbolSet.cpp - 256-symbol character class -------------------------===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SymbolSet.h"
+
+#include <cassert>
+
+using namespace mfsa;
+
+unsigned SymbolSet::count() const {
+  unsigned N = 0;
+  for (unsigned I = 0; I < NumWords; ++I)
+    N += static_cast<unsigned>(__builtin_popcountll(Words[I]));
+  return N;
+}
+
+unsigned char SymbolSet::min() const {
+  assert(!empty() && "min() of an empty SymbolSet");
+  for (unsigned I = 0; I < NumWords; ++I)
+    if (Words[I])
+      return static_cast<unsigned char>(I * 64 + __builtin_ctzll(Words[I]));
+  return 0;
+}
+
+SymbolSet SymbolSet::caseFolded() const {
+  SymbolSet Folded = *this;
+  for (unsigned C = 'a'; C <= 'z'; ++C)
+    if (contains(static_cast<unsigned char>(C)))
+      Folded.insert(static_cast<unsigned char>(C - 'a' + 'A'));
+  for (unsigned C = 'A'; C <= 'Z'; ++C)
+    if (contains(static_cast<unsigned char>(C)))
+      Folded.insert(static_cast<unsigned char>(C - 'A' + 'a'));
+  return Folded;
+}
+
+uint64_t SymbolSet::hash() const {
+  // A simple multiply-xorshift mix over the four words; quality is plenty
+  // for hash-bucketing transition labels.
+  uint64_t H = 0x9e3779b97f4a7c15ULL;
+  for (unsigned I = 0; I < NumWords; ++I) {
+    H ^= Words[I] + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);
+    H *= 0xbf58476d1ce4e5b9ULL;
+    H ^= H >> 31;
+  }
+  return H;
+}
+
+/// Escapes one symbol for display inside a class or as a bare label. Every
+/// ERE metacharacter is escaped so printed patterns re-parse to the same
+/// AST whether the symbol appears bare or inside a bracket expression
+/// (escaping is harmless inside classes; the lexer maps any escaped
+/// character to itself).
+static void appendEscaped(std::string &Out, unsigned char C) {
+  if (C >= 0x20 && C < 0x7f) {
+    static const char Metacharacters[] = "[]\\-^(){}|*+?.$/";
+    for (const char *M = Metacharacters; *M; ++M)
+      if (C == static_cast<unsigned char>(*M)) {
+        Out.push_back('\\');
+        break;
+      }
+    Out.push_back(static_cast<char>(C));
+    return;
+  }
+  static const char Hex[] = "0123456789abcdef";
+  Out += "\\x";
+  Out.push_back(Hex[C >> 4]);
+  Out.push_back(Hex[C & 15]);
+}
+
+std::string SymbolSet::toString() const {
+  if (empty())
+    return "[]";
+  if (isSingleton()) {
+    std::string Out;
+    appendEscaped(Out, min());
+    return Out;
+  }
+  std::string Out = "[";
+  unsigned C = 0;
+  while (C < NumSymbols) {
+    if (!contains(static_cast<unsigned char>(C))) {
+      ++C;
+      continue;
+    }
+    unsigned Hi = C;
+    while (Hi + 1 < NumSymbols && contains(static_cast<unsigned char>(Hi + 1)))
+      ++Hi;
+    appendEscaped(Out, static_cast<unsigned char>(C));
+    if (Hi > C + 1) {
+      Out.push_back('-');
+      appendEscaped(Out, static_cast<unsigned char>(Hi));
+    } else if (Hi == C + 1) {
+      appendEscaped(Out, static_cast<unsigned char>(Hi));
+    }
+    C = Hi + 1;
+  }
+  Out.push_back(']');
+  return Out;
+}

@@ -1,0 +1,182 @@
+//===- SymbolSet.h - 256-symbol character class -----------------*- C++ -*-===//
+//
+// Part of the mfsa project, an implementation of the CGO 2024 paper
+// "One Automaton to Rule Them All". MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Defines SymbolSet, a fixed 256-bit set over the byte alphabet used to
+/// label automaton transitions. A singleton set models a plain character
+/// transition; a larger set models a POSIX character class such as [a-f0-9].
+/// Merging (paper §III-A) compares transition labels by exact set equality,
+/// so SymbolSet provides cheap equality, hashing, and deterministic ordering.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MFSA_SUPPORT_SYMBOLSET_H
+#define MFSA_SUPPORT_SYMBOLSET_H
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <string>
+
+namespace mfsa {
+
+/// A set of byte symbols (0..255) stored as four 64-bit words.
+///
+/// SymbolSet is the transition-label type throughout the library. It is a
+/// regular value type: cheap to copy, totally ordered, and hashable so it can
+/// seed the merging algorithm's label index.
+class SymbolSet {
+public:
+  static constexpr unsigned NumSymbols = 256;
+  static constexpr unsigned NumWords = NumSymbols / 64;
+
+  /// Creates the empty set.
+  constexpr SymbolSet() : Words{0, 0, 0, 0} {}
+
+  /// Creates a singleton set holding \p Symbol.
+  static SymbolSet singleton(unsigned char Symbol) {
+    SymbolSet S;
+    S.insert(Symbol);
+    return S;
+  }
+
+  /// Creates the set holding every symbol in the inclusive range
+  /// [\p Lo, \p Hi]. Returns the empty set if Lo > Hi.
+  static SymbolSet range(unsigned char Lo, unsigned char Hi) {
+    SymbolSet S;
+    for (unsigned C = Lo; C <= Hi; ++C)
+      S.insert(static_cast<unsigned char>(C));
+    return S;
+  }
+
+  /// Creates the full 256-symbol set (the `.` metacharacter, POSIX
+  /// semantics aside, is modeled as all symbols except '\n' by the parser).
+  static SymbolSet all() {
+    SymbolSet S;
+    S.Words = {~0ULL, ~0ULL, ~0ULL, ~0ULL};
+    return S;
+  }
+
+  /// Creates a set from every byte of \p Chars.
+  static SymbolSet of(const std::string &Chars) {
+    SymbolSet S;
+    for (char C : Chars)
+      S.insert(static_cast<unsigned char>(C));
+    return S;
+  }
+
+  void insert(unsigned char Symbol) {
+    Words[Symbol >> 6] |= 1ULL << (Symbol & 63);
+  }
+
+  void erase(unsigned char Symbol) {
+    Words[Symbol >> 6] &= ~(1ULL << (Symbol & 63));
+  }
+
+  bool contains(unsigned char Symbol) const {
+    return (Words[Symbol >> 6] >> (Symbol & 63)) & 1;
+  }
+
+  bool empty() const {
+    return (Words[0] | Words[1] | Words[2] | Words[3]) == 0;
+  }
+
+  /// \returns the number of symbols in the set.
+  unsigned count() const;
+
+  /// \returns true if the set holds exactly one symbol.
+  bool isSingleton() const { return count() == 1; }
+
+  /// \returns the smallest symbol in the set; requires a non-empty set.
+  unsigned char min() const;
+
+  /// In-place union with \p Other.
+  SymbolSet &operator|=(const SymbolSet &Other) {
+    for (unsigned I = 0; I < NumWords; ++I)
+      Words[I] |= Other.Words[I];
+    return *this;
+  }
+
+  /// In-place intersection with \p Other.
+  SymbolSet &operator&=(const SymbolSet &Other) {
+    for (unsigned I = 0; I < NumWords; ++I)
+      Words[I] &= Other.Words[I];
+    return *this;
+  }
+
+  friend SymbolSet operator|(SymbolSet A, const SymbolSet &B) {
+    return A |= B;
+  }
+  friend SymbolSet operator&(SymbolSet A, const SymbolSet &B) {
+    return A &= B;
+  }
+
+  /// \returns this set widened so every ASCII letter also admits its
+  /// other-case counterpart (case-insensitive matching support).
+  SymbolSet caseFolded() const;
+
+  /// \returns the complement set over the full 256-symbol alphabet.
+  SymbolSet complement() const {
+    SymbolSet S;
+    for (unsigned I = 0; I < NumWords; ++I)
+      S.Words[I] = ~Words[I];
+    return S;
+  }
+
+  /// \returns true if this set and \p Other share at least one symbol.
+  bool intersects(const SymbolSet &Other) const {
+    for (unsigned I = 0; I < NumWords; ++I)
+      if (Words[I] & Other.Words[I])
+        return true;
+    return false;
+  }
+
+  friend bool operator==(const SymbolSet &A, const SymbolSet &B) {
+    return A.Words == B.Words;
+  }
+  friend bool operator!=(const SymbolSet &A, const SymbolSet &B) {
+    return !(A == B);
+  }
+  /// Deterministic lexicographic order on the underlying words, used to keep
+  /// merging and serialization output stable across runs.
+  friend bool operator<(const SymbolSet &A, const SymbolSet &B) {
+    return A.Words < B.Words;
+  }
+
+  /// Stable 64-bit hash suitable for unordered containers.
+  uint64_t hash() const;
+
+  /// Calls \p Fn for every symbol in the set, in increasing order.
+  template <typename CallableT> void forEach(CallableT Fn) const {
+    for (unsigned W = 0; W < NumWords; ++W) {
+      uint64_t Bits = Words[W];
+      while (Bits) {
+        unsigned Bit = static_cast<unsigned>(__builtin_ctzll(Bits));
+        Fn(static_cast<unsigned char>(W * 64 + Bit));
+        Bits &= Bits - 1;
+      }
+    }
+  }
+
+  /// Renders the set as a human-readable label: a bare escaped character for
+  /// singletons, or a bracketed class with ranges (e.g. `[a-f0-9]`).
+  std::string toString() const;
+
+private:
+  std::array<uint64_t, NumWords> Words;
+};
+
+/// Hash functor so SymbolSet can key std::unordered_map.
+struct SymbolSetHash {
+  size_t operator()(const SymbolSet &S) const {
+    return static_cast<size_t>(S.hash());
+  }
+};
+
+} // namespace mfsa
+
+#endif // MFSA_SUPPORT_SYMBOLSET_H

@@ -1,0 +1,61 @@
+//===- ThreadPool.h - fixed-size worker pool --------------------*- C++ -*-===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Defines ThreadPool, the worker pool behind the paper's multi-threaded
+/// evaluation (§VI-C2): "each thread manages different automata
+/// asynchronously, selecting an MFSA at a time from the remaining ones until
+/// all are executed". Tasks are drained from a shared queue by T workers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MFSA_SUPPORT_THREADPOOL_H
+#define MFSA_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mfsa {
+
+/// A fixed-size pool executing queued tasks; wait() blocks until the queue is
+/// drained and all workers are idle. The pool is reusable across batches.
+class ThreadPool {
+public:
+  /// Spawns \p NumThreads workers. NumThreads may exceed the hardware
+  /// concurrency (the paper scales T to 128 on an 8-thread CPU).
+  explicit ThreadPool(unsigned NumThreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues \p Task for execution by any worker.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every submitted task has finished.
+  void wait();
+
+  unsigned numThreads() const { return static_cast<unsigned>(Workers.size()); }
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::queue<std::function<void()>> Tasks;
+  std::mutex Mutex;
+  std::condition_variable TaskAvailable;
+  std::condition_variable AllDone;
+  unsigned ActiveTasks = 0;
+  bool ShuttingDown = false;
+};
+
+} // namespace mfsa
+
+#endif // MFSA_SUPPORT_THREADPOOL_H

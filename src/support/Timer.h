@@ -1,0 +1,85 @@
+//===- Timer.h - wall-clock stage timing ------------------------*- C++ -*-===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Defines Timer and StageTimes for the compilation-stage breakdown of
+/// Fig. 8 (front-end, AST-to-FSA, ME-single, ME-merging, BE) and for the
+/// engine's execution-time measurements (Figs. 9-10).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MFSA_SUPPORT_TIMER_H
+#define MFSA_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace mfsa {
+
+/// Monotonic wall-clock stopwatch measuring elapsed nanoseconds.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { Start = Clock::now(); }
+
+  /// \returns nanoseconds elapsed since construction or the last reset().
+  uint64_t elapsedNs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             Start)
+            .count());
+  }
+
+  /// \returns elapsed time in milliseconds as a double.
+  double elapsedMs() const { return static_cast<double>(elapsedNs()) * 1e-6; }
+
+  /// \returns elapsed time in seconds as a double.
+  double elapsedSec() const { return static_cast<double>(elapsedNs()) * 1e-9; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// Accumulated per-stage wall times for one run of the compilation pipeline,
+/// mirroring the five stages of the paper's Fig. 8.
+struct StageTimes {
+  double FrontEndMs = 0;   ///< Lexical + syntactic analysis (FE).
+  double AstToFsaMs = 0;   ///< Thompson-like construction (AST to FSA).
+  double SingleOptMs = 0;  ///< Per-FSA optimization (ME-single).
+  double MergingMs = 0;    ///< MFSA merging (ME-merging).
+  double BackEndMs = 0;    ///< ANML generation (BE).
+
+  double totalMs() const {
+    return FrontEndMs + AstToFsaMs + SingleOptMs + MergingMs + BackEndMs;
+  }
+
+  StageTimes &operator+=(const StageTimes &O) {
+    FrontEndMs += O.FrontEndMs;
+    AstToFsaMs += O.AstToFsaMs;
+    SingleOptMs += O.SingleOptMs;
+    MergingMs += O.MergingMs;
+    BackEndMs += O.BackEndMs;
+    return *this;
+  }
+
+  /// Divides every stage by \p N; used to average repeated compilations.
+  StageTimes scaledBy(double Factor) const {
+    StageTimes S = *this;
+    S.FrontEndMs *= Factor;
+    S.AstToFsaMs *= Factor;
+    S.SingleOptMs *= Factor;
+    S.MergingMs *= Factor;
+    S.BackEndMs *= Factor;
+    return S;
+  }
+};
+
+} // namespace mfsa
+
+#endif // MFSA_SUPPORT_TIMER_H

@@ -1,0 +1,84 @@
+//===- Clustering.cpp - similarity-driven rule grouping ------------------------===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Clustering.h"
+
+#include "support/Rng.h"
+#include "workload/Indel.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace mfsa;
+
+std::vector<std::vector<uint32_t>>
+mfsa::clusterBySimilarity(const std::vector<std::string> &Patterns,
+                          uint32_t GroupSize) {
+  const uint32_t N = static_cast<uint32_t>(Patterns.size());
+  if (GroupSize == 0 || GroupSize >= N) {
+    std::vector<uint32_t> All(N);
+    for (uint32_t I = 0; I < N; ++I)
+      All[I] = I;
+    return {All};
+  }
+
+  std::vector<bool> Assigned(N, false);
+  std::vector<std::vector<uint32_t>> Groups;
+  uint32_t NextSeed = 0;
+
+  while (true) {
+    while (NextSeed < N && Assigned[NextSeed])
+      ++NextSeed;
+    if (NextSeed == N)
+      break;
+
+    uint32_t Seed = NextSeed;
+    Assigned[Seed] = true;
+    std::vector<uint32_t> Group = {Seed};
+
+    // Rank the remaining rules by similarity to the seed; ties broken by
+    // index for determinism.
+    std::vector<std::pair<double, uint32_t>> Ranked;
+    for (uint32_t I = 0; I < N; ++I)
+      if (!Assigned[I])
+        Ranked.emplace_back(
+            normalizedIndelSimilarity(Patterns[Seed], Patterns[I]), I);
+    std::sort(Ranked.begin(), Ranked.end(),
+              [](const auto &A, const auto &B) {
+                if (A.first != B.first)
+                  return A.first > B.first;
+                return A.second < B.second;
+              });
+    for (const auto &[Similarity, Index] : Ranked) {
+      if (Group.size() >= GroupSize)
+        break;
+      Assigned[Index] = true;
+      Group.push_back(Index);
+    }
+    Groups.push_back(std::move(Group));
+  }
+  return Groups;
+}
+
+std::vector<std::vector<uint32_t>>
+mfsa::randomGrouping(size_t NumPatterns, uint32_t GroupSize, uint64_t Seed) {
+  std::vector<uint32_t> Order(NumPatterns);
+  for (size_t I = 0; I < NumPatterns; ++I)
+    Order[I] = static_cast<uint32_t>(I);
+  Rng Random(Seed);
+  // Fisher-Yates shuffle.
+  for (size_t I = NumPatterns; I > 1; --I)
+    std::swap(Order[I - 1], Order[Random.nextBelow(I)]);
+
+  if (GroupSize == 0 || GroupSize >= NumPatterns)
+    return {Order};
+  std::vector<std::vector<uint32_t>> Groups;
+  for (size_t Begin = 0; Begin < NumPatterns; Begin += GroupSize) {
+    size_t End = std::min(Begin + GroupSize, NumPatterns);
+    Groups.emplace_back(Order.begin() + Begin, Order.begin() + End);
+  }
+  return Groups;
+}

@@ -1,0 +1,45 @@
+//===- Clustering.h - similarity-driven rule grouping -----------*- C++ -*-===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implements the paper's proposed future work (§VIII): "a systematic
+/// similarity RE analysis for possible clustering techniques". Instead of
+/// merging rules in dataset order, rules are grouped by normalized INDEL
+/// similarity of their pattern strings (the Fig. 1 metric) so each group
+/// maximizes shareable morphology. Feed the result to mergeWithGrouping().
+///
+/// The algorithm is greedy seed-and-grow: take the lowest-index unassigned
+/// rule as a seed, then repeatedly pull in the unassigned rule most similar
+/// to the seed until the group reaches the merging factor. Deterministic and
+/// O(N²) similarity computations with the bit-parallel LCS kernel.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MFSA_WORKLOAD_CLUSTERING_H
+#define MFSA_WORKLOAD_CLUSTERING_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mfsa {
+
+/// Groups rule indices by pattern similarity into clusters of size
+/// \p GroupSize (0 = one cluster with everything). The result is a
+/// partition of [0, N) suitable for mergeWithGrouping().
+std::vector<std::vector<uint32_t>>
+clusterBySimilarity(const std::vector<std::string> &Patterns,
+                    uint32_t GroupSize);
+
+/// Random grouping with a deterministic seed — the control arm of the
+/// clustering ablation (sequential and clustered both exploit locality;
+/// random destroys it).
+std::vector<std::vector<uint32_t>>
+randomGrouping(size_t NumPatterns, uint32_t GroupSize, uint64_t Seed);
+
+} // namespace mfsa
+
+#endif // MFSA_WORKLOAD_CLUSTERING_H

@@ -1,0 +1,98 @@
+//===- Datasets.h - calibrated synthetic rulesets ---------------*- C++ -*-===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Declares the synthetic stand-ins for the paper's six benchmark rulesets
+/// (Table I: Bro217, Dotstar09, PowerEN, Protomata, Ranges1,
+/// TCP-ExactMatch). The original files are not redistributable here, so each
+/// dataset is replaced by a seeded generator calibrated to its observable
+/// characteristics — rule count, FSA size, character-class pressure — and to
+/// the intra-dataset morphology that drives the paper's results: rules come
+/// in sequential *families* (variants of a base pattern, like Snort
+/// signature variants) mutated fragment-wise, over a dataset-wide shared
+/// fragment pool. Family siblings give merging at small M something to
+/// share; the bounded pool gives M = all its compression plateau (Fig. 7).
+///
+/// Streams are generated with planted rule matches over noise so execution
+/// exhibits realistic active-set pressure (Table II).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MFSA_WORKLOAD_DATASETS_H
+#define MFSA_WORKLOAD_DATASETS_H
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mfsa {
+
+/// Generation parameters for one synthetic dataset.
+struct DatasetSpec {
+  std::string Name;   ///< Full name, e.g. "Bro217".
+  std::string Abbrev; ///< Paper abbreviation, e.g. "BRO".
+  uint32_t NumRes = 0;
+  uint64_t Seed = 1;
+
+  // Family structure.
+  uint32_t MinFamilySize = 3; ///< Consecutive sibling rules per family.
+  uint32_t MaxFamilySize = 8;
+  double MutationRate = 0.35; ///< Per-fragment chance a sibling diverges.
+
+  /// Probability a family-base fragment is freshly generated (shared within
+  /// the family, unique across the dataset) instead of pool-drawn. This is
+  /// the main lever bounding the M = all compression plateau.
+  double FamilyFreshProb = 0.5;
+
+  /// Probability a sibling mutation is a single-character tweak of a literal
+  /// fragment — near-identical strings that nevertheless cannot merge,
+  /// mirroring real signature variants.
+  double TweakProb = 0.4;
+
+  // Fragment shape.
+  uint32_t PoolSize = 100; ///< Dataset-wide shared fragment pool.
+  uint32_t MinFragments = 3, MaxFragments = 5; ///< Fragments per rule.
+  uint32_t MinFragLen = 3, MaxFragLen = 6;     ///< Literal fragment length.
+
+  // Operator flavour probabilities (per fragment unless noted).
+  double CcFragmentProb = 0.1;  ///< Fragment is a character class.
+  double RangeClassProb = 0.0;  ///< CC rendered as contiguous ranges.
+  double DotStarProb = 0.05;    ///< `.*` connector after a fragment.
+  double AltGroupProb = 0.1;    ///< Fragment is a (x|y) group.
+  double BoundedRepProb = 0.08; ///< Fragment gets a {m,n} quantifier.
+  double AnchorStartProb = 0.0; ///< Per rule: leading '^'.
+
+  // Character-class composition.
+  std::string CcAlphabet = "abcdefghijklmnopqrstuvwxyz0123456789";
+  uint32_t CcPickMin = 2, CcPickMax = 5; ///< Symbols per class.
+
+  std::string LiteralAlphabet =
+      "abcdefghijklmnopqrstuvwxyz0123456789_:/=";
+
+  // Stream planting.
+  double PlantDensity = 0.25; ///< Fraction of stream bytes from rule samples.
+};
+
+/// The six paper datasets, calibrated per Table I (see DESIGN.md §2).
+const std::vector<DatasetSpec> &standardDatasets();
+
+/// Finds a standard dataset by abbreviation ("BRO"); nullptr if unknown.
+const DatasetSpec *findDataset(const std::string &Abbrev);
+
+/// Deterministically generates the dataset's RE patterns.
+std::vector<std::string> generateRuleset(const DatasetSpec &Spec);
+
+/// Deterministically generates a \p Size-byte input stream with matches of
+/// \p Patterns planted at the spec's density. \p SeedSalt varies the stream
+/// for repeated-trial studies.
+std::string generateStream(const DatasetSpec &Spec,
+                           const std::vector<std::string> &Patterns,
+                           size_t Size, uint64_t SeedSalt = 0);
+
+} // namespace mfsa
+
+#endif // MFSA_WORKLOAD_DATASETS_H

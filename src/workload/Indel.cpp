@@ -1,0 +1,115 @@
+//===- Indel.cpp - insertion-deletion similarity ------------------------------===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Indel.h"
+
+#include "support/Rng.h"
+
+#include <algorithm>
+
+using namespace mfsa;
+
+unsigned mfsa::indelDistanceDp(std::string_view A, std::string_view B) {
+  // Two-row DP; deletion/insertion cost 1, substitution not allowed (the
+  // diagonal move is only taken on equal characters).
+  const size_t N = A.size(), M = B.size();
+  std::vector<unsigned> Prev(M + 1), Cur(M + 1);
+  for (size_t J = 0; J <= M; ++J)
+    Prev[J] = static_cast<unsigned>(J);
+  for (size_t I = 1; I <= N; ++I) {
+    Cur[0] = static_cast<unsigned>(I);
+    for (size_t J = 1; J <= M; ++J) {
+      unsigned Best = std::min(Prev[J], Cur[J - 1]) + 1;
+      if (A[I - 1] == B[J - 1])
+        Best = std::min(Best, Prev[J - 1]);
+      Cur[J] = Best;
+    }
+    std::swap(Prev, Cur);
+  }
+  return Prev[M];
+}
+
+unsigned mfsa::lcsLengthBitParallel(std::string_view A, std::string_view B) {
+  if (A.empty() || B.empty())
+    return 0;
+  const size_t NumWords = (A.size() + 63) / 64;
+
+  // Per-symbol position masks over A.
+  std::vector<uint64_t> Masks(256 * NumWords, 0);
+  for (size_t I = 0; I < A.size(); ++I)
+    Masks[static_cast<unsigned char>(A[I]) * NumWords + I / 64] |=
+        1ULL << (I % 64);
+
+  // Hyyrö recurrence: V starts all-ones; per B symbol,
+  //   U = V & M;  V = (V + U) | (V - U)
+  // LCS = number of zero bits of V inside A's window. U ⊆ V word-wise, so
+  // the subtraction never borrows across words; the addition carries.
+  std::vector<uint64_t> V(NumWords, ~0ULL), Sum(NumWords), Diff(NumWords);
+  for (char BC : B) {
+    const uint64_t *M = &Masks[static_cast<unsigned char>(BC) * NumWords];
+    unsigned Carry = 0;
+    for (size_t W = 0; W < NumWords; ++W) {
+      uint64_t U = V[W] & M[W];
+      uint64_t S = V[W] + U;
+      unsigned CarryOut = (S < V[W]) ? 1 : 0;
+      uint64_t S2 = S + Carry;
+      CarryOut |= (S2 < S) ? 1 : 0;
+      Sum[W] = S2;
+      Carry = CarryOut;
+      Diff[W] = V[W] - U;
+    }
+    for (size_t W = 0; W < NumWords; ++W)
+      V[W] = Sum[W] | Diff[W];
+  }
+
+  unsigned Zeros = 0;
+  for (size_t W = 0; W < NumWords; ++W) {
+    uint64_t Window = ~V[W];
+    if (W == NumWords - 1 && A.size() % 64 != 0)
+      Window &= (1ULL << (A.size() % 64)) - 1;
+    Zeros += static_cast<unsigned>(__builtin_popcountll(Window));
+  }
+  return Zeros;
+}
+
+double mfsa::normalizedIndelSimilarity(std::string_view A,
+                                       std::string_view B) {
+  const size_t Total = A.size() + B.size();
+  if (Total == 0)
+    return 1.0;
+  unsigned Lcs = lcsLengthBitParallel(A, B);
+  double Indel = static_cast<double>(Total) - 2.0 * Lcs;
+  return 1.0 - Indel / static_cast<double>(Total);
+}
+
+double mfsa::averagePairSimilarity(const std::vector<std::string> &Strings,
+                                   uint64_t MaxPairs, uint64_t Seed) {
+  const uint64_t N = Strings.size();
+  if (N < 2)
+    return 1.0;
+  const uint64_t AllPairs = N * (N - 1) / 2;
+
+  double Sum = 0;
+  uint64_t Count = 0;
+  if (MaxPairs == 0 || AllPairs <= MaxPairs) {
+    for (uint64_t I = 0; I < N; ++I)
+      for (uint64_t J = I + 1; J < N; ++J) {
+        Sum += normalizedIndelSimilarity(Strings[I], Strings[J]);
+        ++Count;
+      }
+  } else {
+    Rng Random(Seed);
+    for (uint64_t P = 0; P < MaxPairs; ++P) {
+      uint64_t I = Random.nextBelow(N);
+      uint64_t J = Random.nextBelow(N - 1);
+      if (J >= I)
+        ++J;
+      Sum += normalizedIndelSimilarity(Strings[I], Strings[J]);
+      ++Count;
+    }
+  }
+  return Sum / static_cast<double>(Count);
+}

@@ -1,0 +1,48 @@
+//===- Indel.h - insertion-deletion similarity ------------------*- C++ -*-===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Declares the normalized INDEL similarity of the paper's Fig. 1: for two
+/// strings s1, s2 the INDEL (insertion-deletion-only Levenshtein) distance
+/// equals |s1| + |s2| - 2·LCS(s1, s2); the normalized similarity is
+/// 1 - INDEL / (|s1| + |s2|). The paper's worked example (lewenstein vs
+/// levenshtein -> 0.8572) is a unit test.
+///
+/// Two kernels are provided: a textbook O(nm) DP (the testing oracle) and a
+/// Hyyrö-style bit-parallel LCS in O(nm/64) used for whole-dataset sweeps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MFSA_WORKLOAD_INDEL_H
+#define MFSA_WORKLOAD_INDEL_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mfsa {
+
+/// O(nm) DP computing the insertion-deletion distance directly.
+unsigned indelDistanceDp(std::string_view A, std::string_view B);
+
+/// Bit-parallel LCS length (Hyyrö's column-wise recurrence).
+unsigned lcsLengthBitParallel(std::string_view A, std::string_view B);
+
+/// Normalized similarity 1 - INDEL/(|A|+|B|), in [0, 1]; defined as 1 when
+/// both strings are empty. Uses the bit-parallel kernel.
+double normalizedIndelSimilarity(std::string_view A, std::string_view B);
+
+/// Averages normalizedIndelSimilarity over every unordered pair of
+/// \p Strings (the Fig. 1 statistic). \p MaxPairs caps the work by sampling
+/// pairs deterministically with \p Seed when the full count exceeds it;
+/// 0 means exhaustive.
+double averagePairSimilarity(const std::vector<std::string> &Strings,
+                             uint64_t MaxPairs = 0, uint64_t Seed = 1);
+
+} // namespace mfsa
+
+#endif // MFSA_WORKLOAD_INDEL_H

@@ -1,0 +1,67 @@
+//===- Sampler.cpp - random matching-string sampler ---------------------------===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Sampler.h"
+
+#include <cassert>
+
+using namespace mfsa;
+
+/// Picks the K-th (0-based) member of \p Set.
+static unsigned char pickSymbol(const SymbolSet &Set, Rng &Random) {
+  unsigned Count = Set.count();
+  assert(Count > 0 && "sampling from an empty symbol set");
+  unsigned Target = static_cast<unsigned>(Random.nextBelow(Count));
+  unsigned char Picked = 0;
+  unsigned Index = 0;
+  Set.forEach([&](unsigned char C) {
+    if (Index++ == Target)
+      Picked = C;
+  });
+  return Picked;
+}
+
+void mfsa::sampleInto(const AstNode &Node, Rng &Random, std::string &Out,
+                      uint32_t MaxExtraRepeats) {
+  switch (Node.kind()) {
+  case AstKind::Empty:
+    return;
+  case AstKind::Symbols:
+    Out.push_back(static_cast<char>(
+        pickSymbol(static_cast<const SymbolsNode &>(Node).symbols(), Random)));
+    return;
+  case AstKind::Concat:
+    for (const auto &Child : static_cast<const ConcatNode &>(Node).children())
+      sampleInto(*Child, Random, Out, MaxExtraRepeats);
+    return;
+  case AstKind::Alternate: {
+    const auto &Children =
+        static_cast<const AlternateNode &>(Node).children();
+    sampleInto(*Children[Random.nextBelow(Children.size())], Random, Out,
+               MaxExtraRepeats);
+    return;
+  }
+  case AstKind::Repeat: {
+    const auto &R = static_cast<const RepeatNode &>(Node);
+    uint64_t Hi = R.isUnbounded()
+                      ? static_cast<uint64_t>(R.min()) + MaxExtraRepeats
+                      : std::min<uint64_t>(
+                            R.max(),
+                            static_cast<uint64_t>(R.min()) + MaxExtraRepeats);
+    uint64_t Count = Random.nextInRange(R.min(), Hi);
+    for (uint64_t I = 0; I < Count; ++I)
+      sampleInto(R.child(), Random, Out, MaxExtraRepeats);
+    return;
+  }
+  }
+}
+
+std::string mfsa::sampleMatch(const Regex &Re, Rng &Random,
+                              uint32_t MaxExtraRepeats) {
+  std::string Out;
+  sampleInto(*Re.Root, Random, Out, MaxExtraRepeats);
+  return Out;
+}

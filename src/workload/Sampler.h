@@ -1,0 +1,38 @@
+//===- Sampler.h - random matching-string sampler ---------------*- C++ -*-===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Declares sampleMatch(), which draws a random string from a parsed RE's
+/// language by walking the AST: alternations pick a uniform branch,
+/// repetitions pick a count within bounds (capped for unbounded quantifiers),
+/// symbol sets pick a uniform member. The stream generator plants these
+/// samples so executed automata exhibit realistic active-set pressure
+/// (Table II), and property tests use them as guaranteed-positive inputs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MFSA_WORKLOAD_SAMPLER_H
+#define MFSA_WORKLOAD_SAMPLER_H
+
+#include "regex/Ast.h"
+#include "support/Rng.h"
+
+#include <string>
+
+namespace mfsa {
+
+/// Draws one string from L(Re). Unbounded repetitions draw a count in
+/// [min, min + MaxExtraRepeats].
+std::string sampleMatch(const Regex &Re, Rng &Random,
+                        uint32_t MaxExtraRepeats = 4);
+
+/// AST-node flavour used internally and by tests.
+void sampleInto(const AstNode &Node, Rng &Random, std::string &Out,
+                uint32_t MaxExtraRepeats);
+
+} // namespace mfsa
+
+#endif // MFSA_WORKLOAD_SAMPLER_H

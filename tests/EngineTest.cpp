@@ -1,0 +1,366 @@
+//===- EngineTest.cpp - unit + property tests for iMFAnt ---------------------===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Imfant.h"
+#include "engine/Parallel.h"
+
+#include "fsa/Passes.h"
+#include "fsa/Reference.h"
+#include "mfsa/Merge.h"
+#include "regex/Parser.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace mfsa;
+using namespace mfsa::test;
+
+namespace {
+
+/// Compiles + merges patterns and returns the engine-ready MFSA.
+Mfsa mergePatterns(const std::vector<std::string> &Patterns) {
+  std::vector<Nfa> Fsas;
+  std::vector<uint32_t> Ids;
+  for (size_t I = 0; I < Patterns.size(); ++I) {
+    Fsas.push_back(compileOptimized(Patterns[I]));
+    Ids.push_back(static_cast<uint32_t>(I));
+  }
+  return mergeFsas(Fsas, Ids);
+}
+
+/// Runs the engine and returns per-global-rule match-end sets.
+std::map<uint32_t, std::set<size_t>> engineEnds(const Mfsa &Z,
+                                                const std::string &Input) {
+  ImfantEngine Engine(Z);
+  MatchRecorder Recorder(MatchRecorder::Mode::Collect);
+  Engine.run(Input, Recorder);
+  std::map<uint32_t, std::set<size_t>> Ends;
+  for (const auto &[Rule, End] : Recorder.matches())
+    Ends[Rule].insert(static_cast<size_t>(End));
+  return Ends;
+}
+
+/// Oracle ends per rule, from the original patterns.
+std::map<uint32_t, std::set<size_t>>
+oracleEnds(const std::vector<std::string> &Patterns,
+           const std::string &Input) {
+  std::map<uint32_t, std::set<size_t>> Ends;
+  for (size_t I = 0; I < Patterns.size(); ++I) {
+    Result<Regex> Re = parseRegex(Patterns[I]);
+    EXPECT_TRUE(Re.ok()) << Patterns[I];
+    std::set<size_t> E = astMatchEnds(*Re, Input);
+    if (!E.empty())
+      Ends[static_cast<uint32_t>(I)] = E;
+  }
+  return Ends;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Single-rule engine == iNFAnt baseline
+//===----------------------------------------------------------------------===//
+
+TEST(Imfant, SingleRuleBasicMatch) {
+  Mfsa Z = mergePatterns({"abc"});
+  EXPECT_EQ(engineEnds(Z, "zabcabc"),
+            (std::map<uint32_t, std::set<size_t>>{{0, {4, 7}}}));
+  EXPECT_TRUE(engineEnds(Z, "zzzz").empty());
+  EXPECT_TRUE(engineEnds(Z, "").empty());
+}
+
+TEST(Imfant, OverlappingSelfMatches) {
+  Mfsa Z = mergePatterns({"aa"});
+  // "aaaa": matches end at 2, 3, 4 (dedup of simultaneous paths).
+  EXPECT_EQ(engineEnds(Z, "aaaa"),
+            (std::map<uint32_t, std::set<size_t>>{{0, {2, 3, 4}}}));
+  ImfantEngine Engine(Z);
+  MatchRecorder Recorder;
+  Engine.run("aaaa", Recorder);
+  EXPECT_EQ(Recorder.total(), 3u); // not double-counted
+}
+
+TEST(Imfant, ClassesAndRepeats) {
+  Mfsa Z = mergePatterns({"[0-9]{2,3}x"});
+  EXPECT_EQ(engineEnds(Z, "a12x34xb"),
+            (std::map<uint32_t, std::set<size_t>>{{0, {4, 7}}}));
+  EXPECT_EQ(engineEnds(Z, "123x"),
+            (std::map<uint32_t, std::set<size_t>>{{0, {4}}}));
+  EXPECT_TRUE(engineEnds(Z, "1x").empty());
+}
+
+TEST(Imfant, AnchoredRules) {
+  Mfsa Z = mergePatterns({"^ab", "ab$", "ab"});
+  auto Ends = engineEnds(Z, "abxab");
+  EXPECT_EQ(Ends[0], (std::set<size_t>{2}));    // ^ab only at offset 0
+  EXPECT_EQ(Ends[1], (std::set<size_t>{5}));    // ab$ only at stream end
+  EXPECT_EQ(Ends[2], (std::set<size_t>{2, 5})); // unanchored both
+}
+
+//===----------------------------------------------------------------------===//
+// Paper worked examples
+//===----------------------------------------------------------------------===//
+
+TEST(Imfant, Figure3ActivationTrace) {
+  // a1 = bcdegh, a2 = def (Fig. 3).
+  Mfsa Z = mergePatterns({"bcdegh", "def"});
+  // s1 = degh: a2 activates on d,e then dies on g; no matches at all.
+  EXPECT_TRUE(engineEnds(Z, "degh").empty());
+  // s2 = bcdef: a2 matches def (end 5); a1 dies at f.
+  EXPECT_EQ(engineEnds(Z, "bcdef"),
+            (std::map<uint32_t, std::set<size_t>>{{1, {5}}}));
+  // Full a1 match for completeness.
+  EXPECT_EQ(engineEnds(Z, "bcdegh"),
+            (std::map<uint32_t, std::set<size_t>>{{0, {6}}}));
+}
+
+TEST(Imfant, Figure6MatchingProcedure) {
+  // a1 = (ad|cb)ab, a2 = a(b|c); input acbab yields ac and ab for a2 and
+  // cbab for a1 — three matches (§V).
+  Mfsa Z = mergePatterns({"(ad|cb)ab", "a(b|c)"});
+  auto Ends = engineEnds(Z, "acbab");
+  EXPECT_EQ(Ends[0], (std::set<size_t>{5}));    // cbab
+  EXPECT_EQ(Ends[1], (std::set<size_t>{2, 5})); // ac, ab
+  ImfantEngine Engine(Z);
+  MatchRecorder Recorder;
+  Engine.run("acbab", Recorder);
+  EXPECT_EQ(Recorder.total(), 3u);
+}
+
+TEST(Imfant, NoFalsePositivesAcrossMergedRules) {
+  // The Fig. 2 hazard: merged z1,2 must NOT accept kjaglm (a path mixing
+  // a2's prefix with a1's suffix) for either rule.
+  std::vector<std::string> Patterns = {"a[gj](lm|cd)", "kja[gj]cd"};
+  Mfsa Z = mergePatterns(Patterns);
+  auto Ends = engineEnds(Z, "kjaglm");
+  // Oracle: a1 = a[gj](lm|cd) matches "aglm" (ends at 6) inside the input!
+  // So rule 0 legitimately matches; rule 1 must not.
+  auto Expected = oracleEnds(Patterns, "kjaglm");
+  EXPECT_EQ(Ends, Expected);
+  EXPECT_EQ(Ends.count(1), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Equivalence with per-rule oracles (the core correctness property)
+//===----------------------------------------------------------------------===//
+
+TEST(Imfant, MergedEqualsPerRuleOracleOnPlantedInput) {
+  std::vector<std::string> Patterns = {"user=admin", "user=root",
+                                       "user=[a-z]+x", "pass(wd)?=",
+                                       "user=admin"}; // duplicate rule
+  Mfsa Z = mergePatterns(Patterns);
+  std::string Input = "zzuser=adminzzpass=zzuser=aaaxpasswd=user=rootz";
+  EXPECT_EQ(engineEnds(Z, Input), oracleEnds(Patterns, Input));
+}
+
+class ImfantAgainstOracle : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ImfantAgainstOracle, RandomRulesetsRandomInputs) {
+  Rng Random(GetParam());
+  std::vector<std::string> Patterns;
+  unsigned Count = 2 + Random.nextBelow(5);
+  for (unsigned I = 0; I < Count; ++I)
+    Patterns.push_back(randomPattern(Random));
+  Mfsa Z = mergePatterns(Patterns);
+  ASSERT_EQ(Z.verify(), "");
+  ImfantEngine Engine(Z);
+  for (int Trial = 0; Trial < 8; ++Trial) {
+    std::string Input = randomInput(Random, 20);
+    EXPECT_EQ(engineEnds(Z, Input), oracleEnds(Patterns, Input))
+        << "input " << Input;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ImfantAgainstOracle,
+                         ::testing::Values(101, 103, 107, 109, 113, 127, 131,
+                                           137, 139, 149, 151, 157));
+
+TEST(Imfant, MergingFactorInvariance) {
+  // The same ruleset merged at M = 1, 2, 3, all must report identical
+  // matches.
+  std::vector<std::string> Patterns = {"ab+c", "abc", "a[bc]{2}",
+                                       "c(a|b)c",  "bca"};
+  std::vector<Nfa> Fsas;
+  for (const std::string &P : Patterns)
+    Fsas.push_back(compileOptimized(P));
+
+  Rng Random(777);
+  for (int Trial = 0; Trial < 5; ++Trial) {
+    std::string Input = randomInput(Random, 40);
+    std::map<uint32_t, std::set<size_t>> Reference =
+        oracleEnds(Patterns, Input);
+    for (uint32_t M : {1u, 2u, 3u, 0u}) {
+      std::vector<Mfsa> Groups = mergeInGroups(Fsas, M);
+      std::map<uint32_t, std::set<size_t>> Combined;
+      for (const Mfsa &Z : Groups)
+        for (auto &[Rule, Ends] : engineEnds(Z, Input))
+          Combined[Rule].insert(Ends.begin(), Ends.end());
+      EXPECT_EQ(Combined, Reference) << "M=" << M << " input " << Input;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Run statistics (Table II)
+//===----------------------------------------------------------------------===//
+
+TEST(Imfant, RunStatsActiveRules) {
+  Mfsa Z = mergePatterns({"aaaa", "aaab"});
+  ImfantEngine Engine(Z);
+  MatchRecorder Recorder;
+  RunStats Stats;
+  Engine.run("aaaaa", Recorder, &Stats);
+  EXPECT_EQ(Stats.Steps, 5u);
+  // Shared prefix keeps both rules active most steps.
+  EXPECT_GE(Stats.MaxActiveRules, 2u);
+  EXPECT_GT(Stats.AvgActiveRules, 0.0);
+  EXPECT_GT(Stats.TransitionsEvaluated, 0u);
+}
+
+TEST(Imfant, StatsDoNotChangeMatches) {
+  Mfsa Z = mergePatterns({"ab", "b+"});
+  MatchRecorder WithStats(MatchRecorder::Mode::Collect);
+  MatchRecorder WithoutStats(MatchRecorder::Mode::Collect);
+  RunStats Stats;
+  ImfantEngine Engine(Z);
+  Engine.run("abbb", WithStats, &Stats);
+  Engine.run("abbb", WithoutStats);
+  EXPECT_EQ(WithStats.matches(), WithoutStats.matches());
+}
+
+//===----------------------------------------------------------------------===//
+// MatchRecorder modes
+//===----------------------------------------------------------------------===//
+
+TEST(MatchRecorder, CountOnlySkipsPairs) {
+  MatchRecorder Recorder(MatchRecorder::Mode::CountOnly);
+  Recorder.onMatch(3, 10);
+  Recorder.onMatch(3, 11);
+  Recorder.onMatch(5, 12);
+  EXPECT_EQ(Recorder.total(), 3u);
+  EXPECT_TRUE(Recorder.matches().empty());
+  ASSERT_GE(Recorder.perRule().size(), 6u);
+  EXPECT_EQ(Recorder.perRule()[3], 2u);
+  EXPECT_EQ(Recorder.perRule()[5], 1u);
+}
+
+TEST(MatchRecorder, CollectHonoursCap) {
+  MatchRecorder Recorder(MatchRecorder::Mode::Collect);
+  Recorder.Cap = 2;
+  Recorder.onMatch(0, 1);
+  Recorder.onMatch(0, 2);
+  Recorder.onMatch(0, 3);
+  EXPECT_EQ(Recorder.total(), 3u);
+  EXPECT_EQ(Recorder.matches().size(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel executor
+//===----------------------------------------------------------------------===//
+
+TEST(Parallel, MatchesEqualSequential) {
+  std::vector<std::string> Patterns = {"abc", "bcd", "cde", "dea", "eab",
+                                       "ab",  "bc",  "cd"};
+  std::vector<Nfa> Fsas;
+  for (const std::string &P : Patterns)
+    Fsas.push_back(compileOptimized(P));
+  std::vector<Mfsa> Groups = mergeInGroups(Fsas, 2);
+  std::vector<ImfantEngine> Engines;
+  for (const Mfsa &Z : Groups)
+    Engines.emplace_back(Z);
+
+  Rng Random(4242);
+  std::string Input = randomInput(Random, 500);
+
+  // Sequential reference.
+  uint64_t SequentialTotal = 0;
+  for (const ImfantEngine &Engine : Engines) {
+    MatchRecorder Recorder;
+    Engine.run(Input, Recorder);
+    SequentialTotal += Recorder.total();
+  }
+
+  for (unsigned Threads : {1u, 2u, 4u, 9u}) {
+    std::vector<MatchRecorder> Recorders(Engines.size());
+    ParallelRunResult Result =
+        runParallel(Engines, Input, Threads, &Recorders);
+    EXPECT_EQ(Result.TotalMatches, SequentialTotal) << Threads << " threads";
+    EXPECT_GT(Result.WallSeconds, 0.0);
+  }
+}
+
+TEST(Parallel, MoreEnginesThanThreadsAllRun) {
+  std::vector<Nfa> Fsas;
+  for (int I = 0; I < 17; ++I)
+    Fsas.push_back(compileOptimized("x"));
+  std::vector<Mfsa> Groups = mergeInGroups(Fsas, 1);
+  std::vector<ImfantEngine> Engines;
+  for (const Mfsa &Z : Groups)
+    Engines.emplace_back(Z);
+  std::vector<MatchRecorder> Recorders(Engines.size());
+  ParallelRunResult Result = runParallel(Engines, "xx", 3, &Recorders);
+  EXPECT_EQ(Result.TotalMatches, 17u * 2u);
+  for (const MatchRecorder &R : Recorders)
+    EXPECT_EQ(R.total(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Engine preprocessing
+//===----------------------------------------------------------------------===//
+
+TEST(Imfant, FootprintGrowsWithAutomaton) {
+  Mfsa Small = mergePatterns({"ab"});
+  Mfsa Large = mergePatterns({"abcdefghij", "jihgfedcba", "[a-z]{4}x"});
+  EXPECT_GT(ImfantEngine(Large).footprintBytes(),
+            ImfantEngine(Small).footprintBytes());
+}
+
+//===----------------------------------------------------------------------===//
+// Activation tracing agrees with the engine
+//===----------------------------------------------------------------------===//
+
+#include "engine/Trace.h"
+
+TEST(Trace, MatchesAgreeWithEngine) {
+  Rng Random(1234);
+  for (int Round = 0; Round < 6; ++Round) {
+    std::vector<std::string> Patterns;
+    unsigned Count = 2 + Random.nextBelow(3);
+    for (unsigned I = 0; I < Count; ++I)
+      Patterns.push_back(randomPattern(Random));
+    Mfsa Z = mergePatterns(Patterns);
+    ImfantEngine Engine(Z);
+    for (int Trial = 0; Trial < 4; ++Trial) {
+      std::string Input = randomInput(Random, 18);
+      // Engine view.
+      MatchRecorder Recorder(MatchRecorder::Mode::Collect);
+      Engine.run(Input, Recorder);
+      std::multiset<std::pair<uint32_t, uint64_t>> FromEngine(
+          Recorder.matches().begin(), Recorder.matches().end());
+      // Trace view.
+      std::multiset<std::pair<uint32_t, uint64_t>> FromTrace;
+      for (const TraceStep &Step : traceActivation(Z, Input))
+        for (const auto &[Rule, GlobalId] : Step.Matches)
+          FromTrace.emplace(GlobalId, Step.Offset);
+      EXPECT_EQ(FromEngine, FromTrace) << Input;
+    }
+  }
+}
+
+TEST(Trace, FormatShowsActivationSets) {
+  Mfsa Z = mergePatterns({"ab", "ac"});
+  std::string Text = formatTrace(Z, "ab");
+  EXPECT_NE(Text.find("J={"), std::string::npos);
+  EXPECT_NE(Text.find("match: rule 0"), std::string::npos);
+}
+
+TEST(Trace, EmptyInputEmptyTrace) {
+  Mfsa Z = mergePatterns({"ab"});
+  EXPECT_TRUE(traceActivation(Z, "").empty());
+}

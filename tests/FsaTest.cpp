@@ -1,0 +1,351 @@
+//===- FsaTest.cpp - unit + property tests for the FSA middle-end ------------===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fsa/Builder.h"
+#include "fsa/Nfa.h"
+#include "fsa/Passes.h"
+#include "fsa/Reference.h"
+#include "regex/Parser.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace mfsa;
+using namespace mfsa::test;
+
+//===----------------------------------------------------------------------===//
+// Nfa model basics
+//===----------------------------------------------------------------------===//
+
+TEST(Nfa, AddAndQuery) {
+  Nfa A;
+  StateId S0 = A.addState();
+  StateId S1 = A.addState();
+  A.setInitial(S0);
+  A.addFinal(S1);
+  A.addTransition(S0, S1, SymbolSet::singleton('x'));
+  EXPECT_EQ(A.numStates(), 2u);
+  EXPECT_EQ(A.numTransitions(), 1u);
+  EXPECT_TRUE(A.isFinal(S1));
+  EXPECT_FALSE(A.isFinal(S0));
+  EXPECT_FALSE(A.hasEpsilons());
+  A.addTransition(S0, S0, SymbolSet());
+  EXPECT_TRUE(A.hasEpsilons());
+}
+
+TEST(Nfa, CanonicalizeSortsAndDedupes) {
+  Nfa A;
+  StateId S0 = A.addState();
+  StateId S1 = A.addState();
+  A.addTransition(S1, S0, SymbolSet::singleton('b'));
+  A.addTransition(S0, S1, SymbolSet::singleton('a'));
+  A.addTransition(S0, S1, SymbolSet::singleton('a')); // duplicate
+  A.addFinal(S1);
+  A.addFinal(S1);
+  A.canonicalize();
+  EXPECT_EQ(A.numTransitions(), 2u);
+  EXPECT_EQ(A.finals().size(), 1u);
+  EXPECT_EQ(A.transitions()[0].From, S0);
+}
+
+TEST(Nfa, StatsCountCcTransitions) {
+  Nfa A;
+  StateId S0 = A.addState();
+  StateId S1 = A.addState();
+  A.addTransition(S0, S1, SymbolSet::singleton('a'));
+  A.addTransition(S0, S1, SymbolSet::range('0', '9'));
+  NfaStats S = computeStats(A);
+  EXPECT_EQ(S.NumStates, 2u);
+  EXPECT_EQ(S.NumTransitions, 2u);
+  EXPECT_EQ(S.NumCcTransitions, 1u);
+  EXPECT_EQ(S.TotalCcLength, 10u);
+}
+
+TEST(Nfa, DotOutputMentionsStates) {
+  Nfa A;
+  StateId S0 = A.addState();
+  StateId S1 = A.addState();
+  A.setInitial(S0);
+  A.addFinal(S1);
+  A.addTransition(S0, S1, SymbolSet::singleton('q'));
+  std::string Dot = writeDot(A, "t");
+  EXPECT_NE(Dot.find("digraph"), std::string::npos);
+  EXPECT_NE(Dot.find("0 -> 1"), std::string::npos);
+  EXPECT_NE(Dot.find("doublecircle"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Thompson construction
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Nfa buildFor(const std::string &Pattern, BuildOptions Options = {}) {
+  Result<Regex> Re = parseRegex(Pattern);
+  EXPECT_TRUE(Re.ok()) << Pattern;
+  Result<Nfa> A = buildNfa(*Re, Options);
+  EXPECT_TRUE(A.ok()) << Pattern;
+  return A.take();
+}
+
+/// Shorthand: simulate the ε-NFA built from Pattern over Input.
+std::set<size_t> nfaEnds(const std::string &Pattern,
+                         const std::string &Input) {
+  return simulateNfa(buildFor(Pattern), Input);
+}
+
+/// Shorthand: AST-oracle ends.
+std::set<size_t> astEnds(const std::string &Pattern,
+                         const std::string &Input) {
+  Result<Regex> Re = parseRegex(Pattern);
+  EXPECT_TRUE(Re.ok()) << Pattern;
+  return astMatchEnds(*Re, Input);
+}
+
+} // namespace
+
+TEST(Builder, SingleSymbol) {
+  Nfa A = buildFor("a");
+  EXPECT_EQ(A.numStates(), 2u);
+  EXPECT_EQ(A.numTransitions(), 1u);
+  EXPECT_FALSE(A.hasEpsilons());
+}
+
+TEST(Builder, ConcatAlternateProduceEpsilons) {
+  Nfa A = buildFor("ab|c");
+  EXPECT_TRUE(A.hasEpsilons());
+  EXPECT_EQ(simulateNfa(A, "xabx"), (std::set<size_t>{3}));
+  EXPECT_EQ(simulateNfa(A, "c"), (std::set<size_t>{1}));
+}
+
+TEST(Builder, BoundedRepeatExpansion) {
+  // a{2,4} on "aaaaa": ends wherever 2..4 consecutive a's finish.
+  EXPECT_EQ(nfaEnds("a{2,4}", "aaaaa"), (std::set<size_t>{2, 3, 4, 5}));
+  EXPECT_EQ(nfaEnds("a{3}", "aaa"), (std::set<size_t>{3}));
+  EXPECT_EQ(nfaEnds("a{3}", "aa"), (std::set<size_t>{}));
+  EXPECT_EQ(nfaEnds("(ab){2}", "abab"), (std::set<size_t>{4}));
+}
+
+TEST(Builder, UnboundedRepeats) {
+  EXPECT_EQ(nfaEnds("ab*", "abbb"), (std::set<size_t>{1, 2, 3, 4}));
+  EXPECT_EQ(nfaEnds("ab+", "abbb"), (std::set<size_t>{2, 3, 4}));
+  EXPECT_EQ(nfaEnds("a{2,}", "aaaa"),
+            (std::set<size_t>{2, 3, 4})); // every run of >= 2
+  EXPECT_EQ(nfaEnds("(ab){2,}", "ababab"), (std::set<size_t>{4, 6}));
+}
+
+TEST(Builder, RepeatBoundCapRejected) {
+  BuildOptions Options;
+  Options.MaxRepeatBound = 10;
+  Result<Regex> Re = parseRegex("a{3,11}");
+  ASSERT_TRUE(Re.ok());
+  Result<Nfa> A = buildNfa(*Re, Options);
+  EXPECT_FALSE(A.ok());
+  EXPECT_NE(A.diag().Message.find("MaxRepeatBound"), std::string::npos);
+}
+
+TEST(Builder, CompactLoopModeOverapproximates) {
+  // Ablation mode: a{2,3} degrades to a+; the language is a superset.
+  BuildOptions Compact;
+  Compact.ExpandBoundedRepeats = false;
+  Result<Regex> Re = parseRegex("xa{2,3}y");
+  ASSERT_TRUE(Re.ok());
+  Result<Nfa> A = buildNfa(*Re, Compact);
+  ASSERT_TRUE(A.ok());
+  // Exact matches still match...
+  EXPECT_EQ(simulateNfa(*A, "xaay"), (std::set<size_t>{4}));
+  // ...and so does the over-approximated count (documented deviation).
+  EXPECT_EQ(simulateNfa(*A, "xay"), (std::set<size_t>{3}));
+  // Expanded mode is exact.
+  EXPECT_EQ(nfaEnds("xa{2,3}y", "xay"), (std::set<size_t>{}));
+}
+
+TEST(Builder, CompactLoopHasFewerStates) {
+  BuildOptions Compact;
+  Compact.ExpandBoundedRepeats = false;
+  Result<Regex> Re = parseRegex("(fg){2,8}");
+  ASSERT_TRUE(Re.ok());
+  Result<Nfa> Expanded = buildNfa(*Re);
+  Result<Nfa> Loop = buildNfa(*Re, Compact);
+  ASSERT_TRUE(Expanded.ok());
+  ASSERT_TRUE(Loop.ok());
+  EXPECT_GT(Expanded->numStates(), Loop->numStates());
+}
+
+TEST(Builder, AnchorsCarriedToAutomaton) {
+  Nfa A = buildFor("^ab$");
+  EXPECT_TRUE(A.anchoredStart());
+  EXPECT_TRUE(A.anchoredEnd());
+  EXPECT_EQ(simulateNfa(A, "ab"), (std::set<size_t>{2}));
+  EXPECT_EQ(simulateNfa(A, "xab"), (std::set<size_t>{})); // not at start
+  EXPECT_EQ(simulateNfa(A, "abx"), (std::set<size_t>{})); // not at end
+}
+
+//===----------------------------------------------------------------------===//
+// Reference oracles agree with hand-computed cases
+//===----------------------------------------------------------------------===//
+
+TEST(Oracle, HandComputedCases) {
+  EXPECT_EQ(astEnds("abc", "zabcabc"), (std::set<size_t>{4, 7}));
+  EXPECT_EQ(astEnds("a|ab", "ab"), (std::set<size_t>{1, 2}));
+  EXPECT_EQ(astEnds("a*", "aa"), (std::set<size_t>{1, 2}));   // non-empty only
+  EXPECT_EQ(astEnds("a?", "b"), (std::set<size_t>{}));        // ε not reported
+  EXPECT_EQ(astEnds("(a|b){2}", "ab"), (std::set<size_t>{2}));
+  EXPECT_EQ(astEnds("", "abc"), (std::set<size_t>{}));        // ε-only RE
+}
+
+TEST(Oracle, EpsilonHeavyRepeatTermination) {
+  // (a?)* and (a?){3,} have ε-matching bodies; the fixpoint must terminate
+  // and still report the non-empty matches.
+  EXPECT_EQ(astEnds("(a?)*", "aa"), (std::set<size_t>{1, 2}));
+  EXPECT_EQ(astEnds("(a?){3,}", "a"), (std::set<size_t>{1}));
+  EXPECT_EQ(nfaEnds("(a?)*", "aa"), (std::set<size_t>{1, 2}));
+}
+
+TEST(Oracle, AnchoredSemantics) {
+  Result<Regex> Re = parseRegex("^ab");
+  ASSERT_TRUE(Re.ok());
+  EXPECT_EQ(astMatchEnds(*Re, "abab"), (std::set<size_t>{2}));
+  Result<Regex> ReEnd = parseRegex("ab$");
+  ASSERT_TRUE(ReEnd.ok());
+  EXPECT_EQ(astMatchEnds(*ReEnd, "abab"), (std::set<size_t>{4}));
+}
+
+//===----------------------------------------------------------------------===//
+// Optimization passes preserve the language
+//===----------------------------------------------------------------------===//
+
+TEST(Passes, EpsilonRemovalPreservesLanguage) {
+  const char *Patterns[] = {"ab|cd", "(a|b)*c", "a{2,4}b?", "x.*y",
+                            "(ab)+|c{3}"};
+  const char *Inputs[] = {"abcd", "ababcc", "aaaab", "xzzy", "ababccc"};
+  for (const char *Pattern : Patterns) {
+    Nfa Raw = buildFor(Pattern);
+    Nfa Clean = removeEpsilons(Raw);
+    EXPECT_FALSE(Clean.hasEpsilons());
+    for (const char *Input : Inputs)
+      EXPECT_EQ(simulateNfa(Raw, Input), simulateNfa(Clean, Input))
+          << Pattern << " on " << Input;
+  }
+}
+
+TEST(Passes, FoldMultiplicityMergesParallelArcs) {
+  // (a|b|c) folds to one [abc] arc (Fig. 5b): alternation exits are
+  // bisimilar, merging them turns the branches into parallel arcs which
+  // foldMultiplicity unions into a class.
+  Nfa Final = optimizeForMerging(buildFor("(a|b|c)x"));
+  // After the full pipeline: states {0,1,2}, arcs 0-[abc]->1, 1-x->2.
+  EXPECT_EQ(Final.numStates(), 3u);
+  EXPECT_EQ(Final.numTransitions(), 2u);
+  bool FoundClass = false;
+  for (const Transition &T : Final.transitions())
+    if (T.Label == SymbolSet::of("abc"))
+      FoundClass = true;
+  EXPECT_TRUE(FoundClass);
+}
+
+TEST(Passes, BisimulationMergesEquivalentExits) {
+  // a(x|y)z: both branch exits behave identically (single z arc to final).
+  Nfa NoEps = removeEpsilons(buildFor("a(x|y)z"));
+  Nfa Merged = mergeBisimilarStates(NoEps);
+  EXPECT_LT(Merged.numStates(), NoEps.numStates());
+  // Language unchanged.
+  EXPECT_EQ(simulateNfa(Merged, "baxzc"), (std::set<size_t>{4}));
+  EXPECT_EQ(simulateNfa(Merged, "ayz"), (std::set<size_t>{3}));
+  EXPECT_EQ(simulateNfa(Merged, "az"), (std::set<size_t>{}));
+}
+
+TEST(Passes, BisimulationKeepsDistinctFutures) {
+  // xa vs yb: the states after x and after y have different futures and
+  // must not merge.
+  Nfa Final = optimizeForMerging(buildFor("xa|yb"));
+  EXPECT_EQ(simulateNfa(Final, "xa"), (std::set<size_t>{2}));
+  EXPECT_EQ(simulateNfa(Final, "xb"), (std::set<size_t>{}));
+  EXPECT_EQ(simulateNfa(Final, "yb"), (std::set<size_t>{2}));
+  EXPECT_EQ(simulateNfa(Final, "ya"), (std::set<size_t>{}));
+}
+
+TEST(Passes, CompactDropsUnreachableAndDead) {
+  Nfa A;
+  StateId S0 = A.addState();
+  StateId S1 = A.addState();
+  StateId Dead = A.addState();        // reachable, no path to final
+  StateId Unreachable = A.addState(); // not reachable at all
+  A.setInitial(S0);
+  A.addFinal(S1);
+  A.addTransition(S0, S1, SymbolSet::singleton('a'));
+  A.addTransition(S0, Dead, SymbolSet::singleton('b'));
+  A.addTransition(Unreachable, S1, SymbolSet::singleton('c'));
+  Nfa Out = compactReachable(A);
+  EXPECT_EQ(Out.numStates(), 2u);
+  EXPECT_EQ(Out.numTransitions(), 1u);
+}
+
+TEST(Passes, CompactKeepsInitialForEmptyLanguage) {
+  Nfa A;
+  StateId S0 = A.addState();
+  A.addState();
+  A.setInitial(S0);
+  // No finals at all.
+  Nfa Out = compactReachable(A);
+  EXPECT_EQ(Out.numStates(), 1u);
+  EXPECT_TRUE(Out.finals().empty());
+  EXPECT_TRUE(simulateNfa(Out, "abc").empty());
+}
+
+TEST(Passes, FullPipelinePreservesLanguageOnSamples) {
+  const char *Patterns[] = {"ab|cd",       "(a|b)*cc",  "a{2,4}[bc]?",
+                            "x.*y",        "(ab)+|c{3}", "[a-d]{2}e",
+                            "(a|b|c)(d|e)", "a+b+c+"};
+  Rng Random(99);
+  for (const char *Pattern : Patterns) {
+    Nfa Raw = buildFor(Pattern);
+    Nfa Optimized = optimizeForMerging(Raw);
+    EXPECT_FALSE(Optimized.hasEpsilons());
+    for (int Trial = 0; Trial < 20; ++Trial) {
+      std::string Input = randomInput(Random, 24);
+      EXPECT_EQ(simulateNfa(Raw, Input), simulateNfa(Optimized, Input))
+          << Pattern << " on " << Input;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Property tests: AST oracle == ε-NFA simulation == optimized simulation
+//===----------------------------------------------------------------------===//
+
+struct OracleAgreementParam {
+  uint64_t Seed;
+};
+
+class OracleAgreement : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OracleAgreement, RandomPatternsAgreeAcrossLayers) {
+  Rng Random(GetParam());
+  for (int Round = 0; Round < 12; ++Round) {
+    std::string Pattern = randomPattern(Random);
+    Result<Regex> Re = parseRegex(Pattern);
+    ASSERT_TRUE(Re.ok()) << Pattern;
+    Result<Nfa> Built = buildNfa(*Re);
+    ASSERT_TRUE(Built.ok()) << Pattern;
+    Nfa Optimized = optimizeForMerging(*Built);
+    for (int Trial = 0; Trial < 6; ++Trial) {
+      std::string Input = randomInput(Random, 16);
+      std::set<size_t> FromAst = astMatchEnds(*Re, Input);
+      std::set<size_t> FromRaw = simulateNfa(*Built, Input);
+      std::set<size_t> FromOpt = simulateNfa(Optimized, Input);
+      EXPECT_EQ(FromAst, FromRaw) << Pattern << " on " << Input << " ast "
+                                  << formatEnds(FromAst) << " raw "
+                                  << formatEnds(FromRaw);
+      EXPECT_EQ(FromRaw, FromOpt) << Pattern << " on " << Input;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleAgreement,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89,
+                                           144, 233));

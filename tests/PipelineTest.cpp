@@ -1,0 +1,114 @@
+//===- PipelineTest.cpp - tests for the compilation framework ----------------===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Pipeline.h"
+
+#include "anml/Anml.h"
+#include "engine/Imfant.h"
+#include "fsa/Reference.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace mfsa;
+using namespace mfsa::test;
+
+TEST(Pipeline, ProducesAllStageArtifacts) {
+  std::vector<std::string> Patterns = {"abc", "ab[cd]", "a.*z", "x{2,4}y"};
+  CompileOptions Options;
+  Options.MergingFactor = 2;
+  Result<CompileArtifacts> Artifacts = compileRuleset(Patterns, Options);
+  ASSERT_TRUE(Artifacts.ok());
+  EXPECT_EQ(Artifacts->Asts.size(), 4u);
+  EXPECT_EQ(Artifacts->RawFsas.size(), 4u);
+  EXPECT_EQ(Artifacts->OptimizedFsas.size(), 4u);
+  EXPECT_EQ(Artifacts->Mfsas.size(), 2u); // ceil(4/2)
+  EXPECT_EQ(Artifacts->AnmlDocs.size(), 2u);
+  for (const Nfa &A : Artifacts->OptimizedFsas)
+    EXPECT_FALSE(A.hasEpsilons());
+  for (const Mfsa &Z : Artifacts->Mfsas)
+    EXPECT_EQ(Z.verify(), "");
+  // Stage times are populated (>= 0 and total consistent).
+  EXPECT_GE(Artifacts->Times.totalMs(), 0.0);
+}
+
+TEST(Pipeline, MergingFactorZeroYieldsOneMfsa) {
+  std::vector<std::string> Patterns = {"aa", "bb", "cc", "dd", "ee"};
+  CompileOptions Options;
+  Options.MergingFactor = 0;
+  Result<CompileArtifacts> Artifacts = compileRuleset(Patterns, Options);
+  ASSERT_TRUE(Artifacts.ok());
+  ASSERT_EQ(Artifacts->Mfsas.size(), 1u);
+  EXPECT_EQ(Artifacts->Mfsas[0].numRules(), 5u);
+}
+
+TEST(Pipeline, ReportsRuleIndexOnParseError) {
+  std::vector<std::string> Patterns = {"ok", "als(o", "fine"};
+  Result<CompileArtifacts> Artifacts = compileRuleset(Patterns);
+  ASSERT_FALSE(Artifacts.ok());
+  EXPECT_NE(Artifacts.diag().Message.find("rule 1"), std::string::npos);
+}
+
+TEST(Pipeline, ReportsRuleIndexOnBuildError) {
+  CompileOptions Options;
+  Options.Build.MaxRepeatBound = 4;
+  std::vector<std::string> Patterns = {"ok", "a{9}"};
+  Result<CompileArtifacts> Artifacts = compileRuleset(Patterns, Options);
+  ASSERT_FALSE(Artifacts.ok());
+  EXPECT_NE(Artifacts.diag().Message.find("rule 1"), std::string::npos);
+}
+
+TEST(Pipeline, AnmlCanBeSkipped) {
+  CompileOptions Options;
+  Options.EmitAnml = false;
+  Result<CompileArtifacts> Artifacts = compileRuleset({"ab"}, Options);
+  ASSERT_TRUE(Artifacts.ok());
+  EXPECT_TRUE(Artifacts->AnmlDocs.empty());
+  EXPECT_EQ(Artifacts->Times.BackEndMs, 0.0);
+}
+
+TEST(Pipeline, AnmlDocsRoundTripToWorkingEngines) {
+  std::vector<std::string> Patterns = {"foo[0-9]+", "foobar", "barfoo"};
+  CompileOptions Options;
+  Options.MergingFactor = 0;
+  Result<CompileArtifacts> Artifacts = compileRuleset(Patterns, Options);
+  ASSERT_TRUE(Artifacts.ok());
+  Result<Mfsa> Z = readAnml(Artifacts->AnmlDocs[0]);
+  ASSERT_TRUE(Z.ok());
+  ImfantEngine Engine(*Z);
+  MatchRecorder Recorder(MatchRecorder::Mode::Collect);
+  Engine.run("xfoobarfoo42", Recorder);
+  // foobar ends at 7; barfoo ends at 10; foo42... foo[0-9]+ ends at 11, 12.
+  EXPECT_EQ(Recorder.total(), 4u);
+}
+
+TEST(Pipeline, EndToEndMatchesOracle) {
+  std::vector<std::string> Patterns = {"(get|post)/[a-z]+", "get/index",
+                                       "^host:", "cookie=[a-f0-9]{4}"};
+  CompileOptions Options;
+  Options.MergingFactor = 0;
+  Result<CompileArtifacts> Artifacts = compileRuleset(Patterns, Options);
+  ASSERT_TRUE(Artifacts.ok());
+  ImfantEngine Engine(Artifacts->Mfsas[0]);
+
+  std::string Input = "host:get/indexcookie=beef00post/data";
+  MatchRecorder Recorder(MatchRecorder::Mode::Collect);
+  Engine.run(Input, Recorder);
+  std::map<uint32_t, std::set<size_t>> Got;
+  for (auto &[Rule, End] : Recorder.matches())
+    Got[Rule].insert(static_cast<size_t>(End));
+
+  std::map<uint32_t, std::set<size_t>> Expected;
+  for (size_t I = 0; I < Patterns.size(); ++I) {
+    Result<Regex> Re = parseRegex(Patterns[I]);
+    ASSERT_TRUE(Re.ok());
+    std::set<size_t> Ends = astMatchEnds(*Re, Input);
+    if (!Ends.empty())
+      Expected[static_cast<uint32_t>(I)] = Ends;
+  }
+  EXPECT_EQ(Got, Expected);
+}

@@ -1,0 +1,270 @@
+//===- PrefilterTest.cpp - Aho-Corasick, literal analysis, prefilter engine --===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/AhoCorasick.h"
+#include "engine/Prefilter.h"
+#include "fsa/LiteralAnalysis.h"
+#include "fsa/Reference.h"
+#include "regex/Parser.h"
+#include "workload/Datasets.h"
+#include "workload/Sampler.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace mfsa;
+using namespace mfsa::test;
+
+//===----------------------------------------------------------------------===//
+// Aho-Corasick
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// All (literal, end) pairs the automaton reports.
+std::multiset<std::pair<uint32_t, size_t>>
+acHits(const std::vector<std::string> &Literals, const std::string &Input) {
+  AhoCorasick Automaton(Literals);
+  std::multiset<std::pair<uint32_t, size_t>> Hits;
+  Automaton.scan(Input,
+                 [&](uint32_t L, size_t End) { Hits.emplace(L, End); });
+  return Hits;
+}
+
+/// Naive quadratic reference.
+std::multiset<std::pair<uint32_t, size_t>>
+naiveHits(const std::vector<std::string> &Literals,
+          const std::string &Input) {
+  std::multiset<std::pair<uint32_t, size_t>> Hits;
+  for (uint32_t L = 0; L < Literals.size(); ++L) {
+    const std::string &Lit = Literals[L];
+    for (size_t Pos = 0; Pos + Lit.size() <= Input.size(); ++Pos)
+      if (Input.compare(Pos, Lit.size(), Lit) == 0)
+        Hits.emplace(L, Pos + Lit.size());
+  }
+  return Hits;
+}
+
+} // namespace
+
+TEST(AhoCorasick, BasicOccurrences) {
+  std::vector<std::string> Literals = {"he", "she", "his", "hers"};
+  EXPECT_EQ(acHits(Literals, "ushers"), naiveHits(Literals, "ushers"));
+  // The classic: "ushers" contains she(4), he(4), hers(6).
+  auto Hits = acHits(Literals, "ushers");
+  EXPECT_EQ(Hits.size(), 3u);
+  EXPECT_TRUE(Hits.count({0, 4}));
+  EXPECT_TRUE(Hits.count({1, 4}));
+  EXPECT_TRUE(Hits.count({3, 6}));
+}
+
+TEST(AhoCorasick, OverlappingAndNested) {
+  std::vector<std::string> Literals = {"aa", "aaa", "a"};
+  EXPECT_EQ(acHits(Literals, "aaaa"), naiveHits(Literals, "aaaa"));
+}
+
+TEST(AhoCorasick, DuplicateLiteralsBothReport) {
+  std::vector<std::string> Literals = {"ab", "ab"};
+  auto Hits = acHits(Literals, "xabx");
+  EXPECT_EQ(Hits.size(), 2u);
+}
+
+TEST(AhoCorasick, RandomAgainstNaive) {
+  Rng Random(404);
+  for (int Trial = 0; Trial < 20; ++Trial) {
+    std::vector<std::string> Literals;
+    unsigned Count = 1 + Random.nextBelow(6);
+    for (unsigned I = 0; I < Count; ++I)
+      Literals.push_back(randomInput(Random, 1 + Random.nextBelow(4)));
+    std::string Input = randomInput(Random, 60);
+    EXPECT_EQ(acHits(Literals, Input), naiveHits(Literals, Input));
+  }
+}
+
+TEST(AhoCorasick, NoMatches) {
+  EXPECT_TRUE(acHits({"xyz"}, "abcabc").empty());
+  EXPECT_TRUE(acHits({"abc"}, "").empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Literal analysis
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string literalOf(const std::string &Pattern) {
+  Result<Regex> Re = parseRegex(Pattern);
+  EXPECT_TRUE(Re.ok()) << Pattern;
+  return mandatoryLiteral(*Re->Root);
+}
+
+} // namespace
+
+TEST(LiteralAnalysis, PlainLiteralsAndRuns) {
+  EXPECT_EQ(literalOf("abcdef"), "abcdef");
+  EXPECT_EQ(literalOf("ab[xy]cdef"), "cdef"); // class breaks the run
+  EXPECT_EQ(literalOf("(abc)def"), "abcdef"); // groups flatten
+  EXPECT_EQ(literalOf("ab.*cdefg"), "cdefg");
+}
+
+TEST(LiteralAnalysis, QuantifiersAreConservative) {
+  EXPECT_EQ(literalOf("abc(d)?ef"), "abc"); // optional breaks
+  EXPECT_EQ(literalOf("abcx{2,5}"), "abcxx");
+  EXPECT_EQ(literalOf("(abcd){1,3}"), "abcd");
+  EXPECT_EQ(literalOf("(abcd)*x"), "x"); // star body skippable
+}
+
+TEST(LiteralAnalysis, AlternationsNeedCommonLiteral) {
+  EXPECT_EQ(literalOf("(abc|xyz)"), "");
+  EXPECT_EQ(literalOf("(abc|abc)"), "abc");
+  EXPECT_EQ(literalOf("x(aaa|bbb)y"), "x"); // falls back to the frame runs
+}
+
+TEST(LiteralAnalysis, MandatoryLiteralIsActuallyMandatory) {
+  // Property: every sampled match contains the extracted literal.
+  const char *Patterns[] = {"ab[cd]efg",     "x{2}y(z|w)abc", "(abc)+d",
+                            "q.*longword.*p", "no(pe|pq)literal"};
+  Rng Random(505);
+  for (const char *Pattern : Patterns) {
+    Result<Regex> Re = parseRegex(Pattern);
+    ASSERT_TRUE(Re.ok());
+    std::string Literal = mandatoryLiteral(*Re->Root);
+    if (Literal.empty())
+      continue;
+    for (int Trial = 0; Trial < 20; ++Trial) {
+      std::string Sample = sampleMatch(*Re, Random);
+      EXPECT_NE(Sample.find(Literal), std::string::npos)
+          << Pattern << ": '" << Sample << "' lacks '" << Literal << "'";
+    }
+  }
+}
+
+TEST(LiteralAnalysis, BoundedMatchLength) {
+  EXPECT_EQ(boundedMatchLength(compileOptimized("abc")), 3u);
+  EXPECT_EQ(boundedMatchLength(compileOptimized("a{2,5}")), 5u);
+  EXPECT_EQ(boundedMatchLength(compileOptimized("(ab|cdef)g")), 5u);
+  EXPECT_EQ(boundedMatchLength(compileOptimized("ab*c")), 0u);  // cyclic
+  EXPECT_EQ(boundedMatchLength(compileOptimized("a.*b")), 0u);  // cyclic
+}
+
+TEST(LiteralAnalysis, PrefilterDecision) {
+  auto Analyze = [](const std::string &Pattern) {
+    Result<Regex> Re = parseRegex(Pattern);
+    EXPECT_TRUE(Re.ok());
+    return analyzeForPrefilter(*Re, compileOptimized(Pattern));
+  };
+  EXPECT_TRUE(Analyze("hello[0-9]world").Prefilterable);
+  EXPECT_FALSE(Analyze("^helloworld").Prefilterable); // anchored
+  EXPECT_FALSE(Analyze("hello.*world").Prefilterable); // unbounded
+  EXPECT_FALSE(Analyze("[ab][cd]").Prefilterable);     // no literal
+  EXPECT_FALSE(Analyze("ab").Prefilterable);           // below min length
+  PrefilterInfo Info = Analyze("xy(abc|abc)z{1,2}");
+  EXPECT_TRUE(Info.Prefilterable);
+  EXPECT_EQ(Info.MaxMatchLength, 7u);
+}
+
+//===----------------------------------------------------------------------===//
+// Prefilter engine end-to-end
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::map<uint32_t, std::set<size_t>>
+prefilterEnds(const PrefilterEngine &Engine, const std::string &Input) {
+  MatchRecorder Recorder(MatchRecorder::Mode::Collect);
+  Engine.run(Input, Recorder);
+  std::map<uint32_t, std::set<size_t>> Ends;
+  for (const auto &[Rule, End] : Recorder.matches()) {
+    // Engine-level dedup only holds within a window; assert pairs unique.
+    EXPECT_TRUE(Ends[Rule].insert(static_cast<size_t>(End)).second)
+        << "duplicate (rule,end) " << Rule << "," << End;
+  }
+  return Ends;
+}
+
+std::map<uint32_t, std::set<size_t>>
+oracleEnds(const std::vector<std::string> &Patterns,
+           const std::string &Input) {
+  std::map<uint32_t, std::set<size_t>> Ends;
+  for (size_t I = 0; I < Patterns.size(); ++I) {
+    Result<Regex> Re = parseRegex(Patterns[I]);
+    EXPECT_TRUE(Re.ok());
+    std::set<size_t> E = astMatchEnds(*Re, Input);
+    if (!E.empty())
+      Ends[static_cast<uint32_t>(I)] = E;
+  }
+  return Ends;
+}
+
+} // namespace
+
+TEST(PrefilterEngine, SplitsRulesAndMatchesOracle) {
+  std::vector<std::string> Patterns = {
+      "attack[0-9]{1,3}", // prefilterable
+      "^session",         // residual: anchored
+      "evil.*payload",    // residual: unbounded
+      "exploit(42|77)",   // prefilterable
+      "[ab][cd]",         // residual: no literal
+  };
+  Result<PrefilterEngine> Engine = PrefilterEngine::create(Patterns);
+  ASSERT_TRUE(Engine.ok());
+  EXPECT_EQ(Engine->numPrefiltered(), 2u);
+  EXPECT_EQ(Engine->numResidual(), 3u);
+
+  std::string Input =
+      "session evil stuff payload attack17 exploit42 ac bd attack9";
+  EXPECT_EQ(prefilterEnds(*Engine, Input), oracleEnds(Patterns, Input));
+}
+
+TEST(PrefilterEngine, OverlappingHitsDoNotDuplicate) {
+  // Repeated adjacent literals force window coalescing.
+  std::vector<std::string> Patterns = {"abab[xy]?"};
+  Result<PrefilterEngine> Engine = PrefilterEngine::create(Patterns, 3);
+  ASSERT_TRUE(Engine.ok());
+  ASSERT_EQ(Engine->numPrefiltered(), 1u);
+  std::string Input = "ababababababx";
+  EXPECT_EQ(prefilterEnds(*Engine, Input), oracleEnds(Patterns, Input));
+}
+
+TEST(PrefilterEngine, AllResidualStillWorks) {
+  std::vector<std::string> Patterns = {"a.*b", "^cd"};
+  Result<PrefilterEngine> Engine = PrefilterEngine::create(Patterns);
+  ASSERT_TRUE(Engine.ok());
+  EXPECT_EQ(Engine->numPrefiltered(), 0u);
+  std::string Input = "cdaxxb";
+  EXPECT_EQ(prefilterEnds(*Engine, Input), oracleEnds(Patterns, Input));
+}
+
+TEST(PrefilterEngine, AllPrefilteredNoResidual) {
+  std::vector<std::string> Patterns = {"alpha", "beta[0-9]"};
+  Result<PrefilterEngine> Engine = PrefilterEngine::create(Patterns);
+  ASSERT_TRUE(Engine.ok());
+  EXPECT_EQ(Engine->numResidual(), 0u);
+  std::string Input = "xxalphayy beta7 alpha";
+  EXPECT_EQ(prefilterEnds(*Engine, Input), oracleEnds(Patterns, Input));
+}
+
+TEST(PrefilterEngine, RejectsMalformedRules) {
+  Result<PrefilterEngine> Engine = PrefilterEngine::create({"ok", "bad("});
+  ASSERT_FALSE(Engine.ok());
+  EXPECT_NE(Engine.diag().Message.find("rule 1"), std::string::npos);
+}
+
+TEST(PrefilterEngine, DatasetSliceAgainstFullScan) {
+  // Compare against the straightforward full-ruleset MFSA scan on a real
+  // dataset slice with planted matches.
+  const DatasetSpec &Spec = *findDataset("TCP");
+  std::vector<std::string> Rules = generateRuleset(Spec);
+  Rules.resize(30);
+  std::string Stream = generateStream(Spec, Rules, 8192);
+
+  Result<PrefilterEngine> Engine = PrefilterEngine::create(Rules);
+  ASSERT_TRUE(Engine.ok());
+  EXPECT_EQ(prefilterEnds(*Engine, Stream), oracleEnds(Rules, Stream));
+}

@@ -1,0 +1,254 @@
+//===- RegexTest.cpp - unit tests for the RE front-end -----------------------===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regex/Lexer.h"
+#include "regex/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace mfsa;
+
+namespace {
+
+/// Parses or aborts the test.
+Regex parseOk(const std::string &Pattern) {
+  Result<Regex> Re = parseRegex(Pattern);
+  EXPECT_TRUE(Re.ok()) << Pattern << ": "
+                       << (Re.ok() ? "" : Re.diag().render());
+  if (!Re.ok())
+    return Regex{std::make_unique<EmptyNode>(), false, false, Pattern};
+  return Re.take();
+}
+
+/// Asserts the pattern is rejected and the diagnostic mentions \p Needle.
+void expectError(const std::string &Pattern, const std::string &Needle) {
+  Result<Regex> Re = parseRegex(Pattern);
+  ASSERT_FALSE(Re.ok()) << Pattern << " unexpectedly parsed";
+  EXPECT_NE(Re.diag().Message.find(Needle), std::string::npos)
+      << "diagnostic '" << Re.diag().Message << "' lacks '" << Needle << "'";
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+TEST(Lexer, PlainCharactersAndOperators) {
+  Lexer L("ab*|(c)+d?");
+  Result<std::vector<Token>> Tokens = L.tokenize();
+  ASSERT_TRUE(Tokens.ok());
+  std::vector<TokenKind> Kinds;
+  for (const Token &T : *Tokens)
+    Kinds.push_back(T.Kind);
+  EXPECT_EQ(Kinds, (std::vector<TokenKind>{
+                       TokenKind::Symbols, TokenKind::Symbols, TokenKind::Star,
+                       TokenKind::Pipe, TokenKind::LParen, TokenKind::Symbols,
+                       TokenKind::RParen, TokenKind::Plus, TokenKind::Symbols,
+                       TokenKind::Question, TokenKind::End}));
+}
+
+TEST(Lexer, EscapesProduceSingletons) {
+  Lexer L(R"(\n\t\\\.\x41\x7)");
+  Result<std::vector<Token>> Tokens = L.tokenize();
+  ASSERT_TRUE(Tokens.ok());
+  ASSERT_EQ(Tokens->size(), 7u); // 6 symbols + End
+  EXPECT_TRUE((*Tokens)[0].Symbols.contains('\n'));
+  EXPECT_TRUE((*Tokens)[1].Symbols.contains('\t'));
+  EXPECT_TRUE((*Tokens)[2].Symbols.contains('\\'));
+  EXPECT_TRUE((*Tokens)[3].Symbols.contains('.'));
+  EXPECT_TRUE((*Tokens)[4].Symbols.contains('A'));
+  EXPECT_TRUE((*Tokens)[5].Symbols.contains('\x07'));
+}
+
+TEST(Lexer, ShorthandClasses) {
+  Lexer L(R"(\d\w\s\D)");
+  Result<std::vector<Token>> Tokens = L.tokenize();
+  ASSERT_TRUE(Tokens.ok());
+  EXPECT_EQ((*Tokens)[0].Symbols, SymbolSet::range('0', '9'));
+  EXPECT_TRUE((*Tokens)[1].Symbols.contains('_'));
+  EXPECT_EQ((*Tokens)[1].Symbols.count(), 26u + 26u + 10u + 1u);
+  EXPECT_TRUE((*Tokens)[2].Symbols.contains(' '));
+  EXPECT_EQ((*Tokens)[3].Symbols, SymbolSet::range('0', '9').complement());
+}
+
+TEST(Lexer, DotExcludesNewline) {
+  Lexer L(".");
+  Result<std::vector<Token>> Tokens = L.tokenize();
+  ASSERT_TRUE(Tokens.ok());
+  EXPECT_FALSE((*Tokens)[0].Symbols.contains('\n'));
+  EXPECT_EQ((*Tokens)[0].Symbols.count(), 255u);
+}
+
+TEST(Lexer, BracketExpressions) {
+  auto LexClass = [](const std::string &Pattern) {
+    Lexer L(Pattern);
+    Result<std::vector<Token>> Tokens = L.tokenize();
+    EXPECT_TRUE(Tokens.ok()) << Pattern;
+    return Tokens.ok() ? (*Tokens)[0].Symbols : SymbolSet();
+  };
+  EXPECT_EQ(LexClass("[abc]"), SymbolSet::of("abc"));
+  EXPECT_EQ(LexClass("[a-f]"), SymbolSet::range('a', 'f'));
+  EXPECT_EQ(LexClass("[a-f0-9]"),
+            SymbolSet::range('a', 'f') | SymbolSet::range('0', '9'));
+  EXPECT_EQ(LexClass("[^a]"), SymbolSet::singleton('a').complement());
+  // ']' right after '[' (or '[^') is a literal.
+  EXPECT_EQ(LexClass("[]a]"), SymbolSet::of("]a"));
+  EXPECT_EQ(LexClass("[^]a]"), SymbolSet::of("]a").complement());
+  // '-' at the edges is a literal dash.
+  EXPECT_EQ(LexClass("[a-]"), SymbolSet::of("a-"));
+  // Escapes inside classes.
+  EXPECT_EQ(LexClass(R"([\]\\])"), SymbolSet::of("]\\"));
+  EXPECT_EQ(LexClass(R"([\d])"), SymbolSet::range('0', '9'));
+  // POSIX named classes.
+  EXPECT_EQ(LexClass("[[:digit:]]"), SymbolSet::range('0', '9'));
+  EXPECT_EQ(LexClass("[[:alpha:]]"),
+            SymbolSet::range('a', 'z') | SymbolSet::range('A', 'Z'));
+  EXPECT_EQ(LexClass("[[:xdigit:]]"), SymbolSet::range('0', '9') |
+                                          SymbolSet::range('a', 'f') |
+                                          SymbolSet::range('A', 'F'));
+}
+
+TEST(Lexer, RepeatBounds) {
+  Lexer L("a{2}b{3,}c{4,7}");
+  Result<std::vector<Token>> Tokens = L.tokenize();
+  ASSERT_TRUE(Tokens.ok());
+  const std::vector<Token> &T = *Tokens;
+  ASSERT_EQ(T.size(), 7u);
+  EXPECT_EQ(T[1].Kind, TokenKind::Repeat);
+  EXPECT_EQ(T[1].RepeatMin, 2u);
+  EXPECT_EQ(T[1].RepeatMax, 2u);
+  EXPECT_EQ(T[3].RepeatMin, 3u);
+  EXPECT_EQ(T[3].RepeatMax, RepeatUnbounded);
+  EXPECT_EQ(T[5].RepeatMin, 4u);
+  EXPECT_EQ(T[5].RepeatMax, 7u);
+}
+
+TEST(Lexer, Errors) {
+  auto LexError = [](const std::string &Pattern) {
+    Lexer L(Pattern);
+    return !L.tokenize().ok();
+  };
+  EXPECT_TRUE(LexError("[abc"));       // unterminated class
+  EXPECT_TRUE(LexError("a\\"));        // trailing backslash
+  EXPECT_TRUE(LexError("[z-a]"));      // inverted range
+  EXPECT_TRUE(LexError("a{,3}"));      // missing lower bound
+  EXPECT_TRUE(LexError("a{3,2}"));     // inverted bounds
+  EXPECT_TRUE(LexError("a{2"));        // unterminated bounds
+  EXPECT_TRUE(LexError("[[:nope:]]")); // unknown named class
+  EXPECT_TRUE(LexError("]"));          // unmatched ']'
+  EXPECT_TRUE(LexError("\\x"));        // \x without digits
+  EXPECT_TRUE(LexError("[]"));         // ']' literal, then unterminated
+}
+
+//===----------------------------------------------------------------------===//
+// Parser structure
+//===----------------------------------------------------------------------===//
+
+TEST(Parser, PrecedenceAltConcatRepeat) {
+  Regex Re = parseOk("ab|c*");
+  ASSERT_EQ(Re.Root->kind(), AstKind::Alternate);
+  const auto &Alt = static_cast<const AlternateNode &>(*Re.Root);
+  ASSERT_EQ(Alt.children().size(), 2u);
+  EXPECT_EQ(Alt.children()[0]->kind(), AstKind::Concat);
+  EXPECT_EQ(Alt.children()[1]->kind(), AstKind::Repeat);
+}
+
+TEST(Parser, GroupingOverridesPrecedence) {
+  Regex Re = parseOk("(ab|c)*");
+  ASSERT_EQ(Re.Root->kind(), AstKind::Repeat);
+  const auto &Rep = static_cast<const RepeatNode &>(*Re.Root);
+  EXPECT_EQ(Rep.child().kind(), AstKind::Alternate);
+  EXPECT_EQ(Rep.min(), 0u);
+  EXPECT_TRUE(Rep.isUnbounded());
+}
+
+TEST(Parser, QuantifierStacking) {
+  // (a{2}){3} style stacking and postfix chains parse left-to-right.
+  Regex Re = parseOk("a{2}{3}");
+  ASSERT_EQ(Re.Root->kind(), AstKind::Repeat);
+  const auto &Outer = static_cast<const RepeatNode &>(*Re.Root);
+  EXPECT_EQ(Outer.min(), 3u);
+  EXPECT_EQ(Outer.child().kind(), AstKind::Repeat);
+}
+
+TEST(Parser, EmptyBranches) {
+  Regex Re = parseOk("a|");
+  ASSERT_EQ(Re.Root->kind(), AstKind::Alternate);
+  const auto &Alt = static_cast<const AlternateNode &>(*Re.Root);
+  ASSERT_EQ(Alt.children().size(), 2u);
+  EXPECT_EQ(Alt.children()[1]->kind(), AstKind::Empty);
+
+  Regex Empty = parseOk("");
+  EXPECT_EQ(Empty.Root->kind(), AstKind::Empty);
+
+  Regex Group = parseOk("()");
+  EXPECT_EQ(Group.Root->kind(), AstKind::Empty);
+}
+
+TEST(Parser, Anchors) {
+  Regex Re = parseOk("^abc$");
+  EXPECT_TRUE(Re.AnchoredStart);
+  EXPECT_TRUE(Re.AnchoredEnd);
+  EXPECT_EQ(printAst(*Re.Root), "abc");
+
+  Regex Start = parseOk("^ab");
+  EXPECT_TRUE(Start.AnchoredStart);
+  EXPECT_FALSE(Start.AnchoredEnd);
+
+  Regex None = parseOk("ab");
+  EXPECT_FALSE(None.AnchoredStart);
+  EXPECT_FALSE(None.AnchoredEnd);
+
+  expectError("a^b", "start of the pattern");
+  expectError("a$b", "end of the pattern");
+}
+
+TEST(Parser, Errors) {
+  expectError("(", "expected ')'");
+  expectError(")", "unmatched ')'");
+  expectError("*a", "no preceding expression");
+  expectError("a|*", "no preceding expression");
+  expectError("(*)", "no preceding expression");
+  expectError("()*", "quantifier applies to nothing");
+}
+
+TEST(Parser, StrayRightBraceIsLiteral) {
+  Regex Re = parseOk("a}b");
+  EXPECT_EQ(printAst(*Re.Root), "a\\}b"); // printer escapes defensively
+}
+
+//===----------------------------------------------------------------------===//
+// AST printer & clone
+//===----------------------------------------------------------------------===//
+
+TEST(Ast, PrintRoundTripsThroughParser) {
+  const char *Patterns[] = {
+      "abc",         "a|b|c",     "(ab|cd)*e",   "a[b-f]{2,4}c",
+      "x.*y",        "(a|b)?c+",  "[^a-z]{3}",   "a{2,}",
+      "(a(b(c)))d",  "a|",        "[abc]|[def]", "\\x41\\n",
+  };
+  for (const char *Pattern : Patterns) {
+    Regex First = parseOk(Pattern);
+    std::string Printed = printAst(*First.Root);
+    Regex Second = parseOk(Printed);
+    EXPECT_EQ(Printed, printAst(*Second.Root))
+        << "printer not stable for " << Pattern;
+  }
+}
+
+TEST(Ast, CloneIsDeepAndEqualPrinted) {
+  Regex Re = parseOk("(ab|c[d-f]){2,5}x*");
+  Regex Copy = Re.clone();
+  EXPECT_EQ(printAst(*Re.Root), printAst(*Copy.Root));
+  EXPECT_NE(Re.Root.get(), Copy.Root.get());
+}
+
+TEST(Ast, CountNodes) {
+  Regex Re = parseOk("ab|c");
+  // Alternate(Concat(a, b), c) = 1 + (1 + 2) + 1.
+  EXPECT_EQ(countAstNodes(*Re.Root), 5u);
+}

@@ -1,0 +1,268 @@
+//===- StreamingTest.cpp - chunked scanning and stride-2 DFA tests -----------===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/DfaEngine.h"
+#include "engine/Imfant.h"
+#include "engine/MultiStride.h"
+#include "fsa/Determinize.h"
+#include "fsa/Passes.h"
+#include "mfsa/Merge.h"
+#include "regex/Parser.h"
+#include "workload/Datasets.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace mfsa;
+using namespace mfsa::test;
+
+namespace {
+
+Mfsa mergePatterns(const std::vector<std::string> &Patterns) {
+  std::vector<Nfa> Fsas;
+  std::vector<uint32_t> Ids;
+  for (size_t I = 0; I < Patterns.size(); ++I) {
+    Fsas.push_back(compileOptimized(Patterns[I]));
+    Ids.push_back(static_cast<uint32_t>(I));
+  }
+  return mergeFsas(Fsas, Ids);
+}
+
+using Matches = std::vector<std::pair<uint32_t, uint64_t>>;
+
+Matches oneShot(const ImfantEngine &Engine, const std::string &Input) {
+  MatchRecorder Recorder(MatchRecorder::Mode::Collect);
+  Engine.run(Input, Recorder);
+  Matches Out = Recorder.matches();
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+Matches chunked(const ImfantEngine &Engine, const std::string &Input,
+                const std::vector<size_t> &ChunkSizes) {
+  MatchRecorder Recorder(MatchRecorder::Mode::Collect);
+  ImfantEngine::Scanner Scan(Engine);
+  size_t Pos = 0;
+  size_t ChunkIdx = 0;
+  while (Pos < Input.size()) {
+    size_t Len = ChunkSizes.empty()
+                     ? Input.size()
+                     : std::min(ChunkSizes[ChunkIdx % ChunkSizes.size()],
+                                Input.size() - Pos);
+    if (Len == 0)
+      Len = 1;
+    Scan.feed(std::string_view(Input).substr(Pos, Len), Recorder);
+    Pos += Len;
+    ++ChunkIdx;
+  }
+  Scan.finish(Recorder);
+  Matches Out = Recorder.matches();
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Streaming scanner
+//===----------------------------------------------------------------------===//
+
+TEST(Scanner, ChunkedEqualsOneShot) {
+  Mfsa Z = mergePatterns({"abcd", "bc", "a[bc]+d"});
+  ImfantEngine Engine(Z);
+  std::string Input = "xxabcdyyabcbcd";
+  Matches Reference = oneShot(Engine, Input);
+  for (const std::vector<size_t> &Chunks :
+       {std::vector<size_t>{1}, {2}, {3}, {5}, {1, 7}, {100}})
+    EXPECT_EQ(chunked(Engine, Input, Chunks), Reference);
+}
+
+TEST(Scanner, MatchSpanningChunkBoundary) {
+  Mfsa Z = mergePatterns({"hello"});
+  ImfantEngine Engine(Z);
+  MatchRecorder Recorder(MatchRecorder::Mode::Collect);
+  ImfantEngine::Scanner Scan(Engine);
+  Scan.feed("xxhel", Recorder);
+  EXPECT_EQ(Recorder.total(), 0u);
+  Scan.feed("loyy", Recorder);
+  Scan.finish(Recorder);
+  ASSERT_EQ(Recorder.total(), 1u);
+  EXPECT_EQ(Recorder.matches()[0], (std::pair<uint32_t, uint64_t>{0, 7}));
+}
+
+TEST(Scanner, AnchorsAcrossChunks) {
+  Mfsa Z = mergePatterns({"^ab", "cd$"});
+  ImfantEngine Engine(Z);
+  MatchRecorder Recorder(MatchRecorder::Mode::Collect);
+  ImfantEngine::Scanner Scan(Engine);
+  Scan.feed("a", Recorder);
+  Scan.feed("bxc", Recorder);
+  // cd is not complete yet and ^ab already matched at absolute offset 2.
+  EXPECT_EQ(Recorder.total(), 1u);
+  Scan.feed("d", Recorder);
+  // cd ends the stream, but only finish() can know that.
+  EXPECT_EQ(Recorder.total(), 1u);
+  Scan.finish(Recorder);
+  ASSERT_EQ(Recorder.total(), 2u);
+  EXPECT_EQ(Recorder.matches()[1], (std::pair<uint32_t, uint64_t>{1, 5}));
+}
+
+TEST(Scanner, DollarNotReportedMidStream) {
+  Mfsa Z = mergePatterns({"ab$"});
+  ImfantEngine Engine(Z);
+  MatchRecorder Recorder(MatchRecorder::Mode::Collect);
+  ImfantEngine::Scanner Scan(Engine);
+  Scan.feed("ab", Recorder);
+  Scan.feed("ab", Recorder); // the first "ab" is no longer at the end
+  Scan.finish(Recorder);
+  ASSERT_EQ(Recorder.total(), 1u);
+  EXPECT_EQ(Recorder.matches()[0].second, 4u);
+}
+
+TEST(Scanner, OffsetTracksAbsolutePosition) {
+  Mfsa Z = mergePatterns({"x"});
+  ImfantEngine Engine(Z);
+  ImfantEngine::Scanner Scan(Engine);
+  MatchRecorder Recorder;
+  EXPECT_EQ(Scan.offset(), 0u);
+  Scan.feed("abc", Recorder);
+  EXPECT_EQ(Scan.offset(), 3u);
+  Scan.feed("de", Recorder);
+  EXPECT_EQ(Scan.offset(), 5u);
+}
+
+TEST(Scanner, RandomChunkingsProperty) {
+  Rng Random(811);
+  for (int Round = 0; Round < 8; ++Round) {
+    std::vector<std::string> Patterns;
+    unsigned Count = 2 + Random.nextBelow(3);
+    for (unsigned I = 0; I < Count; ++I)
+      Patterns.push_back(randomPattern(Random));
+    Mfsa Z = mergePatterns(Patterns);
+    ImfantEngine Engine(Z);
+    std::string Input = randomInput(Random, 60);
+    Matches Reference = oneShot(Engine, Input);
+    for (int Trial = 0; Trial < 4; ++Trial) {
+      std::vector<size_t> Chunks;
+      for (int C = 0; C < 5; ++C)
+        Chunks.push_back(1 + Random.nextBelow(9));
+      EXPECT_EQ(chunked(Engine, Input, Chunks), Reference)
+          << "round " << Round;
+    }
+  }
+}
+
+TEST(Scanner, StatsAccumulateAcrossFeeds) {
+  Mfsa Z = mergePatterns({"aa", "ab"});
+  ImfantEngine Engine(Z);
+  RunStats Whole;
+  MatchRecorder R1;
+  Engine.run("aaabab", R1, &Whole);
+
+  RunStats Split;
+  MatchRecorder R2;
+  ImfantEngine::Scanner Scan(Engine);
+  Scan.feed("aaa", R2, &Split);
+  Scan.feed("bab", R2, &Split);
+  Scan.finish(R2);
+  EXPECT_EQ(Split.Steps, Whole.Steps);
+  EXPECT_EQ(Split.TransitionsEvaluated, Whole.TransitionsEvaluated);
+  EXPECT_EQ(Split.MaxActiveRules, Whole.MaxActiveRules);
+  EXPECT_NEAR(Split.AvgActiveRules, Whole.AvgActiveRules, 1e-9);
+  EXPECT_EQ(R1.total(), R2.total());
+}
+
+//===----------------------------------------------------------------------===//
+// Stride-2 DFA
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::map<uint32_t, std::set<size_t>> dfaEnds(const Dfa &D,
+                                             const std::string &Input) {
+  DfaEngine Engine(D);
+  MatchRecorder Recorder(MatchRecorder::Mode::Collect);
+  Engine.run(Input, Recorder);
+  std::map<uint32_t, std::set<size_t>> Ends;
+  for (const auto &[Rule, End] : Recorder.matches())
+    Ends[Rule].insert(static_cast<size_t>(End));
+  return Ends;
+}
+
+std::map<uint32_t, std::set<size_t>> stridedEnds(const StridedDfa &D,
+                                                 const std::string &Input) {
+  StridedDfaEngine Engine(D);
+  MatchRecorder Recorder(MatchRecorder::Mode::Collect);
+  Engine.run(Input, Recorder);
+  std::map<uint32_t, std::set<size_t>> Ends;
+  for (const auto &[Rule, End] : Recorder.matches())
+    Ends[Rule].insert(static_cast<size_t>(End));
+  return Ends;
+}
+
+} // namespace
+
+TEST(MultiStride, EquivalentToStride1) {
+  std::vector<std::string> Patterns = {"abc", "a[bc]d", "xy", "b{2,3}"};
+  std::vector<Nfa> Fsas;
+  std::vector<uint32_t> Ids;
+  for (size_t I = 0; I < Patterns.size(); ++I) {
+    Fsas.push_back(compileOptimized(Patterns[I]));
+    Ids.push_back(static_cast<uint32_t>(I));
+  }
+  Result<Dfa> D = determinize(Fsas, Ids);
+  ASSERT_TRUE(D.ok());
+  Result<StridedDfa> S2 = makeStride2(*D);
+  ASSERT_TRUE(S2.ok());
+
+  Rng Random(911);
+  for (int Trial = 0; Trial < 20; ++Trial) {
+    // Both even- and odd-length inputs (odd exercises the trailing byte).
+    std::string Input = randomInput(Random, 10 + Random.nextBelow(12));
+    EXPECT_EQ(dfaEnds(*D, Input), stridedEnds(*S2, Input)) << Input;
+  }
+  EXPECT_EQ(dfaEnds(*D, ""), stridedEnds(*S2, ""));
+  EXPECT_EQ(dfaEnds(*D, "a"), stridedEnds(*S2, "a"));
+}
+
+TEST(MultiStride, AnchoredEndAtOddAndEvenOffsets) {
+  std::vector<Nfa> Fsas = {compileOptimized("ab$"),
+                           compileOptimized("abc$")};
+  Result<Dfa> D = determinize(Fsas, {0, 1});
+  ASSERT_TRUE(D.ok());
+  Result<StridedDfa> S2 = makeStride2(*D);
+  ASSERT_TRUE(S2.ok());
+  // Even-length input: `$` fires on the full-stride boundary.
+  EXPECT_EQ(stridedEnds(*S2, "xxab"), dfaEnds(*D, "xxab"));
+  // Odd-length input: `$` fires on the trailing half-stride.
+  EXPECT_EQ(stridedEnds(*S2, "xxxab"), dfaEnds(*D, "xxxab"));
+  EXPECT_EQ(stridedEnds(*S2, "xxabc"), dfaEnds(*D, "xxabc"));
+}
+
+TEST(MultiStride, TableBlowupCapTriggers) {
+  std::vector<Nfa> Fsas = {compileOptimized("[a-z]{4}[0-9]{3}x")};
+  Result<Dfa> D = determinize(Fsas, {0});
+  ASSERT_TRUE(D.ok());
+  StrideOptions Options;
+  Options.MaxTableEntries = 16;
+  Result<StridedDfa> S2 = makeStride2(*D, Options);
+  ASSERT_FALSE(S2.ok());
+  EXPECT_NE(S2.diag().Message.find("blowup"), std::string::npos);
+}
+
+TEST(MultiStride, QuadraticTableGrowth) {
+  std::vector<Nfa> Fsas = {compileOptimized("abc[def]g")};
+  Result<Dfa> D = determinize(Fsas, {0});
+  ASSERT_TRUE(D.ok());
+  Result<StridedDfa> S2 = makeStride2(*D);
+  ASSERT_TRUE(S2.ok());
+  EXPECT_EQ(S2->Next2.size(), static_cast<size_t>(D->NumStates) *
+                                  D->NumAtoms * D->NumAtoms);
+  EXPECT_GT(S2->footprintBytes(), D->footprintBytes());
+}

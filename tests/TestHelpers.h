@@ -1,0 +1,107 @@
+//===- TestHelpers.h - shared test utilities --------------------*- C++ -*-===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared helpers for the test suite: a random-but-valid RE generator for
+/// property tests, random input strings biased toward a small alphabet (so
+/// matches actually occur), and oracle comparison utilities.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MFSA_TESTS_TESTHELPERS_H
+#define MFSA_TESTS_TESTHELPERS_H
+
+#include "fsa/Builder.h"
+#include "fsa/Passes.h"
+#include "fsa/Reference.h"
+#include "regex/Parser.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace mfsa::test {
+
+/// Generates a random syntactically valid ERE over a tiny alphabet
+/// ({a,b,c,d} plus classes) so random inputs hit matches often.
+inline std::string randomPattern(Rng &Random, unsigned MaxDepth = 4) {
+  if (MaxDepth == 0 || Random.nextBool(0.4)) {
+    // Leaf: a character or a small class.
+    switch (Random.nextBelow(6)) {
+    case 0:
+      return "a";
+    case 1:
+      return "b";
+    case 2:
+      return "c";
+    case 3:
+      return "[ab]";
+    case 4:
+      return "[b-d]";
+    default:
+      return "d";
+    }
+  }
+  switch (Random.nextBelow(7)) {
+  case 0: // concatenation
+    return randomPattern(Random, MaxDepth - 1) +
+           randomPattern(Random, MaxDepth - 1);
+  case 1: // alternation
+    return "(" + randomPattern(Random, MaxDepth - 1) + "|" +
+           randomPattern(Random, MaxDepth - 1) + ")";
+  case 2:
+    return "(" + randomPattern(Random, MaxDepth - 1) + ")*";
+  case 3:
+    return "(" + randomPattern(Random, MaxDepth - 1) + ")+";
+  case 4:
+    return "(" + randomPattern(Random, MaxDepth - 1) + ")?";
+  case 5: {
+    uint64_t Lo = Random.nextBelow(3);
+    uint64_t Hi = Lo + Random.nextBelow(3);
+    return "(" + randomPattern(Random, MaxDepth - 1) + "){" +
+           std::to_string(Lo) + "," + std::to_string(Hi) + "}";
+  }
+  default: {
+    uint64_t Lo = 1 + Random.nextBelow(2);
+    return "(" + randomPattern(Random, MaxDepth - 1) + "){" +
+           std::to_string(Lo) + ",}";
+  }
+  }
+}
+
+/// Random input over {a,b,c,d,e}; 'e' keeps some symbols unmatched.
+inline std::string randomInput(Rng &Random, size_t Length) {
+  static const char Alphabet[] = "abcde";
+  std::string Out;
+  Out.reserve(Length);
+  for (size_t I = 0; I < Length; ++I)
+    Out.push_back(Alphabet[Random.nextBelow(5)]);
+  return Out;
+}
+
+/// Parses + builds + fully optimizes one pattern; aborts the test on error.
+inline Nfa compileOptimized(const std::string &Pattern) {
+  Result<Regex> Re = parseRegex(Pattern);
+  EXPECT_TRUE(Re.ok()) << Pattern;
+  Result<Nfa> Built = buildNfa(*Re);
+  EXPECT_TRUE(Built.ok()) << Pattern;
+  return optimizeForMerging(*Built);
+}
+
+/// Formats a set of offsets for failure messages.
+inline std::string formatEnds(const std::set<size_t> &Ends) {
+  std::string Out = "{";
+  for (size_t E : Ends)
+    Out += std::to_string(E) + ",";
+  Out += "}";
+  return Out;
+}
+
+} // namespace mfsa::test
+
+#endif // MFSA_TESTS_TESTHELPERS_H

@@ -1,0 +1,178 @@
+//===- WorkloadTest.cpp - tests for datasets, streams, INDEL, sampler --------===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Datasets.h"
+#include "workload/Indel.h"
+#include "workload/Sampler.h"
+
+#include "fsa/Reference.h"
+#include "regex/Parser.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace mfsa;
+using namespace mfsa::test;
+
+//===----------------------------------------------------------------------===//
+// INDEL similarity
+//===----------------------------------------------------------------------===//
+
+TEST(Indel, PaperWorkedExample) {
+  // lewenstein vs levenshtein: INDEL = 3, similarity = 1 - 3/21 ≈ 0.8572.
+  EXPECT_EQ(indelDistanceDp("lewenstein", "levenshtein"), 3u);
+  double Similarity = normalizedIndelSimilarity("lewenstein", "levenshtein");
+  EXPECT_NEAR(Similarity, 0.8572, 5e-4);
+}
+
+TEST(Indel, EdgeCases) {
+  EXPECT_EQ(indelDistanceDp("", ""), 0u);
+  EXPECT_EQ(indelDistanceDp("abc", ""), 3u);
+  EXPECT_EQ(indelDistanceDp("", "xy"), 2u);
+  EXPECT_EQ(indelDistanceDp("same", "same"), 0u);
+  EXPECT_EQ(indelDistanceDp("abc", "xyz"), 6u);
+  EXPECT_DOUBLE_EQ(normalizedIndelSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(normalizedIndelSimilarity("same", "same"), 1.0);
+  EXPECT_DOUBLE_EQ(normalizedIndelSimilarity("abc", "xyz"), 0.0);
+}
+
+TEST(Indel, BitParallelMatchesDp) {
+  Rng Random(202);
+  for (int Trial = 0; Trial < 60; ++Trial) {
+    // Cross the 64-bit word boundary regularly.
+    size_t LenA = Random.nextInRange(0, 150);
+    size_t LenB = Random.nextInRange(0, 150);
+    std::string A = randomInput(Random, LenA);
+    std::string B = randomInput(Random, LenB);
+    unsigned Lcs = lcsLengthBitParallel(A, B);
+    unsigned Dp = indelDistanceDp(A, B);
+    EXPECT_EQ(static_cast<unsigned>(A.size() + B.size()) - 2 * Lcs, Dp)
+        << A << " vs " << B;
+  }
+}
+
+TEST(Indel, AveragePairSimilarityExhaustiveVsSampled) {
+  std::vector<std::string> Strings = {"abcd", "abce", "abxx", "zzzz"};
+  double Exhaustive = averagePairSimilarity(Strings);
+  EXPECT_GT(Exhaustive, 0.0);
+  EXPECT_LT(Exhaustive, 1.0);
+  // Sampling with a generous budget approximates the exhaustive value.
+  double Sampled = averagePairSimilarity(Strings, 3000, 9);
+  EXPECT_NEAR(Sampled, Exhaustive, 0.08);
+}
+
+//===----------------------------------------------------------------------===//
+// Sampler
+//===----------------------------------------------------------------------===//
+
+TEST(Sampler, SamplesAlwaysMatch) {
+  const char *Patterns[] = {"ab[cd]e*", "(x|y){2,5}z", "a.*b",
+                            "[0-9]{3}(ms|s)", "w+(abc)?"};
+  Rng Random(55);
+  for (const char *Pattern : Patterns) {
+    Result<Regex> Re = parseRegex(Pattern);
+    ASSERT_TRUE(Re.ok());
+    for (int Trial = 0; Trial < 20; ++Trial) {
+      std::string Sample = sampleMatch(*Re, Random);
+      if (Sample.empty())
+        continue; // ε sample of an optional pattern: nothing to check
+      std::set<size_t> Ends = astMatchEnds(*Re, Sample);
+      EXPECT_TRUE(Ends.count(Sample.size()))
+          << Pattern << " sample '" << Sample << "' does not match";
+    }
+  }
+}
+
+TEST(Sampler, RespectsRepeatCap) {
+  Result<Regex> Re = parseRegex("a*");
+  ASSERT_TRUE(Re.ok());
+  Rng Random(1);
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    std::string Sample = sampleMatch(*Re, Random, 3);
+    EXPECT_LE(Sample.size(), 3u);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Dataset generators
+//===----------------------------------------------------------------------===//
+
+TEST(Datasets, RegistryHasSixCalibratedEntries) {
+  const std::vector<DatasetSpec> &Specs = standardDatasets();
+  ASSERT_EQ(Specs.size(), 6u);
+  const char *Expected[] = {"BRO", "DS9", "PEN", "PRO", "RG1", "TCP"};
+  for (size_t I = 0; I < 6; ++I)
+    EXPECT_EQ(Specs[I].Abbrev, Expected[I]);
+  EXPECT_EQ(findDataset("BRO")->NumRes, 217u);
+  EXPECT_EQ(findDataset("PRO")->NumRes, 300u);
+  EXPECT_EQ(findDataset("nope"), nullptr);
+}
+
+TEST(Datasets, GenerationIsDeterministic) {
+  const DatasetSpec &Spec = *findDataset("BRO");
+  std::vector<std::string> A = generateRuleset(Spec);
+  std::vector<std::string> B = generateRuleset(Spec);
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.size(), Spec.NumRes);
+}
+
+TEST(Datasets, AllRulesParseAndBuild) {
+  for (const DatasetSpec &Spec : standardDatasets()) {
+    std::vector<std::string> Rules = generateRuleset(Spec);
+    ASSERT_EQ(Rules.size(), Spec.NumRes) << Spec.Abbrev;
+    for (const std::string &Rule : Rules) {
+      Result<Regex> Re = parseRegex(Rule);
+      ASSERT_TRUE(Re.ok()) << Spec.Abbrev << ": " << Rule << ": "
+                           << (Re.ok() ? "" : Re.diag().render());
+      Result<Nfa> A = buildNfa(*Re);
+      ASSERT_TRUE(A.ok()) << Spec.Abbrev << ": " << Rule;
+    }
+  }
+}
+
+TEST(Datasets, FamiliesGiveNeighbourSimilarity) {
+  // Family structure: consecutive rules are markedly more similar than
+  // random pairs (the Fig. 1 premise).
+  const DatasetSpec &Spec = *findDataset("TCP");
+  std::vector<std::string> Rules = generateRuleset(Spec);
+  double Neighbour = 0, Distant = 0;
+  unsigned Count = 100;
+  for (unsigned I = 0; I < Count; ++I) {
+    Neighbour += normalizedIndelSimilarity(Rules[I], Rules[I + 1]);
+    Distant += normalizedIndelSimilarity(Rules[I], Rules[I + 150]);
+  }
+  EXPECT_GT(Neighbour / Count, Distant / Count + 0.1);
+}
+
+TEST(Datasets, StreamsAreDeterministicAndSized) {
+  const DatasetSpec &Spec = *findDataset("PEN");
+  std::vector<std::string> Rules = generateRuleset(Spec);
+  std::string S1 = generateStream(Spec, Rules, 4096);
+  std::string S2 = generateStream(Spec, Rules, 4096);
+  EXPECT_EQ(S1, S2);
+  EXPECT_EQ(S1.size(), 4096u);
+  // Different salt gives a different stream.
+  std::string S3 = generateStream(Spec, Rules, 4096, 1);
+  EXPECT_NE(S1, S3);
+}
+
+TEST(Datasets, StreamsContainPlantedMatches) {
+  const DatasetSpec &Spec = *findDataset("BRO");
+  std::vector<std::string> Rules = generateRuleset(Spec);
+  std::string Stream = generateStream(Spec, Rules, 16384);
+  // At least one of the first rules matches somewhere in the stream.
+  unsigned Matched = 0;
+  for (size_t I = 0; I < 25; ++I) {
+    Result<Regex> Re = parseRegex(Rules[I]);
+    ASSERT_TRUE(Re.ok());
+    Result<Nfa> A = buildNfa(*Re);
+    ASSERT_TRUE(A.ok());
+    if (!simulateNfa(*A, Stream).empty())
+      ++Matched;
+  }
+  EXPECT_GT(Matched, 0u);
+}
