@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_dfa_baseline.dir/abl_dfa_baseline.cpp.o"
+  "CMakeFiles/abl_dfa_baseline.dir/abl_dfa_baseline.cpp.o.d"
+  "abl_dfa_baseline"
+  "abl_dfa_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dfa_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_loop_expansion.dir/abl_loop_expansion.cpp.o"
+  "CMakeFiles/abl_loop_expansion.dir/abl_loop_expansion.cpp.o.d"
+  "abl_loop_expansion"
+  "abl_loop_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_loop_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

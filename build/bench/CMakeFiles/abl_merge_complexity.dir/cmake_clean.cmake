@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_merge_complexity.dir/abl_merge_complexity.cpp.o"
+  "CMakeFiles/abl_merge_complexity.dir/abl_merge_complexity.cpp.o.d"
+  "abl_merge_complexity"
+  "abl_merge_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_merge_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

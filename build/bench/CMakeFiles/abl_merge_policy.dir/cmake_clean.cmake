@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_merge_policy.dir/abl_merge_policy.cpp.o"
+  "CMakeFiles/abl_merge_policy.dir/abl_merge_policy.cpp.o.d"
+  "abl_merge_policy"
+  "abl_merge_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_merge_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

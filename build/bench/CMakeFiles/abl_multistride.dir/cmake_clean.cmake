@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_multistride.dir/abl_multistride.cpp.o"
+  "CMakeFiles/abl_multistride.dir/abl_multistride.cpp.o.d"
+  "abl_multistride"
+  "abl_multistride.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_multistride.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_partial_cc.dir/abl_partial_cc.cpp.o"
+  "CMakeFiles/abl_partial_cc.dir/abl_partial_cc.cpp.o.d"
+  "abl_partial_cc"
+  "abl_partial_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_partial_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

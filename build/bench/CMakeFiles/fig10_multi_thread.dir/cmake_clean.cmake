@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_multi_thread.dir/fig10_multi_thread.cpp.o"
+  "CMakeFiles/fig10_multi_thread.dir/fig10_multi_thread.cpp.o.d"
+  "fig10_multi_thread"
+  "fig10_multi_thread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_multi_thread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

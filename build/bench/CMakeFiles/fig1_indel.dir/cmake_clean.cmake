@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_indel.dir/fig1_indel.cpp.o"
+  "CMakeFiles/fig1_indel.dir/fig1_indel.cpp.o.d"
+  "fig1_indel"
+  "fig1_indel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_indel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

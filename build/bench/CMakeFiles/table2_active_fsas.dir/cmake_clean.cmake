@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_active_fsas.dir/table2_active_fsas.cpp.o"
+  "CMakeFiles/table2_active_fsas.dir/table2_active_fsas.cpp.o.d"
+  "table2_active_fsas"
+  "table2_active_fsas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_active_fsas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

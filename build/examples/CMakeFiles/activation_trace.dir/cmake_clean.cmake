@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/activation_trace.dir/activation_trace.cpp.o"
+  "CMakeFiles/activation_trace.dir/activation_trace.cpp.o.d"
+  "activation_trace"
+  "activation_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/activation_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genome_motifs.dir/genome_motifs.cpp.o"
+  "CMakeFiles/genome_motifs.dir/genome_motifs.cpp.o.d"
+  "genome_motifs"
+  "genome_motifs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genome_motifs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

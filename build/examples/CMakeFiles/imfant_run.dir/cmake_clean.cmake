@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imfant_run.dir/imfant_run.cpp.o"
+  "CMakeFiles/imfant_run.dir/imfant_run.cpp.o.d"
+  "imfant_run"
+  "imfant_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imfant_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfsa_grep.dir/mfsa_grep.cpp.o"
+  "CMakeFiles/mfsa_grep.dir/mfsa_grep.cpp.o.d"
+  "mfsa_grep"
+  "mfsa_grep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfsa_grep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

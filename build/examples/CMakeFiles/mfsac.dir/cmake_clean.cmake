@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfsac.dir/mfsac.cpp.o"
+  "CMakeFiles/mfsac.dir/mfsac.cpp.o.d"
+  "mfsac"
+  "mfsac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfsac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

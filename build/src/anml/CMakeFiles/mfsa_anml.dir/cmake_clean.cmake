@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfsa_anml.dir/Anml.cpp.o"
+  "CMakeFiles/mfsa_anml.dir/Anml.cpp.o.d"
+  "libmfsa_anml.a"
+  "libmfsa_anml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfsa_anml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

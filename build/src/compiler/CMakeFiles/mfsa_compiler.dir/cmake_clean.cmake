@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfsa_compiler.dir/Pipeline.cpp.o"
+  "CMakeFiles/mfsa_compiler.dir/Pipeline.cpp.o.d"
+  "libmfsa_compiler.a"
+  "libmfsa_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfsa_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

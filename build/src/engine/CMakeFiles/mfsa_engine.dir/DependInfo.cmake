@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/AhoCorasick.cpp" "src/engine/CMakeFiles/mfsa_engine.dir/AhoCorasick.cpp.o" "gcc" "src/engine/CMakeFiles/mfsa_engine.dir/AhoCorasick.cpp.o.d"
+  "/root/repo/src/engine/DfaEngine.cpp" "src/engine/CMakeFiles/mfsa_engine.dir/DfaEngine.cpp.o" "gcc" "src/engine/CMakeFiles/mfsa_engine.dir/DfaEngine.cpp.o.d"
+  "/root/repo/src/engine/Imfant.cpp" "src/engine/CMakeFiles/mfsa_engine.dir/Imfant.cpp.o" "gcc" "src/engine/CMakeFiles/mfsa_engine.dir/Imfant.cpp.o.d"
+  "/root/repo/src/engine/MultiStride.cpp" "src/engine/CMakeFiles/mfsa_engine.dir/MultiStride.cpp.o" "gcc" "src/engine/CMakeFiles/mfsa_engine.dir/MultiStride.cpp.o.d"
+  "/root/repo/src/engine/Parallel.cpp" "src/engine/CMakeFiles/mfsa_engine.dir/Parallel.cpp.o" "gcc" "src/engine/CMakeFiles/mfsa_engine.dir/Parallel.cpp.o.d"
+  "/root/repo/src/engine/Prefilter.cpp" "src/engine/CMakeFiles/mfsa_engine.dir/Prefilter.cpp.o" "gcc" "src/engine/CMakeFiles/mfsa_engine.dir/Prefilter.cpp.o.d"
+  "/root/repo/src/engine/SparseImfant.cpp" "src/engine/CMakeFiles/mfsa_engine.dir/SparseImfant.cpp.o" "gcc" "src/engine/CMakeFiles/mfsa_engine.dir/SparseImfant.cpp.o.d"
+  "/root/repo/src/engine/Trace.cpp" "src/engine/CMakeFiles/mfsa_engine.dir/Trace.cpp.o" "gcc" "src/engine/CMakeFiles/mfsa_engine.dir/Trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mfsa/CMakeFiles/mfsa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mfsa_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsa/CMakeFiles/mfsa_fsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/regex/CMakeFiles/mfsa_regex.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfsa_engine.dir/AhoCorasick.cpp.o"
+  "CMakeFiles/mfsa_engine.dir/AhoCorasick.cpp.o.d"
+  "CMakeFiles/mfsa_engine.dir/DfaEngine.cpp.o"
+  "CMakeFiles/mfsa_engine.dir/DfaEngine.cpp.o.d"
+  "CMakeFiles/mfsa_engine.dir/Imfant.cpp.o"
+  "CMakeFiles/mfsa_engine.dir/Imfant.cpp.o.d"
+  "CMakeFiles/mfsa_engine.dir/MultiStride.cpp.o"
+  "CMakeFiles/mfsa_engine.dir/MultiStride.cpp.o.d"
+  "CMakeFiles/mfsa_engine.dir/Parallel.cpp.o"
+  "CMakeFiles/mfsa_engine.dir/Parallel.cpp.o.d"
+  "CMakeFiles/mfsa_engine.dir/Prefilter.cpp.o"
+  "CMakeFiles/mfsa_engine.dir/Prefilter.cpp.o.d"
+  "CMakeFiles/mfsa_engine.dir/SparseImfant.cpp.o"
+  "CMakeFiles/mfsa_engine.dir/SparseImfant.cpp.o.d"
+  "CMakeFiles/mfsa_engine.dir/Trace.cpp.o"
+  "CMakeFiles/mfsa_engine.dir/Trace.cpp.o.d"
+  "libmfsa_engine.a"
+  "libmfsa_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfsa_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

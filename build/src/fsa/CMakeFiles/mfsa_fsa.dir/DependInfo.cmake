@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fsa/AlphabetPartition.cpp" "src/fsa/CMakeFiles/mfsa_fsa.dir/AlphabetPartition.cpp.o" "gcc" "src/fsa/CMakeFiles/mfsa_fsa.dir/AlphabetPartition.cpp.o.d"
+  "/root/repo/src/fsa/Builder.cpp" "src/fsa/CMakeFiles/mfsa_fsa.dir/Builder.cpp.o" "gcc" "src/fsa/CMakeFiles/mfsa_fsa.dir/Builder.cpp.o.d"
+  "/root/repo/src/fsa/Determinize.cpp" "src/fsa/CMakeFiles/mfsa_fsa.dir/Determinize.cpp.o" "gcc" "src/fsa/CMakeFiles/mfsa_fsa.dir/Determinize.cpp.o.d"
+  "/root/repo/src/fsa/LiteralAnalysis.cpp" "src/fsa/CMakeFiles/mfsa_fsa.dir/LiteralAnalysis.cpp.o" "gcc" "src/fsa/CMakeFiles/mfsa_fsa.dir/LiteralAnalysis.cpp.o.d"
+  "/root/repo/src/fsa/Nfa.cpp" "src/fsa/CMakeFiles/mfsa_fsa.dir/Nfa.cpp.o" "gcc" "src/fsa/CMakeFiles/mfsa_fsa.dir/Nfa.cpp.o.d"
+  "/root/repo/src/fsa/Passes.cpp" "src/fsa/CMakeFiles/mfsa_fsa.dir/Passes.cpp.o" "gcc" "src/fsa/CMakeFiles/mfsa_fsa.dir/Passes.cpp.o.d"
+  "/root/repo/src/fsa/Reference.cpp" "src/fsa/CMakeFiles/mfsa_fsa.dir/Reference.cpp.o" "gcc" "src/fsa/CMakeFiles/mfsa_fsa.dir/Reference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/regex/CMakeFiles/mfsa_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mfsa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfsa_fsa.dir/AlphabetPartition.cpp.o"
+  "CMakeFiles/mfsa_fsa.dir/AlphabetPartition.cpp.o.d"
+  "CMakeFiles/mfsa_fsa.dir/Builder.cpp.o"
+  "CMakeFiles/mfsa_fsa.dir/Builder.cpp.o.d"
+  "CMakeFiles/mfsa_fsa.dir/Determinize.cpp.o"
+  "CMakeFiles/mfsa_fsa.dir/Determinize.cpp.o.d"
+  "CMakeFiles/mfsa_fsa.dir/LiteralAnalysis.cpp.o"
+  "CMakeFiles/mfsa_fsa.dir/LiteralAnalysis.cpp.o.d"
+  "CMakeFiles/mfsa_fsa.dir/Nfa.cpp.o"
+  "CMakeFiles/mfsa_fsa.dir/Nfa.cpp.o.d"
+  "CMakeFiles/mfsa_fsa.dir/Passes.cpp.o"
+  "CMakeFiles/mfsa_fsa.dir/Passes.cpp.o.d"
+  "CMakeFiles/mfsa_fsa.dir/Reference.cpp.o"
+  "CMakeFiles/mfsa_fsa.dir/Reference.cpp.o.d"
+  "libmfsa_fsa.a"
+  "libmfsa_fsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfsa_fsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

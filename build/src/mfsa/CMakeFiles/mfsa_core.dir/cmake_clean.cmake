@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfsa_core.dir/Merge.cpp.o"
+  "CMakeFiles/mfsa_core.dir/Merge.cpp.o.d"
+  "CMakeFiles/mfsa_core.dir/Mfsa.cpp.o"
+  "CMakeFiles/mfsa_core.dir/Mfsa.cpp.o.d"
+  "libmfsa_core.a"
+  "libmfsa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfsa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

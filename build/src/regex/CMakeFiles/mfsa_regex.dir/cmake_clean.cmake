@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfsa_regex.dir/Ast.cpp.o"
+  "CMakeFiles/mfsa_regex.dir/Ast.cpp.o.d"
+  "CMakeFiles/mfsa_regex.dir/Lexer.cpp.o"
+  "CMakeFiles/mfsa_regex.dir/Lexer.cpp.o.d"
+  "CMakeFiles/mfsa_regex.dir/Parser.cpp.o"
+  "CMakeFiles/mfsa_regex.dir/Parser.cpp.o.d"
+  "libmfsa_regex.a"
+  "libmfsa_regex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfsa_regex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mfsa_regex.
+# This may be replaced when dependencies are built.

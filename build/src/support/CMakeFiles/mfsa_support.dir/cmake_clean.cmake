@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfsa_support.dir/StringUtil.cpp.o"
+  "CMakeFiles/mfsa_support.dir/StringUtil.cpp.o.d"
+  "CMakeFiles/mfsa_support.dir/SymbolSet.cpp.o"
+  "CMakeFiles/mfsa_support.dir/SymbolSet.cpp.o.d"
+  "CMakeFiles/mfsa_support.dir/ThreadPool.cpp.o"
+  "CMakeFiles/mfsa_support.dir/ThreadPool.cpp.o.d"
+  "libmfsa_support.a"
+  "libmfsa_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfsa_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/Clustering.cpp" "src/workload/CMakeFiles/mfsa_workload.dir/Clustering.cpp.o" "gcc" "src/workload/CMakeFiles/mfsa_workload.dir/Clustering.cpp.o.d"
+  "/root/repo/src/workload/Datasets.cpp" "src/workload/CMakeFiles/mfsa_workload.dir/Datasets.cpp.o" "gcc" "src/workload/CMakeFiles/mfsa_workload.dir/Datasets.cpp.o.d"
+  "/root/repo/src/workload/Indel.cpp" "src/workload/CMakeFiles/mfsa_workload.dir/Indel.cpp.o" "gcc" "src/workload/CMakeFiles/mfsa_workload.dir/Indel.cpp.o.d"
+  "/root/repo/src/workload/Sampler.cpp" "src/workload/CMakeFiles/mfsa_workload.dir/Sampler.cpp.o" "gcc" "src/workload/CMakeFiles/mfsa_workload.dir/Sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/regex/CMakeFiles/mfsa_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mfsa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

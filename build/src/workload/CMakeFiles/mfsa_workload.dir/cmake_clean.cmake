@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfsa_workload.dir/Clustering.cpp.o"
+  "CMakeFiles/mfsa_workload.dir/Clustering.cpp.o.d"
+  "CMakeFiles/mfsa_workload.dir/Datasets.cpp.o"
+  "CMakeFiles/mfsa_workload.dir/Datasets.cpp.o.d"
+  "CMakeFiles/mfsa_workload.dir/Indel.cpp.o"
+  "CMakeFiles/mfsa_workload.dir/Indel.cpp.o.d"
+  "CMakeFiles/mfsa_workload.dir/Sampler.cpp.o"
+  "CMakeFiles/mfsa_workload.dir/Sampler.cpp.o.d"
+  "libmfsa_workload.a"
+  "libmfsa_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfsa_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

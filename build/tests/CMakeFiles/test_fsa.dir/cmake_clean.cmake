@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fsa.dir/FsaTest.cpp.o"
+  "CMakeFiles/test_fsa.dir/FsaTest.cpp.o.d"
+  "test_fsa"
+  "test_fsa.pdb"
+  "test_fsa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

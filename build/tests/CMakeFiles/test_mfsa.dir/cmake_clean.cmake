@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mfsa.dir/MfsaTest.cpp.o"
+  "CMakeFiles/test_mfsa.dir/MfsaTest.cpp.o.d"
+  "test_mfsa"
+  "test_mfsa.pdb"
+  "test_mfsa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mfsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/PrefilterTest.cpp" "tests/CMakeFiles/test_prefilter.dir/PrefilterTest.cpp.o" "gcc" "tests/CMakeFiles/test_prefilter.dir/PrefilterTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compiler/CMakeFiles/mfsa_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/mfsa_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/anml/CMakeFiles/mfsa_anml.dir/DependInfo.cmake"
+  "/root/repo/build/src/mfsa/CMakeFiles/mfsa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsa/CMakeFiles/mfsa_fsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/regex/CMakeFiles/mfsa_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mfsa_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mfsa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

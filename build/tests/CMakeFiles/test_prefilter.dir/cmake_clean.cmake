@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prefilter.dir/PrefilterTest.cpp.o"
+  "CMakeFiles/test_prefilter.dir/PrefilterTest.cpp.o.d"
+  "test_prefilter"
+  "test_prefilter.pdb"
+  "test_prefilter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prefilter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
