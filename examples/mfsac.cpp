@@ -36,7 +36,9 @@ static void usage(const char *Prog) {
                "  --no-anml   skip ANML emission (compression study only)\n"
                "  --cluster   group rules by similarity, not file order\n"
                "  -i          case-insensitive matching\n"
-               "  --dot       also write Graphviz .dot files per MFSA\n",
+               "  --dot       also write Graphviz .dot files per MFSA\n"
+               "  --isolate   quarantine broken/over-budget rules and keep "
+               "going\n",
                Prog);
 }
 
@@ -48,6 +50,7 @@ int main(int argc, char **argv) {
   bool Cluster = false;
   bool CaseInsensitive = false;
   bool EmitDot = false;
+  bool Isolate = false;
 
   for (int I = 1; I < argc; ++I) {
     if (!std::strcmp(argv[I], "-M") && I + 1 < argc)
@@ -62,6 +65,8 @@ int main(int argc, char **argv) {
       CaseInsensitive = true;
     else if (!std::strcmp(argv[I], "--dot"))
       EmitDot = true;
+    else if (!std::strcmp(argv[I], "--isolate"))
+      Isolate = true;
     else if (argv[I][0] == '-') {
       usage(argv[0]);
       return 2;
@@ -90,13 +95,29 @@ int main(int argc, char **argv) {
     return 1;
   }
 
+  if (Isolate && Cluster) {
+    // Clustering regroups by position in the original rule list; mixing it
+    // with quarantine holes is a recipe for mislabeled rules.
+    std::fprintf(stderr, "error: --isolate and --cluster are exclusive\n");
+    return 2;
+  }
+
   CompileOptions Options;
   Options.MergingFactor = MergingFactor;
   Options.EmitAnml = EmitAnml && !Cluster;
   Options.Parse.CaseInsensitive = CaseInsensitive;
+  if (Isolate)
+    Options.Policy = FailurePolicy::Isolate;
   Result<CompileArtifacts> Artifacts = compileRuleset(Rules, Options);
   if (!Artifacts.ok()) {
     std::fprintf(stderr, "error: %s\n", Artifacts.diag().render().c_str());
+    return 1;
+  }
+  for (const QuarantinedRule &Q : Artifacts->Quarantined)
+    std::fprintf(stderr, "warning: rule %u quarantined at %s: %s\n",
+                 Q.RuleIndex, stageName(Q.Stage), Q.Reason.Message.c_str());
+  if (Artifacts->CompiledRuleIds.empty()) {
+    std::fprintf(stderr, "error: every rule was quarantined\n");
     return 1;
   }
 
@@ -120,7 +141,8 @@ int main(int argc, char **argv) {
   }
   MfsaSetStats Merged = computeSetStats(Artifacts->Mfsas);
 
-  std::printf("compiled %zu rules -> %zu MFSA(s) at M=%s\n", Rules.size(),
+  std::printf("compiled %zu/%zu rules -> %zu MFSA(s) at M=%s\n",
+              Artifacts->CompiledRuleIds.size(), Rules.size(),
               Artifacts->Mfsas.size(),
               MergingFactor == 0 ? "all" : std::to_string(MergingFactor).c_str());
   std::printf("states: %lu -> %lu (%.2f%%)  transitions: %lu -> %lu "

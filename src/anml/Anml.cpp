@@ -295,14 +295,21 @@ static bool parseSymbols(const std::string &Text, SymbolSet &Out) {
   return !Out.empty();
 }
 
-Result<Mfsa> mfsa::readAnml(const std::string &Document) {
+Result<Mfsa> mfsa::readAnml(const std::string &Document,
+                            const AnmlLimits &Limits) {
+  if (Document.size() > Limits.MaxDocumentBytes)
+    return Result<Mfsa>::error(
+        "document exceeds size cap (" + std::to_string(Document.size()) +
+            " bytes, cap " + std::to_string(Limits.MaxDocumentBytes) + ")",
+        Limits.MaxDocumentBytes);
+
   XmlScanner Scanner(Document);
   XmlElement Element;
 
   // Header: <mfsa-network states=... rules=...>
   Result<bool> Scan = Scanner.next(Element);
   if (!Scan)
-    return Scan.diag();
+    return Scan.withContext("malformed ANML").takeDiag();
   if (!*Scan || Element.Tag != "mfsa-network" || Element.Closing)
     return Result<Mfsa>::error("expected <mfsa-network> root element");
   std::string StatesText, RulesText;
@@ -312,16 +319,29 @@ Result<Mfsa> mfsa::readAnml(const std::string &Document) {
       !parseUint(RulesText, NumRules))
     return Result<Mfsa>::error("missing or malformed states/rules attributes",
                                Element.Offset);
+  // Declared-size caps come before any proportional allocation.
+  if (NumStates > Limits.MaxStates)
+    return Result<Mfsa>::error("declared states exceed cap (" +
+                                   std::to_string(NumStates) + " > " +
+                                   std::to_string(Limits.MaxStates) + ")",
+                               Element.Offset);
+  if (NumRules > Limits.MaxRules)
+    return Result<Mfsa>::error("declared rules exceed cap (" +
+                                   std::to_string(NumRules) + " > " +
+                                   std::to_string(Limits.MaxRules) + ")",
+                               Element.Offset);
 
   Mfsa Z(static_cast<uint32_t>(NumRules));
   for (uint64_t I = 0; I < NumStates; ++I)
     Z.addState();
   std::vector<bool> RuleSeen(NumRules, false);
+  uint64_t NumTransitions = 0;
+  unsigned OpenDepth = 1; // the root element
 
   for (;;) {
     Scan = Scanner.next(Element);
     if (!Scan)
-      return Scan.diag();
+      return Scan.withContext("malformed ANML").takeDiag();
     if (!*Scan)
       return Result<Mfsa>::error("missing </mfsa-network> close tag");
     if (Element.Closing) {
@@ -331,6 +351,13 @@ Result<Mfsa> mfsa::readAnml(const std::string &Document) {
                                    Element.Offset);
       break;
     }
+    // The dialect's elements are self-closing; tolerate open forms but bound
+    // how deep unclosed elements may pile up (hostile-nesting guard).
+    if (!Element.SelfClosing && ++OpenDepth > Limits.MaxElementDepth)
+      return Result<Mfsa>::error("element nesting exceeds depth cap (" +
+                                     std::to_string(Limits.MaxElementDepth) +
+                                     ")",
+                                 Element.Offset);
 
     if (Element.Tag == "rule") {
       std::string IdText, InitialText, FinalsText, Text;
@@ -351,6 +378,11 @@ Result<Mfsa> mfsa::readAnml(const std::string &Document) {
       if (!Element.get("finals", FinalsText) ||
           !parseUintList(FinalsText, Finals))
         return Result<Mfsa>::error("malformed rule finals", Element.Offset);
+      if (Finals.size() > Limits.MaxListItems)
+        return Result<Mfsa>::error("rule finals list exceeds cardinality cap (" +
+                                       std::to_string(Limits.MaxListItems) +
+                                       ")",
+                                   Element.Offset);
       for (uint32_t F : Finals) {
         if (F >= NumStates)
           return Result<Mfsa>::error("rule final state out of range",
@@ -371,6 +403,11 @@ Result<Mfsa> mfsa::readAnml(const std::string &Document) {
     }
 
     if (Element.Tag == "transition") {
+      if (++NumTransitions > Limits.MaxTransitions)
+        return Result<Mfsa>::error("transition count exceeds cap (" +
+                                       std::to_string(Limits.MaxTransitions) +
+                                       ")",
+                                   Element.Offset);
       std::string FromText, ToText, SymbolsText, BelongsText;
       uint64_t From = 0, To = 0;
       if (!Element.get("from", FromText) || !parseUint(FromText, From) ||
@@ -388,6 +425,11 @@ Result<Mfsa> mfsa::readAnml(const std::string &Document) {
           !parseUintList(BelongsText, Belongs) || Belongs.empty())
         return Result<Mfsa>::error("malformed transition belongs",
                                    Element.Offset);
+      if (Belongs.size() > Limits.MaxListItems)
+        return Result<Mfsa>::error(
+            "belonging set exceeds cardinality cap (" +
+                std::to_string(Limits.MaxListItems) + ")",
+            Element.Offset);
       DynamicBitset Bel(static_cast<unsigned>(NumRules));
       for (uint32_t Rule : Belongs) {
         if (Rule >= NumRules)

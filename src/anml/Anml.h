@@ -42,9 +42,25 @@ namespace mfsa {
 /// (from, to, label) transition order.
 std::string writeAnml(const Mfsa &Z, const std::string &Name);
 
+/// Caps shielding readAnml from hostile documents. The reader allocates
+/// proportionally to the *declared* sizes (RuleSeen is NumRules wide, every
+/// transition carries a NumRules-wide belonging set), so a tiny document
+/// declaring states="4000000000" would otherwise commit gigabytes before the
+/// first real element is parsed. Every field is a hard limit; exceeding one
+/// is a positioned Diag, never an allocation.
+struct AnmlLimits {
+  size_t MaxDocumentBytes = size_t(64) << 20; ///< Whole-document size cap.
+  uint64_t MaxStates = 1u << 22;              ///< Declared states cap.
+  uint64_t MaxRules = 1u << 20;               ///< Declared rules cap.
+  uint64_t MaxTransitions = 1u << 23;         ///< Transition element cap.
+  size_t MaxListItems = size_t(1) << 20; ///< finals/belongs cardinality cap.
+  unsigned MaxElementDepth = 8; ///< Unclosed (non-self-closing) element cap.
+};
+
 /// Parses an extended-ANML document back into an Mfsa, validating index
-/// ranges and belonging-set widths.
-Result<Mfsa> readAnml(const std::string &Document);
+/// ranges and belonging-set widths and enforcing \p Limits.
+Result<Mfsa> readAnml(const std::string &Document,
+                      const AnmlLimits &Limits = {});
 
 /// Writes \p Document to \p Path; \returns false on I/O failure.
 bool saveFile(const std::string &Path, const std::string &Document);

@@ -3,6 +3,23 @@
 // Part of the mfsa project. MIT License.
 //
 //===----------------------------------------------------------------------===//
+//
+// Fault-isolation notes.
+//
+// Under FailurePolicy::Isolate every per-rule stage filters its input: a
+// rule that fails (malformed, over budget, past the stage deadline, or hit
+// by the fault-injection hook) is appended to Artifacts.Quarantined and the
+// stage vectors are compacted so Asts/RawFsas/OptimizedFsas stay parallel to
+// the surviving-rule list. The logical→original remap (CompiledRuleIds) is
+// what the merger receives as GlobalIds, so `bel` reports and engine matches
+// always carry original input indices no matter how many rules fell out.
+//
+// Deadlines guarantee progress: they are checked only after at least one
+// rule of the stage (or one automaton of a merge) has been processed, so a
+// too-tight deadline degrades the batch to a smaller one instead of
+// livelocking or emptying it.
+//
+//===----------------------------------------------------------------------===//
 
 #include "compiler/Pipeline.h"
 
@@ -10,54 +27,334 @@
 #include "fsa/AlphabetPartition.h"
 #include "fsa/Passes.h"
 
+#include <algorithm>
+#include <cstdlib>
+#include <optional>
+
 using namespace mfsa;
+
+const char *mfsa::stageName(CompileStage Stage) {
+  switch (Stage) {
+  case CompileStage::FrontEnd:
+    return "front-end";
+  case CompileStage::AstToFsa:
+    return "ast-to-fsa";
+  case CompileStage::SingleOpt:
+    return "single-fsa-opt";
+  case CompileStage::Merging:
+    return "merging";
+  case CompileStage::BackEnd:
+    return "back-end";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Parsed MFSA_FAULT_STAGE="<stage>:<rule>" (test-only deterministic fault
+/// injection; see Pipeline.h). Re-read on every compileRuleset call so tests
+/// can toggle it between compilations.
+struct FaultSpec {
+  bool Active = false;
+  CompileStage Stage = CompileStage::FrontEnd;
+  uint32_t Rule = 0;
+};
+
+FaultSpec readFaultSpec() {
+  FaultSpec Spec;
+  const char *Env = std::getenv("MFSA_FAULT_STAGE");
+  if (!Env || !*Env)
+    return Spec;
+  const std::string Text(Env);
+  const size_t Colon = Text.find(':');
+  if (Colon == std::string::npos)
+    return Spec;
+  const std::string Stage = Text.substr(0, Colon);
+  if (Stage == "parse")
+    Spec.Stage = CompileStage::FrontEnd;
+  else if (Stage == "build")
+    Spec.Stage = CompileStage::AstToFsa;
+  else if (Stage == "opt")
+    Spec.Stage = CompileStage::SingleOpt;
+  else if (Stage == "merge")
+    Spec.Stage = CompileStage::Merging;
+  else
+    return Spec;
+  uint64_t Rule = 0;
+  for (size_t I = Colon + 1; I < Text.size(); ++I) {
+    if (Text[I] < '0' || Text[I] > '9')
+      return Spec;
+    Rule = Rule * 10 + static_cast<uint64_t>(Text[I] - '0');
+    if (Rule > UINT32_MAX)
+      return Spec;
+  }
+  if (Colon + 1 == Text.size())
+    return Spec;
+  Spec.Rule = static_cast<uint32_t>(Rule);
+  Spec.Active = true;
+  return Spec;
+}
+
+Diag injectedFault() {
+  return Diag("injected fault (MFSA_FAULT_STAGE)", static_cast<size_t>(-1));
+}
+
+/// Combines the user's per-rule cap with the budget's absolute and
+/// pattern-relative caps (0 = unlimited throughout).
+uint32_t effectiveFsaStateCap(uint32_t UserCap, const CompileBudget &Budget,
+                              size_t PatternBytes) {
+  uint64_t Cap = UserCap;
+  auto Tighten = [&](uint64_t Other) {
+    if (Other != 0)
+      Cap = Cap == 0 ? Other : std::min(Cap, Other);
+  };
+  Tighten(Budget.MaxFsaStates);
+  if (Budget.MaxLoopExpansionFactor != 0)
+    Tighten(static_cast<uint64_t>(Budget.MaxLoopExpansionFactor) *
+            std::max<size_t>(PatternBytes, 1));
+  return static_cast<uint32_t>(std::min<uint64_t>(Cap, UINT32_MAX));
+}
+
+} // namespace
 
 Result<CompileArtifacts>
 mfsa::compileRuleset(const std::vector<std::string> &Patterns,
                      const CompileOptions &Options) {
   CompileArtifacts Artifacts;
   Timer Stage;
+  const CompileBudget &Budget = Options.Budget;
+  const bool Isolate = Options.Policy == FailurePolicy::Isolate;
+  const FaultSpec Fault = readFaultSpec();
+
+  auto Injected = [&](CompileStage S, uint32_t OriginalId) {
+    return Fault.Active && Fault.Stage == S && Fault.Rule == OriginalId;
+  };
+
+  // Quarantines under Isolate; under Strict stores the batch-failing
+  // diagnostic ("rule N: ..." like the fail-fast pipeline always reported)
+  // and returns true so stage loops can abort.
+  std::optional<Diag> Failure;
+  auto Fail = [&](uint32_t OriginalId, CompileStage At, Diag Reason) {
+    if (Isolate) {
+      Artifacts.Quarantined.push_back(
+          QuarantinedRule{OriginalId, At, std::move(Reason)});
+      return false;
+    }
+    Failure = Result<CompileArtifacts>(std::move(Reason))
+                  .withContext("rule " + std::to_string(OriginalId))
+                  .takeDiag();
+    return true;
+  };
+
+  auto StageExpired = [&] {
+    return Budget.StageDeadlineMs > 0 &&
+           Stage.elapsedMs() > Budget.StageDeadlineMs;
+  };
+  auto DeadlineDiag = [&](CompileStage At) {
+    return Diag(std::string("stage deadline exceeded (") + stageName(At) +
+                    ", budget " + std::to_string(Budget.StageDeadlineMs) +
+                    " ms)",
+                static_cast<size_t>(-1));
+  };
+
+  // Logical index -> original index in Patterns, parallel to the per-rule
+  // artifact vectors; compacted after every stage that drops rules.
+  std::vector<uint32_t> Alive;
 
   // Stage 1 — Front-End: lexical and syntactic analyses (§IV-A).
   Stage.reset();
   Artifacts.Asts.reserve(Patterns.size());
-  for (size_t I = 0; I < Patterns.size(); ++I) {
-    Result<Regex> Re = parseRegex(Patterns[I], Options.Parse);
-    if (!Re)
-      return Diag("rule " + std::to_string(I) + ": " + Re.diag().Message,
-                  Re.diag().Offset);
+  for (uint32_t I = 0; I < Patterns.size(); ++I) {
+    if (I > 0 && StageExpired()) {
+      if (Fail(I, CompileStage::FrontEnd, DeadlineDiag(CompileStage::FrontEnd)))
+        return std::move(*Failure);
+      continue;
+    }
+    Result<Regex> Re = Injected(CompileStage::FrontEnd, I)
+                           ? Result<Regex>(injectedFault())
+                           : parseRegex(Patterns[I], Options.Parse);
+    if (!Re.ok()) {
+      if (Fail(I, CompileStage::FrontEnd, Re.takeDiag()))
+        return std::move(*Failure);
+      continue;
+    }
     Artifacts.Asts.push_back(Re.take());
+    Alive.push_back(I);
   }
   Artifacts.Times.FrontEndMs = Stage.elapsedMs();
 
   // Stage 2 — AST to FSA: Thompson-like construction (§IV-B), bounded loops
-  // expanded per §IV-C (2).
+  // expanded per §IV-C (2) under the per-rule state budget.
   Stage.reset();
-  Artifacts.RawFsas.reserve(Patterns.size());
-  for (size_t I = 0; I < Artifacts.Asts.size(); ++I) {
-    Result<Nfa> A = buildNfa(Artifacts.Asts[I], Options.Build);
-    if (!A)
-      return Diag("rule " + std::to_string(I) + ": " + A.diag().Message,
-                  A.diag().Offset);
-    Artifacts.RawFsas.push_back(A.take());
+  {
+    std::vector<Regex> KeptAsts;
+    std::vector<uint32_t> NextAlive;
+    Artifacts.RawFsas.reserve(Alive.size());
+    for (size_t L = 0; L < Alive.size(); ++L) {
+      const uint32_t Id = Alive[L];
+      if (L > 0 && StageExpired()) {
+        if (Fail(Id, CompileStage::AstToFsa,
+                 DeadlineDiag(CompileStage::AstToFsa)))
+          return std::move(*Failure);
+        continue;
+      }
+      BuildOptions Build = Options.Build;
+      Build.MaxStates =
+          effectiveFsaStateCap(Build.MaxStates, Budget, Patterns[Id].size());
+      Result<Nfa> A = Injected(CompileStage::AstToFsa, Id)
+                          ? Result<Nfa>(injectedFault())
+                          : buildNfa(Artifacts.Asts[L], Build);
+      if (!A.ok()) {
+        if (Fail(Id, CompileStage::AstToFsa, A.takeDiag()))
+          return std::move(*Failure);
+        continue;
+      }
+      Artifacts.RawFsas.push_back(A.take());
+      KeptAsts.push_back(std::move(Artifacts.Asts[L]));
+      NextAlive.push_back(Id);
+    }
+    Artifacts.Asts = std::move(KeptAsts);
+    Alive = std::move(NextAlive);
   }
   Artifacts.Times.AstToFsaMs = Stage.elapsedMs();
 
   // Stage 3 — single-FSA optimization: ε-removal, multiplicity folding,
-  // compaction (§IV-C (1) and (3)).
+  // compaction (§IV-C (1) and (3)), budgeted because ε-removal may grow the
+  // transition set quadratically.
   Stage.reset();
-  Artifacts.OptimizedFsas.reserve(Artifacts.RawFsas.size());
-  for (const Nfa &Raw : Artifacts.RawFsas)
-    Artifacts.OptimizedFsas.push_back(optimizeForMerging(Raw));
+  {
+    std::vector<Regex> KeptAsts;
+    std::vector<Nfa> KeptRaw;
+    std::vector<uint32_t> NextAlive;
+    Artifacts.OptimizedFsas.reserve(Alive.size());
+    for (size_t L = 0; L < Alive.size(); ++L) {
+      const uint32_t Id = Alive[L];
+      if (L > 0 && StageExpired()) {
+        if (Fail(Id, CompileStage::SingleOpt,
+                 DeadlineDiag(CompileStage::SingleOpt)))
+          return std::move(*Failure);
+        continue;
+      }
+      Result<Nfa> Optimized =
+          Injected(CompileStage::SingleOpt, Id)
+              ? Result<Nfa>(injectedFault())
+              : optimizeForMergingBudgeted(Artifacts.RawFsas[L],
+                                           Budget.MaxFsaStates,
+                                           Budget.MaxFsaTransitions);
+      if (!Optimized.ok()) {
+        if (Fail(Id, CompileStage::SingleOpt, Optimized.takeDiag()))
+          return std::move(*Failure);
+        continue;
+      }
+      Artifacts.OptimizedFsas.push_back(Optimized.take());
+      KeptAsts.push_back(std::move(Artifacts.Asts[L]));
+      KeptRaw.push_back(std::move(Artifacts.RawFsas[L]));
+      NextAlive.push_back(Id);
+    }
+    Artifacts.Asts = std::move(KeptAsts);
+    Artifacts.RawFsas = std::move(KeptRaw);
+    Alive = std::move(NextAlive);
+  }
   if (Options.SplitCcByAtoms)
     Artifacts.OptimizedFsas = splitAllByAtoms(Artifacts.OptimizedFsas);
   Artifacts.Times.SingleOptMs = Stage.elapsedMs();
 
-  // Stage 4 — merging into ⌈N/M⌉ MFSAs (§III, Algorithm 1).
+  // Stage 4 — merging into ⌈N/M⌉ MFSAs (§III, Algorithm 1). Groups are
+  // formed over the surviving logical sequence; a budget overrun quarantines
+  // exactly the offending rule and re-merges the group without it, while a
+  // deadline overrun abandons the group's unmerged tail.
   Stage.reset();
-  Artifacts.Mfsas = mergeInGroups(Artifacts.OptimizedFsas,
-                                  Options.MergingFactor, Options.Merge,
-                                  &Artifacts.Merging);
+  {
+    const uint32_t N = static_cast<uint32_t>(Artifacts.OptimizedFsas.size());
+    uint32_t M = Options.MergingFactor;
+    if (M == 0 || M > N)
+      M = N;
+    std::vector<bool> MergedOut(N, false); // logical ids dropped in stage 4
+
+    for (uint32_t Begin = 0; Begin < N; Begin += M) {
+      std::vector<uint32_t> Group; // logical indices
+      for (uint32_t L = Begin; L < std::min(Begin + M, N); ++L)
+        Group.push_back(L);
+
+      while (!Group.empty()) {
+        std::vector<Nfa> Members;
+        std::vector<uint32_t> Ids;
+        Members.reserve(Group.size());
+        Ids.reserve(Group.size());
+        for (uint32_t L : Group) {
+          Members.push_back(Artifacts.OptimizedFsas[L]);
+          Ids.push_back(Alive[L]);
+        }
+
+        Result<Mfsa> Z = Diag();
+        size_t InjectAt = Ids.size();
+        for (size_t K = 0; K < Ids.size(); ++K)
+          if (Injected(CompileStage::Merging, Ids[K]))
+            InjectAt = K;
+        MergeReport Attempt;
+        if (InjectAt < Ids.size()) {
+          Diag Injection = injectedFault();
+          Injection.Offset = InjectAt;
+          Z = std::move(Injection);
+        } else {
+          MergeBudget MB;
+          MB.MaxStates = Budget.MaxMergedStates;
+          MB.MaxTransitions = Budget.MaxMergedTransitions;
+          if (Budget.StageDeadlineMs > 0)
+            MB.DeadlineMs = std::max(Budget.StageDeadlineMs -
+                                         Stage.elapsedMs(),
+                                     1e-9);
+          Z = mergeFsasWithBudget(Members, Ids, Options.Merge, MB, &Attempt);
+        }
+
+        if (Z.ok()) {
+          Artifacts.Merging += Attempt;
+          Artifacts.Mfsas.push_back(Z.take());
+          break;
+        }
+
+        Diag Reason = Z.takeDiag();
+        // The diagnostic's Offset indexes into this merge attempt's members.
+        size_t Offender =
+            std::min<size_t>(Reason.Offset, Group.size() - 1);
+        // Past the stage deadline no single rule is at fault: abandon the
+        // whole unmerged tail in one step. Otherwise drop the offender only
+        // and retry the rest of the group.
+        const size_t DropEnd = StageExpired() ? Group.size() : Offender + 1;
+        for (size_t K = Offender; K < DropEnd; ++K) {
+          Diag RuleReason = Reason;
+          RuleReason.Offset = static_cast<size_t>(-1);
+          MergedOut[Group[K]] = true;
+          if (Fail(Alive[Group[K]], CompileStage::Merging,
+                   std::move(RuleReason)))
+            return std::move(*Failure);
+        }
+        Group.erase(Group.begin() + static_cast<ptrdiff_t>(Offender),
+                    Group.begin() + static_cast<ptrdiff_t>(DropEnd));
+      }
+    }
+
+    // Compact the per-rule artifacts so CompiledRuleIds and Quarantined stay
+    // a partition of the input ruleset.
+    if (std::find(MergedOut.begin(), MergedOut.end(), true) !=
+        MergedOut.end()) {
+      std::vector<Regex> KeptAsts;
+      std::vector<Nfa> KeptRaw, KeptOpt;
+      std::vector<uint32_t> NextAlive;
+      for (uint32_t L = 0; L < N; ++L) {
+        if (MergedOut[L])
+          continue;
+        KeptAsts.push_back(std::move(Artifacts.Asts[L]));
+        KeptRaw.push_back(std::move(Artifacts.RawFsas[L]));
+        KeptOpt.push_back(std::move(Artifacts.OptimizedFsas[L]));
+        NextAlive.push_back(Alive[L]);
+      }
+      Artifacts.Asts = std::move(KeptAsts);
+      Artifacts.RawFsas = std::move(KeptRaw);
+      Artifacts.OptimizedFsas = std::move(KeptOpt);
+      Alive = std::move(NextAlive);
+    }
+  }
   Artifacts.Times.MergingMs = Stage.elapsedMs();
 
   // Stage 5 — Back-End: extended-ANML generation (§IV-E).
@@ -70,5 +367,6 @@ mfsa::compileRuleset(const std::vector<std::string> &Patterns,
     Artifacts.Times.BackEndMs = Stage.elapsedMs();
   }
 
+  Artifacts.CompiledRuleIds = std::move(Alive);
   return Artifacts;
 }

@@ -19,6 +19,13 @@
 /// (StageTimes, Fig. 8). Stage outputs are all retained in the artifacts so
 /// tests and benches can inspect any level.
 ///
+/// On top of the paper's pipeline this header defines the fault-isolation
+/// layer: a FailurePolicy choosing between fail-fast (Strict) and
+/// quarantine-and-continue (Isolate) semantics, and a CompileBudget bounding
+/// per-rule state growth, merged-MFSA size, and per-stage wall clock so one
+/// pathological rule cannot take down a large batch. See DESIGN.md
+/// "Degraded-mode semantics".
+///
 /// One deviation from the paper's stage accounting, documented here and in
 /// DESIGN.md: loop expansion (§IV-C optimization (2)) executes inside the
 /// Thompson construction — expansion is how counter-less automata realize
@@ -40,11 +47,71 @@
 
 namespace mfsa {
 
+/// How compileRuleset reacts to a rule that fails a stage.
+enum class FailurePolicy : uint8_t {
+  /// Fail the whole batch on the first malformed or budget-busting rule,
+  /// with a "rule N: ..." diagnostic. The historical behavior; right for
+  /// interactive use where the ruleset author can fix the rule.
+  Strict,
+  /// Quarantine the offending rule — recording its index, stage, and
+  /// diagnostic in CompileArtifacts::Quarantined — and keep compiling the
+  /// healthy rest. The right default for services compiling third-party
+  /// rulesets: the batch always produces every MFSA it can.
+  Isolate,
+};
+
+/// The pipeline stage a quarantined rule fell out of.
+enum class CompileStage : uint8_t {
+  FrontEnd,  ///< Stage 1: lexical + syntactic analysis.
+  AstToFsa,  ///< Stage 2: Thompson construction (incl. loop expansion).
+  SingleOpt, ///< Stage 3: per-FSA optimization.
+  Merging,   ///< Stage 4: Algorithm-1 merging.
+  BackEnd,   ///< Stage 5: ANML generation.
+};
+
+/// Human-readable stage name ("front-end", "ast-to-fsa", ...).
+const char *stageName(CompileStage Stage);
+
+/// Resource budget enforced throughout the pipeline. Every field accepts 0
+/// for "unlimited"; the defaults are far above anything a legitimate rule
+/// needs but low enough that an expansion bomb (`a{1000}{1000}` is ~10^6
+/// states before optimization even starts) or a runaway merge is caught
+/// before it exhausts memory.
+struct CompileBudget {
+  /// Cap on one rule's NFA states during Thompson construction (stage 2).
+  uint32_t MaxFsaStates = 1u << 20;
+
+  /// Additional stage-2 cap relative to the rule's size: a rule may allocate
+  /// at most MaxLoopExpansionFactor states per pattern byte. Catches small
+  /// patterns whose nested bounded repeats multiply into huge automata while
+  /// leaving long literal rules (which grow linearly) untouched.
+  uint32_t MaxLoopExpansionFactor = 4096;
+
+  /// Cap on one rule's transitions after stage-3 optimization (ε-removal can
+  /// grow the transition set quadratically).
+  uint64_t MaxFsaTransitions = 1u << 22;
+
+  /// Caps on each merged MFSA's size (stage 4, Algorithm 1).
+  uint64_t MaxMergedStates = 1u << 22;
+  uint64_t MaxMergedTransitions = 1u << 23;
+
+  /// Per-stage wall-clock deadline in milliseconds (0 = none). Checked after
+  /// each processed rule, so every stage always completes at least one rule:
+  /// an expired deadline degrades the batch, it never livelocks it.
+  double StageDeadlineMs = 0.0;
+};
+
 /// End-to-end compilation knobs.
 struct CompileOptions {
   ParseOptions Parse;
   BuildOptions Build;
   MergeOptions Merge;
+
+  /// Failure semantics; see FailurePolicy.
+  FailurePolicy Policy = FailurePolicy::Strict;
+
+  /// Resource budget; see CompileBudget.
+  CompileBudget Budget;
 
   /// The paper's merging factor M: rules are merged in sequential groups of
   /// this size; 0 means "all" (a single MFSA).
@@ -63,19 +130,49 @@ struct CompileOptions {
   bool SplitCcByAtoms = false;
 };
 
-/// Everything the pipeline produced, one level per stage.
+/// One rule the Isolate policy dropped, with full provenance for reporting.
+struct QuarantinedRule {
+  uint32_t RuleIndex = 0;                   ///< Index into the input Patterns.
+  CompileStage Stage = CompileStage::FrontEnd; ///< Stage it fell out of.
+  Diag Reason;                              ///< Why (positions refer to the rule).
+};
+
+/// Everything the pipeline produced, one level per stage. Under
+/// FailurePolicy::Isolate the per-rule vectors (Asts, RawFsas,
+/// OptimizedFsas) hold the surviving rules only, in input order;
+/// CompiledRuleIds maps each logical index back to the rule's index in the
+/// input Patterns, and the MFSAs carry the same original index as each
+/// rule's RuleInfo::GlobalId, so engine match reports and `bel` belonging
+/// sets always reference original rule ids.
 struct CompileArtifacts {
-  std::vector<Regex> Asts;           ///< Stage 1, one per rule.
+  std::vector<Regex> Asts;           ///< Stage 1, one per surviving rule.
   std::vector<Nfa> RawFsas;          ///< Stage 2, ε-NFAs.
   std::vector<Nfa> OptimizedFsas;    ///< Stage 3, merge-ready FSAs.
   std::vector<Mfsa> Mfsas;           ///< Stage 4, ⌈N/M⌉ automata.
   std::vector<std::string> AnmlDocs; ///< Stage 5, one per MFSA.
+
+  /// Logical rule index -> original index in Patterns (identity when nothing
+  /// was quarantined). Disjoint from Quarantined: together they partition
+  /// the input ruleset.
+  std::vector<uint32_t> CompiledRuleIds;
+
+  /// Rules dropped under FailurePolicy::Isolate; empty under Strict.
+  std::vector<QuarantinedRule> Quarantined;
+
   StageTimes Times;
   MergeReport Merging;
 };
 
-/// Compiles \p Patterns end to end. Fails with a positioned diagnostic
-/// (prefixed by the offending rule's index) on the first malformed RE.
+/// Compiles \p Patterns end to end. Under FailurePolicy::Strict (default)
+/// it fails with a positioned diagnostic (prefixed by the offending rule's
+/// index) on the first malformed or over-budget RE; under Isolate it
+/// quarantines offenders and compiles the rest.
+///
+/// Deterministic fault injection (tests only): setting the environment
+/// variable MFSA_FAULT_STAGE="<stage>:<rule>" with stage one of
+/// parse|build|opt|merge makes that original rule index fail at that stage
+/// as if it were malformed, so the isolation paths are exercisable without
+/// crafting pathological REs.
 Result<CompileArtifacts> compileRuleset(const std::vector<std::string> &Patterns,
                                         const CompileOptions &Options = {});
 

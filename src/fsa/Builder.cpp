@@ -33,6 +33,19 @@ private:
     Out.addTransition(From, To, SymbolSet());
   }
 
+  /// State-budget overrun diagnostic; build() checks on every entry, so each
+  /// expanded repeat copy and each recursion step re-validates the cap.
+  Result<Fragment> budgetError() const {
+    return Result<Fragment>::error(
+        "state budget exceeded during construction (" +
+        std::to_string(Out.numStates()) + " states, budget " +
+        std::to_string(Options.MaxStates) + ")");
+  }
+
+  bool overBudget() const {
+    return Options.MaxStates != 0 && Out.numStates() > Options.MaxStates;
+  }
+
   Nfa &Out;
   const BuildOptions &Options;
 };
@@ -40,6 +53,8 @@ private:
 } // namespace
 
 Result<Fragment> Builder::build(const AstNode &Node) {
+  if (overBudget())
+    return budgetError();
   switch (Node.kind()) {
   case AstKind::Empty: {
     Fragment F;

@@ -39,6 +39,13 @@ struct BuildOptions {
   /// diagnostic, mirroring the limits production matchers place on bounded
   /// repetitions.
   uint32_t MaxRepeatBound = 1024;
+
+  /// Hard cap on the number of states the construction may allocate for one
+  /// rule; 0 means unlimited. MaxRepeatBound alone does not prevent
+  /// expansion bombs — nested bounded repeats like `a{1000}{1000}`
+  /// multiply — so the builder re-checks this budget after every expanded
+  /// copy and fails with a diagnostic instead of exhausting memory.
+  uint32_t MaxStates = 0;
 };
 
 /// Converts a parsed RE into an ε-NFA with a single final state.

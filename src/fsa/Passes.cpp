@@ -243,7 +243,29 @@ Nfa mfsa::mergeBisimilarStates(const Nfa &A) {
 }
 
 Nfa mfsa::optimizeForMerging(const Nfa &A) {
+  Result<Nfa> Out = optimizeForMergingBudgeted(A, 0, 0);
+  assert(Out.ok() && "unlimited budget cannot overrun");
+  return Out.take();
+}
+
+Result<Nfa> mfsa::optimizeForMergingBudgeted(const Nfa &A, uint64_t MaxStates,
+                                             uint64_t MaxTransitions) {
+  auto OverBudget = [&](const Nfa &Current) -> bool {
+    return (MaxStates != 0 && Current.numStates() > MaxStates) ||
+           (MaxTransitions != 0 && Current.numTransitions() > MaxTransitions);
+  };
+  auto BudgetError = [&](const Nfa &Current) {
+    return Result<Nfa>::error(
+        "optimization budget exceeded (" +
+        std::to_string(Current.numStates()) + " states / " +
+        std::to_string(Current.numTransitions()) + " transitions, budget " +
+        std::to_string(MaxStates) + " / " + std::to_string(MaxTransitions) +
+        ")");
+  };
+
   Nfa Current = removeEpsilons(A);
+  if (OverBudget(Current))
+    return BudgetError(Current);
   // Folding and bisimulation merging enable each other: folding normalizes
   // parallel arcs into classes so more signatures coincide; merging aligns
   // targets so more arcs become parallel. Iterate to a fixpoint (bounded —
@@ -256,5 +278,8 @@ Nfa mfsa::optimizeForMerging(const Nfa &A) {
         Current.numTransitions() == TransBefore)
       break;
   }
-  return compactReachable(foldMultiplicity(Current));
+  Current = compactReachable(foldMultiplicity(Current));
+  if (OverBudget(Current))
+    return BudgetError(Current);
+  return Current;
 }

@@ -29,6 +29,7 @@
 #define MFSA_FSA_PASSES_H
 
 #include "fsa/Nfa.h"
+#include "support/Result.h"
 
 namespace mfsa {
 
@@ -61,6 +62,14 @@ Nfa mergeBisimilarStates(const Nfa &A);
 /// foldMultiplicity / mergeBisimilarStates to a fixpoint (each enables the
 /// other), then compactReachable.
 Nfa optimizeForMerging(const Nfa &A);
+
+/// optimizeForMerging with resource budgets: ε-removal can grow the
+/// transition set quadratically (every closure member's arcs are copied to
+/// every predecessor), so the pass chain re-checks \p MaxStates and
+/// \p MaxTransitions after each step and surfaces an overrun as a
+/// diagnostic instead of unbounded growth. 0 means unlimited for either cap.
+Result<Nfa> optimizeForMergingBudgeted(const Nfa &A, uint64_t MaxStates,
+                                       uint64_t MaxTransitions);
 
 } // namespace mfsa
 

@@ -27,6 +27,8 @@
 
 #include "mfsa/Merge.h"
 
+#include "support/Timer.h"
+
 #include <cassert>
 #include <queue>
 #include <unordered_map>
@@ -231,10 +233,22 @@ struct ArcKeyHash {
 Mfsa mfsa::mergeFsas(const std::vector<Nfa> &Fsas,
                      const std::vector<uint32_t> &GlobalIds,
                      const MergeOptions &Options, MergeReport *Report) {
+  Result<Mfsa> Z = mergeFsasWithBudget(Fsas, GlobalIds, Options,
+                                       MergeBudget(), Report);
+  assert(Z.ok() && "unlimited budget cannot overrun");
+  return Z.take();
+}
+
+Result<Mfsa> mfsa::mergeFsasWithBudget(const std::vector<Nfa> &Fsas,
+                                       const std::vector<uint32_t> &GlobalIds,
+                                       const MergeOptions &Options,
+                                       const MergeBudget &Budget,
+                                       MergeReport *Report) {
   assert(!Fsas.empty() && "mergeFsas requires at least one automaton");
   assert(Fsas.size() == GlobalIds.size() &&
          "one global id per merged automaton");
 
+  Timer Wall;
   const uint32_t NumRules = static_cast<uint32_t>(Fsas.size());
   Mfsa Z(NumRules);
 
@@ -290,6 +304,25 @@ Mfsa mfsa::mergeFsas(const std::vector<Nfa> &Fsas,
     Info.AnchoredStart = A.anchoredStart();
     Info.AnchoredEnd = A.anchoredEnd();
     Info.GlobalId = GlobalIds[Rule];
+
+    // Budget checkpoint (fault-isolation layer): merging only ever adds, so
+    // the first rule whose incorporation pushes the MFSA over a cap is the
+    // offender to report. The Offset is the rule's index within Fsas.
+    if ((Budget.MaxStates != 0 && Z.numStates() > Budget.MaxStates) ||
+        (Budget.MaxTransitions != 0 &&
+         Z.numTransitions() > Budget.MaxTransitions))
+      return Diag("merge budget exceeded (" + std::to_string(Z.numStates()) +
+                      " states / " + std::to_string(Z.numTransitions()) +
+                      " transitions, budget " +
+                      std::to_string(Budget.MaxStates) + " / " +
+                      std::to_string(Budget.MaxTransitions) + ")",
+                  Rule);
+    if (Budget.DeadlineMs > 0 && Rule + 1 < NumRules &&
+        Wall.elapsedMs() > Budget.DeadlineMs)
+      return Diag("merge deadline exceeded after " +
+                      std::to_string(Rule + 1) + " of " +
+                      std::to_string(NumRules) + " automata",
+                  Rule + 1);
   }
   return Z;
 }

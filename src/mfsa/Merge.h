@@ -28,6 +28,7 @@
 
 #include "fsa/Nfa.h"
 #include "mfsa/Mfsa.h"
+#include "support/Result.h"
 
 #include <cstdint>
 #include <vector>
@@ -64,6 +65,25 @@ struct MergeReport {
   uint64_t StatesShared = 0;        ///< Incoming states relabeled onto MFSA states.
   uint64_t TransitionsShared = 0;   ///< Incoming arcs coalesced with MFSA arcs.
   uint64_t CandidatePairsTried = 0; ///< Label-equal transition pairs examined.
+
+  MergeReport &operator+=(const MergeReport &O) {
+    SeedsAccepted += O.SeedsAccepted;
+    StatesShared += O.StatesShared;
+    TransitionsShared += O.TransitionsShared;
+    CandidatePairsTried += O.CandidatePairsTried;
+    return *this;
+  }
+};
+
+/// Resource budget for one merge. Merging never shrinks the MFSA — every
+/// incoming FSA adds at most its own states and transitions — so overruns
+/// are detected right after each automaton's incorporation and reported with
+/// that automaton's index, letting callers quarantine the offender and retry
+/// without it. 0 means unlimited for every field.
+struct MergeBudget {
+  uint64_t MaxStates = 0;      ///< Cap on the merged MFSA's state count.
+  uint64_t MaxTransitions = 0; ///< Cap on the merged MFSA's transition count.
+  double DeadlineMs = 0;       ///< Wall-clock cap for one mergeFsas call.
 };
 
 /// Merges \p Fsas (all ε-free) into a single MFSA. \p GlobalIds gives each
@@ -74,6 +94,18 @@ Mfsa mergeFsas(const std::vector<Nfa> &Fsas,
                const std::vector<uint32_t> &GlobalIds,
                const MergeOptions &Options = {},
                MergeReport *Report = nullptr);
+
+/// mergeFsas under a resource budget. On a size overrun the returned
+/// diagnostic's Offset carries the index (into \p Fsas) of the automaton
+/// whose incorporation breached the cap, so fault-isolating callers can drop
+/// exactly that rule and re-merge the rest. On a deadline overrun Offset is
+/// the index of the first automaton left unmerged (no single rule is at
+/// fault); callers typically abandon the tail [Offset, end) instead.
+Result<Mfsa> mergeFsasWithBudget(const std::vector<Nfa> &Fsas,
+                                 const std::vector<uint32_t> &GlobalIds,
+                                 const MergeOptions &Options,
+                                 const MergeBudget &Budget,
+                                 MergeReport *Report = nullptr);
 
 /// Partitions \p Fsas into ⌈N/M⌉ sequential groups of size \p MergingFactor
 /// (paper §VI: "sampling the input M REs sequentially from the dataset") and

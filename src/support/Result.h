@@ -78,6 +78,24 @@ public:
     return std::get<1>(Storage);
   }
 
+  /// Moves the diagnostic out; requires !ok(). Lets callers forward an error
+  /// into a Result of a different T without copying the message.
+  Diag takeDiag() {
+    assert(!ok() && "taking a diagnostic from a success Result");
+    return std::move(std::get<1>(Storage));
+  }
+
+  /// Chains positional context onto the diagnostic in place, rendering as
+  /// "prefix: message" (no-op on success). \returns *this so pipeline stages
+  /// can write `return Re.withContext(...).takeDiag();`.
+  Result &withContext(const std::string &Prefix) {
+    if (!ok()) {
+      Diag &D = std::get<1>(Storage);
+      D.Message = Prefix + ": " + D.Message;
+    }
+    return *this;
+  }
+
 private:
   std::variant<T, Diag> Storage;
 };

@@ -138,6 +138,82 @@ TEST(Anml, RejectsMalformedDocuments) {
   Fails("<mfsa-network states=\"1\" rules=\"0\"", "unterminated");
 }
 
+TEST(Anml, ReaderEnforcesResourceLimits) {
+  auto FailsWith = [](const std::string &Doc, const AnmlLimits &Limits,
+                      const std::string &Needle) {
+    Result<Mfsa> R = readAnml(Doc, Limits);
+    ASSERT_FALSE(R.ok()) << Doc;
+    EXPECT_NE(R.diag().Message.find(Needle), std::string::npos)
+        << "got: " << R.diag().Message;
+    EXPECT_NE(R.diag().Offset, SIZE_MAX) << "limit Diag must be positioned";
+  };
+
+  // Whole-document size cap.
+  AnmlLimits Tiny;
+  Tiny.MaxDocumentBytes = 16;
+  FailsWith(writeAnml(mergePatterns({"abc"}), "big"), Tiny, "size cap");
+
+  // Declared-size caps trip before any proportional allocation: a 100-byte
+  // document declaring four billion states must fail up front, not OOM.
+  FailsWith("<mfsa-network states=\"4000000000\" rules=\"1\"/>", AnmlLimits(),
+            "declared states exceed cap");
+  FailsWith("<mfsa-network states=\"1\" rules=\"4000000000\"/>", AnmlLimits(),
+            "declared rules exceed cap");
+
+  // Belonging-set cardinality cap.
+  AnmlLimits TwoItems;
+  TwoItems.MaxListItems = 2;
+  FailsWith("<mfsa-network states=\"2\" rules=\"3\">"
+            "<rule id=\"0\" initial=\"0\" finals=\"1\"/>"
+            "<rule id=\"1\" initial=\"0\" finals=\"1\"/>"
+            "<rule id=\"2\" initial=\"0\" finals=\"1\"/>"
+            "<transition from=\"0\" to=\"1\" symbols=\"61\" belongs=\"0 1 2\"/>"
+            "</mfsa-network>",
+            TwoItems, "cardinality cap");
+
+  // Transition-count cap.
+  AnmlLimits OneTransition;
+  OneTransition.MaxTransitions = 1;
+  FailsWith("<mfsa-network states=\"2\" rules=\"1\">"
+            "<rule id=\"0\" initial=\"0\" finals=\"1\"/>"
+            "<transition from=\"0\" to=\"1\" symbols=\"61\" belongs=\"0\"/>"
+            "<transition from=\"1\" to=\"0\" symbols=\"62\" belongs=\"0\"/>"
+            "</mfsa-network>",
+            OneTransition, "transition count exceeds cap");
+
+  // Nesting-depth cap on unclosed elements.
+  AnmlLimits Shallow;
+  Shallow.MaxElementDepth = 2;
+  FailsWith("<mfsa-network states=\"1\" rules=\"2\">"
+            "<rule id=\"0\" initial=\"0\" finals=\"0\">"
+            "<rule id=\"1\" initial=\"0\" finals=\"0\">"
+            "</mfsa-network>",
+            Shallow, "depth cap");
+
+  // At-the-limit documents still parse.
+  Mfsa Z = mergePatterns({"ab", "cd"});
+  std::string Doc = writeAnml(Z, "limit");
+  AnmlLimits Exact;
+  Exact.MaxDocumentBytes = Doc.size();
+  Exact.MaxStates = Z.numStates();
+  Exact.MaxRules = Z.numRules();
+  Exact.MaxTransitions = Z.numTransitions();
+  Result<Mfsa> Back = readAnml(Doc, Exact);
+  ASSERT_TRUE(Back.ok()) << (Back.ok() ? "" : Back.diag().render());
+  expectEqualMfsa(Z, *Back);
+}
+
+TEST(Anml, ReaderSurvivesEveryTruncation) {
+  // Every prefix of a valid document must yield a clean Diag or a verified
+  // automaton — no crashes, no partially-initialized accepts.
+  std::string Doc = writeAnml(mergePatterns({"a[bc]d", "x|y"}), "trunc");
+  for (size_t Length = 0; Length < Doc.size(); ++Length) {
+    Result<Mfsa> R = readAnml(Doc.substr(0, Length));
+    if (R.ok())
+      EXPECT_EQ(R->verify(), "") << "prefix length " << Length;
+  }
+}
+
 TEST(Anml, MinimalHandWrittenDocumentParses) {
   // A hand-authored document exercising defaults (no anchors, global-id).
   const char *Doc = R"(<?xml version="1.0"?>

@@ -310,6 +310,53 @@ TEST(Parallel, MoreEnginesThanThreadsAllRun) {
     EXPECT_EQ(R.total(), 2u);
 }
 
+TEST(Parallel, UnboundedRunReportsFullCompletion) {
+  std::vector<Nfa> Fsas = {compileOptimized("ab"), compileOptimized("cd"),
+                           compileOptimized("ef")};
+  std::vector<Mfsa> Groups = mergeInGroups(Fsas, 1);
+  std::vector<ImfantEngine> Engines;
+  for (const Mfsa &Z : Groups)
+    Engines.emplace_back(Z);
+  ParallelRunResult Result = runParallel(Engines, "abcdef", 2);
+  EXPECT_FALSE(Result.Degraded);
+  EXPECT_EQ(Result.NumCompleted, Engines.size());
+  EXPECT_EQ(Result.Completed.count(), Engines.size());
+}
+
+TEST(Parallel, GenerousDeadlineChunkedRunMatchesUnbounded) {
+  // A non-expiring deadline routes execution through the chunked Scanner
+  // path; results must be byte-identical to the unbounded fast path even
+  // when chunk boundaries fall inside matches.
+  std::vector<std::string> Patterns = {"abc", "bcd", "ab", "cd"};
+  std::vector<Nfa> Fsas;
+  for (const std::string &P : Patterns)
+    Fsas.push_back(compileOptimized(P));
+  std::vector<Mfsa> Groups = mergeInGroups(Fsas, 2);
+  std::vector<ImfantEngine> Engines;
+  for (const Mfsa &Z : Groups)
+    Engines.emplace_back(Z);
+
+  Rng Random(5150);
+  std::string Input = randomInput(Random, 3000);
+
+  uint64_t SequentialTotal = 0;
+  for (const ImfantEngine &Engine : Engines) {
+    MatchRecorder Recorder;
+    Engine.run(Input, Recorder);
+    SequentialTotal += Recorder.total();
+  }
+
+  ParallelRunOptions Options;
+  Options.DeadlineMs = 1e9;
+  Options.ChunkBytes = 7; // force many chunk boundaries
+  std::vector<MatchRecorder> Recorders(Engines.size());
+  ParallelRunResult Result =
+      runParallel(Engines, Input, 3, &Recorders, Options);
+  EXPECT_FALSE(Result.Degraded);
+  EXPECT_EQ(Result.NumCompleted, Engines.size());
+  EXPECT_EQ(Result.TotalMatches, SequentialTotal);
+}
+
 //===----------------------------------------------------------------------===//
 // Engine preprocessing
 //===----------------------------------------------------------------------===//

@@ -14,6 +14,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <map>
+#include <set>
+
 using namespace mfsa;
 using namespace mfsa::test;
 
@@ -84,6 +88,184 @@ TEST(Pipeline, AnmlDocsRoundTripToWorkingEngines) {
   Engine.run("xfoobarfoo42", Recorder);
   // foobar ends at 7; barfoo ends at 10; foo42... foo[0-9]+ ends at 11, 12.
   EXPECT_EQ(Recorder.total(), 4u);
+}
+
+//===----------------------------------------------------------------------===//
+// Fault isolation: FailurePolicy::Isolate, budgets, quarantine semantics
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs every compiled MFSA and returns global-id -> match-end offsets.
+std::map<uint32_t, std::set<size_t>> runAll(const CompileArtifacts &Artifacts,
+                                            const std::string &Input) {
+  std::map<uint32_t, std::set<size_t>> Got;
+  for (const Mfsa &Z : Artifacts.Mfsas) {
+    ImfantEngine Engine(Z);
+    MatchRecorder Recorder(MatchRecorder::Mode::Collect);
+    Engine.run(Input, Recorder);
+    for (auto &[Rule, End] : Recorder.matches())
+      Got[Rule].insert(static_cast<size_t>(End));
+  }
+  return Got;
+}
+
+} // namespace
+
+TEST(Pipeline, IsolateQuarantinesMalformedAndBudgetBusting) {
+  // Rule 1 is malformed; rule 2 is an expansion bomb (600*600 = 360k states,
+  // far past the 4096-states-per-pattern-byte growth cap); 0 and 3 are fine.
+  std::vector<std::string> Patterns = {"foo[a-c]+", "bad[", "a{600}{600}",
+                                       "barbaz"};
+  CompileOptions Options;
+  Options.Policy = FailurePolicy::Isolate;
+  Options.MergingFactor = 0;
+  Result<CompileArtifacts> Artifacts = compileRuleset(Patterns, Options);
+  ASSERT_TRUE(Artifacts.ok());
+
+  ASSERT_EQ(Artifacts->Quarantined.size(), 2u);
+  EXPECT_EQ(Artifacts->Quarantined[0].RuleIndex, 1u);
+  EXPECT_EQ(Artifacts->Quarantined[0].Stage, CompileStage::FrontEnd);
+  EXPECT_EQ(Artifacts->Quarantined[1].RuleIndex, 2u);
+  EXPECT_EQ(Artifacts->Quarantined[1].Stage, CompileStage::AstToFsa);
+  EXPECT_NE(Artifacts->Quarantined[1].Reason.Message.find("budget"),
+            std::string::npos);
+
+  EXPECT_EQ(Artifacts->CompiledRuleIds, (std::vector<uint32_t>{0, 3}));
+  EXPECT_EQ(Artifacts->Asts.size(), 2u);
+  EXPECT_EQ(Artifacts->OptimizedFsas.size(), 2u);
+  ASSERT_EQ(Artifacts->Mfsas.size(), 1u);
+
+  // Matches and bel reports must reference *original* rule indices: the
+  // engine reports ids 0 and 3, exactly matching the brute-force oracle.
+  std::string Input = "xfooab barbaz fooccc";
+  std::map<uint32_t, std::set<size_t>> Expected;
+  for (uint32_t Id : Artifacts->CompiledRuleIds) {
+    Result<Regex> Re = parseRegex(Patterns[Id]);
+    ASSERT_TRUE(Re.ok());
+    std::set<size_t> Ends = astMatchEnds(*Re, Input);
+    if (!Ends.empty())
+      Expected[Id] = Ends;
+  }
+  EXPECT_EQ(runAll(*Artifacts, Input), Expected);
+}
+
+TEST(Pipeline, StrictModeStillFailsFast) {
+  std::vector<std::string> Patterns = {"good", "bad[", "a{600}{600}"};
+  Result<CompileArtifacts> Artifacts = compileRuleset(Patterns);
+  ASSERT_FALSE(Artifacts.ok());
+  EXPECT_NE(Artifacts.diag().Message.find("rule 1"), std::string::npos);
+}
+
+TEST(Pipeline, StrictModeFailsOnBudgetOverrun) {
+  // With the malformed rule absent, Strict must fail on the expansion bomb
+  // with the budget diagnostic (the historical pipeline would have tried to
+  // build 360k states instead).
+  std::vector<std::string> Patterns = {"good", "a{600}{600}"};
+  Result<CompileArtifacts> Artifacts = compileRuleset(Patterns);
+  ASSERT_FALSE(Artifacts.ok());
+  EXPECT_NE(Artifacts.diag().Message.find("rule 1"), std::string::npos);
+  EXPECT_NE(Artifacts.diag().Message.find("budget"), std::string::npos);
+}
+
+TEST(Pipeline, IsolateMergeBudgetQuarantinesOffenderOnly) {
+  // Two healthy rules whose merged MFSA cannot fit the cap: the merge keeps
+  // the first and quarantines the one whose incorporation overran, then
+  // re-merges the remainder of the group.
+  std::vector<std::string> Patterns = {"abcdefgh", "ijklmnopqr"};
+  CompileOptions Options;
+  Options.Policy = FailurePolicy::Isolate;
+  Options.MergingFactor = 0;
+  Options.Budget.MaxMergedStates = 10; // rule 0 alone has 9 states
+  Result<CompileArtifacts> Artifacts = compileRuleset(Patterns, Options);
+  ASSERT_TRUE(Artifacts.ok());
+
+  ASSERT_EQ(Artifacts->Quarantined.size(), 1u);
+  EXPECT_EQ(Artifacts->Quarantined[0].RuleIndex, 1u);
+  EXPECT_EQ(Artifacts->Quarantined[0].Stage, CompileStage::Merging);
+  EXPECT_EQ(Artifacts->CompiledRuleIds, (std::vector<uint32_t>{0}));
+  ASSERT_EQ(Artifacts->Mfsas.size(), 1u);
+  EXPECT_EQ(Artifacts->Mfsas[0].numRules(), 1u);
+  EXPECT_EQ(Artifacts->Mfsas[0].rule(0).GlobalId, 0u);
+
+  // Strict mode refuses the same batch outright.
+  Options.Policy = FailurePolicy::Strict;
+  Result<CompileArtifacts> StrictRun = compileRuleset(Patterns, Options);
+  ASSERT_FALSE(StrictRun.ok());
+  EXPECT_NE(StrictRun.diag().Message.find("merge budget"), std::string::npos);
+}
+
+TEST(Pipeline, StageDeadlineDegradesInsteadOfLivelocking) {
+  // A deadline far below one rule's cost: the progress guarantee still
+  // compiles the first rule of each stage, the rest are quarantined with a
+  // deadline diagnostic.
+  std::vector<std::string> Patterns = {"aa", "bb", "cc", "dd"};
+  CompileOptions Options;
+  Options.Policy = FailurePolicy::Isolate;
+  Options.Budget.StageDeadlineMs = 1e-9;
+  Result<CompileArtifacts> Artifacts = compileRuleset(Patterns, Options);
+  ASSERT_TRUE(Artifacts.ok());
+  EXPECT_EQ(Artifacts->CompiledRuleIds, (std::vector<uint32_t>{0}));
+  ASSERT_EQ(Artifacts->Quarantined.size(), 3u);
+  for (const QuarantinedRule &Q : Artifacts->Quarantined) {
+    EXPECT_EQ(Q.Stage, CompileStage::FrontEnd);
+    EXPECT_NE(Q.Reason.Message.find("deadline"), std::string::npos);
+  }
+  ASSERT_EQ(Artifacts->Mfsas.size(), 1u);
+  EXPECT_EQ(Artifacts->Mfsas[0].numRules(), 1u);
+}
+
+TEST(Pipeline, FaultInjectionHookQuarantinesExactRule) {
+  std::vector<std::string> Patterns = {"aa", "bb", "cc"};
+  CompileOptions Options;
+  Options.Policy = FailurePolicy::Isolate;
+  Options.MergingFactor = 0;
+
+  struct Case {
+    const char *Spec;
+    CompileStage Stage;
+  };
+  for (const Case &C : {Case{"parse:1", CompileStage::FrontEnd},
+                        Case{"build:1", CompileStage::AstToFsa},
+                        Case{"opt:1", CompileStage::SingleOpt},
+                        Case{"merge:1", CompileStage::Merging}}) {
+    ASSERT_EQ(setenv("MFSA_FAULT_STAGE", C.Spec, 1), 0);
+    Result<CompileArtifacts> Artifacts = compileRuleset(Patterns, Options);
+    unsetenv("MFSA_FAULT_STAGE");
+    ASSERT_TRUE(Artifacts.ok()) << C.Spec;
+    ASSERT_EQ(Artifacts->Quarantined.size(), 1u) << C.Spec;
+    EXPECT_EQ(Artifacts->Quarantined[0].RuleIndex, 1u) << C.Spec;
+    EXPECT_EQ(Artifacts->Quarantined[0].Stage, C.Stage) << C.Spec;
+    EXPECT_NE(Artifacts->Quarantined[0].Reason.Message.find("injected fault"),
+              std::string::npos)
+        << C.Spec;
+    EXPECT_EQ(Artifacts->CompiledRuleIds, (std::vector<uint32_t>{0, 2}))
+        << C.Spec;
+    ASSERT_EQ(Artifacts->Mfsas.size(), 1u) << C.Spec;
+    EXPECT_EQ(Artifacts->Mfsas[0].rule(0).GlobalId, 0u) << C.Spec;
+    EXPECT_EQ(Artifacts->Mfsas[0].rule(1).GlobalId, 2u) << C.Spec;
+  }
+
+  // Strict mode turns the same injection into a batch failure.
+  ASSERT_EQ(setenv("MFSA_FAULT_STAGE", "build:2", 1), 0);
+  Result<CompileArtifacts> StrictRun = compileRuleset(Patterns);
+  unsetenv("MFSA_FAULT_STAGE");
+  ASSERT_FALSE(StrictRun.ok());
+  EXPECT_NE(StrictRun.diag().Message.find("rule 2"), std::string::npos);
+  EXPECT_NE(StrictRun.diag().Message.find("injected fault"),
+            std::string::npos);
+}
+
+TEST(Pipeline, IsolateWithAllRulesHealthyMatchesStrict) {
+  std::vector<std::string> Patterns = {"abc", "ab[cd]", "a.*z", "x{2,4}y"};
+  CompileOptions Options;
+  Options.MergingFactor = 2;
+  Options.Policy = FailurePolicy::Isolate;
+  Result<CompileArtifacts> Artifacts = compileRuleset(Patterns, Options);
+  ASSERT_TRUE(Artifacts.ok());
+  EXPECT_TRUE(Artifacts->Quarantined.empty());
+  EXPECT_EQ(Artifacts->CompiledRuleIds, (std::vector<uint32_t>{0, 1, 2, 3}));
+  EXPECT_EQ(Artifacts->Mfsas.size(), 2u);
 }
 
 TEST(Pipeline, EndToEndMatchesOracle) {

@@ -11,6 +11,7 @@
 #include "anml/Anml.h"
 #include "compiler/Pipeline.h"
 #include "engine/Imfant.h"
+#include "engine/Parallel.h"
 #include "fsa/Builder.h"
 #include "fsa/Passes.h"
 #include "fsa/Reference.h"
@@ -20,6 +21,9 @@
 #include "TestHelpers.h"
 
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
 
 using namespace mfsa;
 using namespace mfsa::test;
@@ -178,6 +182,121 @@ TEST(Robustness, PipelineRejectsWithoutLeakingState) {
     EXPECT_NE(Artifacts.diag().Message.find("rule " + std::to_string(Prefix)),
               std::string::npos);
   }
+}
+
+TEST(Robustness, IsolatePolicySurvivesMixedGarbageRulesets) {
+  // Fuzz the fault-isolating pipeline: rulesets mixing healthy patterns,
+  // meta-soup garbage, and the occasional expansion bomb. Invariants:
+  //  - compileRuleset never fails under Isolate (empty survivor set is fine),
+  //  - CompiledRuleIds and Quarantined partition the input ruleset,
+  //  - every surviving rule matches its brute-force oracle on random input,
+  //    reported under its *original* index.
+  Rng Random(2003);
+  static const char *Healthy[] = {"abc", "a[bc]+d", "x.?y", "q{1,3}z", "m|n"};
+  for (int Trial = 0; Trial < 40; ++Trial) {
+    std::vector<std::string> Patterns;
+    size_t NumRules = 2 + Random.nextBelow(6);
+    for (size_t I = 0; I < NumRules; ++I) {
+      switch (Random.nextBelow(4)) {
+      case 0:
+        Patterns.push_back(randomMetaSoup(Random, 1 + Random.nextBelow(10)));
+        break;
+      case 1:
+        Patterns.push_back("a{400}{400}"); // budget buster
+        break;
+      default:
+        Patterns.push_back(Healthy[Random.nextBelow(5)]);
+        break;
+      }
+    }
+
+    CompileOptions Options;
+    Options.Policy = FailurePolicy::Isolate;
+    Options.MergingFactor = 1 + Random.nextBelow(3);
+    Result<CompileArtifacts> Artifacts = compileRuleset(Patterns, Options);
+    ASSERT_TRUE(Artifacts.ok());
+
+    // Partition invariant.
+    std::set<uint32_t> Seen;
+    for (uint32_t Id : Artifacts->CompiledRuleIds)
+      EXPECT_TRUE(Seen.insert(Id).second);
+    for (const QuarantinedRule &Q : Artifacts->Quarantined)
+      EXPECT_TRUE(Seen.insert(Q.RuleIndex).second);
+    EXPECT_EQ(Seen.size(), Patterns.size());
+
+    // Oracle agreement on random input, keyed by original indices.
+    std::string Input = randomBytes(Random, 24);
+    std::map<uint32_t, std::set<size_t>> Expected;
+    for (uint32_t Id : Artifacts->CompiledRuleIds) {
+      Result<Regex> Re = parseRegex(Patterns[Id]);
+      ASSERT_TRUE(Re.ok()); // survivors parsed once already
+      std::set<size_t> Ends = astMatchEnds(*Re, Input);
+      if (!Ends.empty())
+        Expected[Id] = Ends;
+    }
+    std::map<uint32_t, std::set<size_t>> Got;
+    for (const Mfsa &Z : Artifacts->Mfsas) {
+      ImfantEngine Engine(Z);
+      MatchRecorder Recorder(MatchRecorder::Mode::Collect);
+      Engine.run(Input, Recorder);
+      for (auto &[Rule, End] : Recorder.matches())
+        Got[Rule].insert(static_cast<size_t>(End));
+    }
+    EXPECT_EQ(Got, Expected);
+  }
+}
+
+TEST(Robustness, ExpansionBombIsQuarantinedNotFatal) {
+  // a{1000}{1000} would be a million states; the per-rule budget turns it
+  // into a quarantine entry instead of an allocation storm.
+  std::vector<std::string> Patterns = {"safe", "a{1000}{1000}"};
+  CompileOptions Options;
+  Options.Policy = FailurePolicy::Isolate;
+  Options.Budget.MaxFsaStates = 10000;
+  Result<CompileArtifacts> Artifacts = compileRuleset(Patterns, Options);
+  ASSERT_TRUE(Artifacts.ok());
+  ASSERT_EQ(Artifacts->Quarantined.size(), 1u);
+  EXPECT_EQ(Artifacts->Quarantined[0].RuleIndex, 1u);
+  EXPECT_EQ(Artifacts->Quarantined[0].Stage, CompileStage::AstToFsa);
+  EXPECT_NE(Artifacts->Quarantined[0].Reason.Message.find("state budget"),
+            std::string::npos);
+  EXPECT_EQ(Artifacts->CompiledRuleIds, (std::vector<uint32_t>{0}));
+}
+
+TEST(Robustness, ParallelRunExpiredDeadlineReturnsFlaggedPartialResult) {
+  // An already-expired deadline must come back promptly with Degraded set and
+  // a truthful completion bitmap — never block on the full input.
+  std::vector<std::string> Patterns = {"ab", "cd", "ef", "gh"};
+  CompileOptions Options;
+  Options.MergingFactor = 1; // one engine per rule
+  Result<CompileArtifacts> Artifacts = compileRuleset(Patterns, Options);
+  ASSERT_TRUE(Artifacts.ok());
+  std::vector<ImfantEngine> Engines;
+  for (const Mfsa &Z : Artifacts->Mfsas)
+    Engines.emplace_back(Z);
+
+  Rng Random(2011);
+  std::string Input = randomBytes(Random, 1 << 20);
+
+  ParallelRunOptions Run;
+  Run.DeadlineMs = 1e-6; // expired before any worker can claim
+  Run.ChunkBytes = 4096;
+  ParallelRunResult Partial = runParallel(Engines, Input, 2, nullptr, Run);
+  EXPECT_TRUE(Partial.Degraded);
+  EXPECT_LT(Partial.NumCompleted, Engines.size());
+  EXPECT_EQ(Partial.Completed.size(), Engines.size());
+  EXPECT_EQ(Partial.Completed.count(), Partial.NumCompleted);
+
+  // A pre-tripped cancellation token behaves the same way.
+  std::atomic<bool> Cancel{true};
+  ParallelRunOptions Cancelled;
+  Cancelled.CancelToken = &Cancel;
+  Cancelled.ChunkBytes = 4096;
+  ParallelRunResult Stopped =
+      runParallel(Engines, Input, 2, nullptr, Cancelled);
+  EXPECT_TRUE(Stopped.Degraded);
+  EXPECT_EQ(Stopped.NumCompleted, 0u);
+  EXPECT_EQ(Stopped.TotalMatches, 0u);
 }
 
 TEST(Robustness, HugeClassAndDeepNesting) {
