@@ -38,7 +38,9 @@ static void usage(const char *Prog) {
                "  -i          case-insensitive matching\n"
                "  --dot       also write Graphviz .dot files per MFSA\n"
                "  --isolate   quarantine broken/over-budget rules and keep "
-               "going\n",
+               "going\n"
+               "  --verify-each  run the IR verifier after every pipeline "
+               "stage\n",
                Prog);
 }
 
@@ -51,6 +53,7 @@ int main(int argc, char **argv) {
   bool CaseInsensitive = false;
   bool EmitDot = false;
   bool Isolate = false;
+  bool VerifyEach = false;
 
   for (int I = 1; I < argc; ++I) {
     if (!std::strcmp(argv[I], "-M") && I + 1 < argc)
@@ -67,6 +70,8 @@ int main(int argc, char **argv) {
       EmitDot = true;
     else if (!std::strcmp(argv[I], "--isolate"))
       Isolate = true;
+    else if (!std::strcmp(argv[I], "--verify-each"))
+      VerifyEach = true;
     else if (argv[I][0] == '-') {
       usage(argv[0]);
       return 2;
@@ -108,6 +113,8 @@ int main(int argc, char **argv) {
   Options.Parse.CaseInsensitive = CaseInsensitive;
   if (Isolate)
     Options.Policy = FailurePolicy::Isolate;
+  if (VerifyEach)
+    Options.VerifyEach = true;
   Result<CompileArtifacts> Artifacts = compileRuleset(Rules, Options);
   if (!Artifacts.ok()) {
     std::fprintf(stderr, "error: %s\n", Artifacts.diag().render().c_str());

@@ -1,0 +1,153 @@
+//===- Diagnostics.cpp - shared static-analysis diagnostics -----------------===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Diagnostics.h"
+
+#include <cstdio>
+
+using namespace mfsa;
+
+const char *mfsa::severityName(Severity Sev) {
+  switch (Sev) {
+  case Severity::Note:
+    return "note";
+  case Severity::Warning:
+    return "warning";
+  case Severity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+std::string SourceSpan::render() const {
+  std::string Out;
+  if (hasRule())
+    Out += "rule " + std::to_string(Rule);
+  if (hasOffset()) {
+    if (!Out.empty())
+      Out += ", ";
+    Out += "offset " + std::to_string(Offset);
+  }
+  if (hasElement()) {
+    if (!Out.empty())
+      Out += ", ";
+    Out += "element " + std::to_string(Element);
+  }
+  return Out;
+}
+
+void DiagnosticEngine::report(Finding F) {
+  if (F.Sev == Severity::Error)
+    ++NumErrors;
+  else if (F.Sev == Severity::Warning)
+    ++NumWarnings;
+  Findings.push_back(std::move(F));
+}
+
+void DiagnosticEngine::report(Severity Sev, std::string CheckId,
+                              std::string Message, SourceSpan Span,
+                              std::string FixHint) {
+  Finding F;
+  F.Sev = Sev;
+  F.CheckId = std::move(CheckId);
+  F.Message = std::move(Message);
+  F.Span = Span;
+  F.FixHint = std::move(FixHint);
+  report(std::move(F));
+}
+
+void DiagnosticEngine::clear() {
+  Findings.clear();
+  NumErrors = 0;
+  NumWarnings = 0;
+}
+
+std::string DiagnosticEngine::renderText() const {
+  std::string Out;
+  for (const Finding &F : Findings) {
+    Out += severityName(F.Sev);
+    Out += ": ";
+    std::string Where = F.Span.render();
+    if (!Where.empty()) {
+      Out += Where;
+      Out += ": ";
+    }
+    Out += F.Message;
+    if (!F.FixHint.empty()) {
+      Out += " (hint: ";
+      Out += F.FixHint;
+      Out += ")";
+    }
+    Out += " [";
+    Out += F.CheckId;
+    Out += "]\n";
+  }
+  return Out;
+}
+
+std::string mfsa::jsonEscape(const std::string &Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (unsigned char C : Text) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  return Out;
+}
+
+std::string DiagnosticEngine::renderJson() const {
+  std::string Out = "{\"findings\":[";
+  for (size_t I = 0; I < Findings.size(); ++I) {
+    const Finding &F = Findings[I];
+    if (I)
+      Out += ",";
+    Out += "{\"severity\":\"";
+    Out += severityName(F.Sev);
+    Out += "\",\"check\":\"";
+    Out += jsonEscape(F.CheckId);
+    Out += "\",\"message\":\"";
+    Out += jsonEscape(F.Message);
+    Out += "\"";
+    if (F.Span.hasRule())
+      Out += ",\"rule\":" + std::to_string(F.Span.Rule);
+    if (F.Span.hasOffset())
+      Out += ",\"offset\":" + std::to_string(F.Span.Offset);
+    if (F.Span.hasElement())
+      Out += ",\"element\":" + std::to_string(F.Span.Element);
+    if (!F.FixHint.empty()) {
+      Out += ",\"hint\":\"";
+      Out += jsonEscape(F.FixHint);
+      Out += "\"";
+    }
+    Out += "}";
+  }
+  Out += "],\"errors\":" + std::to_string(NumErrors) +
+         ",\"warnings\":" + std::to_string(NumWarnings) + "}";
+  return Out;
+}

@@ -23,6 +23,7 @@
 
 #include "compiler/Pipeline.h"
 
+#include "analysis/Verifier.h"
 #include "anml/Anml.h"
 #include "fsa/AlphabetPartition.h"
 #include "fsa/Passes.h"
@@ -209,6 +210,16 @@ mfsa::compileRuleset(const std::vector<std::string> &Patterns,
           return std::move(*Failure);
         continue;
       }
+      if (Options.VerifyEach) {
+        std::string Violation = verifyNfaError(*A, IrLevel::RawNfa);
+        if (!Violation.empty()) {
+          if (Fail(Id, CompileStage::AstToFsa,
+                   Diag("stage-2 verifier: " + Violation,
+                        static_cast<size_t>(-1))))
+            return std::move(*Failure);
+          continue;
+        }
+      }
       Artifacts.RawFsas.push_back(A.take());
       KeptAsts.push_back(std::move(Artifacts.Asts[L]));
       NextAlive.push_back(Id);
@@ -246,6 +257,17 @@ mfsa::compileRuleset(const std::vector<std::string> &Patterns,
           return std::move(*Failure);
         continue;
       }
+      if (Options.VerifyEach) {
+        std::string Violation =
+            verifyNfaError(*Optimized, IrLevel::OptimizedFsa);
+        if (!Violation.empty()) {
+          if (Fail(Id, CompileStage::SingleOpt,
+                   Diag("stage-3 verifier: " + Violation,
+                        static_cast<size_t>(-1))))
+            return std::move(*Failure);
+          continue;
+        }
+      }
       Artifacts.OptimizedFsas.push_back(Optimized.take());
       KeptAsts.push_back(std::move(Artifacts.Asts[L]));
       KeptRaw.push_back(std::move(Artifacts.RawFsas[L]));
@@ -255,8 +277,20 @@ mfsa::compileRuleset(const std::vector<std::string> &Patterns,
     Artifacts.RawFsas = std::move(KeptRaw);
     Alive = std::move(NextAlive);
   }
-  if (Options.SplitCcByAtoms)
+  if (Options.SplitCcByAtoms) {
     Artifacts.OptimizedFsas = splitAllByAtoms(Artifacts.OptimizedFsas);
+    // Re-verify after the whole-ruleset label refinement: a violation here
+    // is a splitter bug, so no single rule is at fault and the batch fails.
+    if (Options.VerifyEach)
+      for (size_t L = 0; L < Artifacts.OptimizedFsas.size(); ++L) {
+        std::string Violation = verifyNfaError(Artifacts.OptimizedFsas[L],
+                                               IrLevel::OptimizedFsa);
+        if (!Violation.empty())
+          return Result<CompileArtifacts>::error(
+              "atom-split verifier: rule " + std::to_string(Alive[L]) +
+              ": " + Violation);
+      }
+  }
   Artifacts.Times.SingleOptMs = Stage.elapsedMs();
 
   // Stage 4 — merging into ⌈N/M⌉ MFSAs (§III, Algorithm 1). Groups are
@@ -308,6 +342,16 @@ mfsa::compileRuleset(const std::vector<std::string> &Patterns,
         }
 
         if (Z.ok()) {
+          // A merged MFSA failing verification is a compiler bug (the merge
+          // relabeling corrupted a rule's sub-automaton), not an input
+          // fault: fail the batch under either policy rather than silently
+          // executing a wrong automaton.
+          if (Options.VerifyEach) {
+            std::string Violation = verifyMfsaError(*Z);
+            if (!Violation.empty())
+              return Result<CompileArtifacts>::error("stage-4 verifier: " +
+                                                     Violation);
+          }
           Artifacts.Merging += Attempt;
           Artifacts.Mfsas.push_back(Z.take());
           break;

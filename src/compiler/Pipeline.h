@@ -101,6 +101,15 @@ struct CompileBudget {
   double StageDeadlineMs = 0.0;
 };
 
+/// Default for CompileOptions::VerifyEach: on in debug configurations
+/// (CMake defines MFSA_VERIFY_EACH_DEFAULT for Debug builds), off
+/// otherwise — the LLVM -verify-each convention.
+#ifdef MFSA_VERIFY_EACH_DEFAULT
+inline constexpr bool kVerifyEachDefault = true;
+#else
+inline constexpr bool kVerifyEachDefault = false;
+#endif
+
 /// End-to-end compilation knobs.
 struct CompileOptions {
   ParseOptions Parse;
@@ -120,6 +129,15 @@ struct CompileOptions {
   /// Skip stage (5) when the ANML documents are not needed (saves time in
   /// compression-only studies).
   bool EmitAnml = true;
+
+  /// Run the IR verifier (analysis/Verifier.h) on every stage's output:
+  /// each stage-2 ε-NFA, each stage-3 optimized FSA, and each stage-4 MFSA.
+  /// A rule whose automaton fails verification is treated exactly like a
+  /// malformed rule (fail-fast under Strict, quarantined under Isolate); a
+  /// merged MFSA failing verification always fails the batch, since no
+  /// single input rule is at fault — that is a compiler bug surfacing.
+  /// Exposed on the mfsac CLI as `--verify-each`.
+  bool VerifyEach = kVerifyEachDefault;
 
   /// Enables the paper's proposed partial character-class merging (§VI-A):
   /// after single-FSA optimization, every transition label is split into

@@ -6,8 +6,12 @@
 
 #include "engine/Imfant.h"
 
+#include "analysis/Verifier.h"
+
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <unordered_map>
 
@@ -33,6 +37,31 @@ ImfantEngine::ImfantEngine(const Mfsa &Z)
     : NumStates(Z.numStates()), NumRules(Z.numRules()),
       Words((Z.numRules() + 63) / 64) {
   assert(NumRules > 0 && "engine over an MFSA with no rules");
+
+  // Verifier hook (LLVM-style): the pre-processing below indexes states and
+  // copies belonging words without per-element checks, so a corrupt MFSA
+  // must be rejected here, not silently turned into out-of-bounds reads.
+  // Debug configurations run the full verifier; all builds run the cheap
+  // structural subset the table construction actually relies on.
+#ifdef MFSA_VERIFY_EACH_DEFAULT
+  {
+    std::string Violation = verifyMfsaError(Z);
+    if (!Violation.empty()) {
+      std::fprintf(stderr, "mfsa: ImfantEngine rejected MFSA: %s\n",
+                   Violation.c_str());
+      std::abort();
+    }
+  }
+#else
+  for (const MfsaTransition &T : Z.transitions())
+    if (T.From >= NumStates || T.To >= NumStates ||
+        T.Bel.size() != NumRules) {
+      std::fprintf(stderr,
+                   "mfsa: ImfantEngine rejected MFSA: %s\n",
+                   verifyMfsaError(Z).c_str());
+      std::abort();
+    }
+#endif
 
   // Deduplicate belonging sets into BelPool; MFSAs built from similar rules
   // reuse few distinct sets, so the pool stays small.

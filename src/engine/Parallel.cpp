@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cassert>
+#include <cstdio>
 #include <thread>
 
 using namespace mfsa;
@@ -21,6 +22,17 @@ ParallelRunResult mfsa::runParallel(const std::vector<ImfantEngine> &Engines,
                                     const ParallelRunOptions &Options) {
   assert((!Recorders || Recorders->size() == Engines.size()) &&
          "one recorder per engine");
+  // Release-safe twin of the assert above (every engine was already
+  // verified at construction; the recorder vector is the one input this
+  // batch-level hook can still get wrong): refuse the batch instead of
+  // indexing recorders out of range from worker threads.
+  if (Recorders && Recorders->size() != Engines.size()) {
+    std::fprintf(stderr,
+                 "mfsa: runParallel rejected batch: %zu recorder(s) for %zu "
+                 "engine(s)\n",
+                 Recorders->size(), Engines.size());
+    return {};
+  }
   if (NumThreads == 0)
     NumThreads = 1;
 

@@ -6,8 +6,12 @@
 
 #include "engine/SparseImfant.h"
 
+#include "analysis/Verifier.h"
+
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <unordered_map>
 
@@ -32,6 +36,28 @@ SparseImfantEngine::SparseImfantEngine(const Mfsa &Z)
     : NumStates(Z.numStates()), NumRules(Z.numRules()),
       Words((Z.numRules() + 63) / 64) {
   assert(NumRules > 0 && "engine over an MFSA with no rules");
+
+  // Verifier hook, mirroring ImfantEngine: the CSR construction indexes
+  // states and copies belonging words unchecked (see Verifier.h).
+#ifdef MFSA_VERIFY_EACH_DEFAULT
+  {
+    std::string Violation = verifyMfsaError(Z);
+    if (!Violation.empty()) {
+      std::fprintf(stderr, "mfsa: SparseImfantEngine rejected MFSA: %s\n",
+                   Violation.c_str());
+      std::abort();
+    }
+  }
+#else
+  for (const MfsaTransition &T : Z.transitions())
+    if (T.From >= NumStates || T.To >= NumStates ||
+        T.Bel.size() != NumRules) {
+      std::fprintf(stderr,
+                   "mfsa: SparseImfantEngine rejected MFSA: %s\n",
+                   verifyMfsaError(Z).c_str());
+      std::abort();
+    }
+#endif
 
   std::unordered_map<std::vector<uint64_t>, uint32_t, BlockHash> PoolIndex;
   auto InternBel = [&](const DynamicBitset &Bel) -> uint32_t {

@@ -68,6 +68,10 @@ public:
   void setInitial(StateId S) { InitialState = S; }
 
   const std::vector<StateId> &finals() const { return FinalStates; }
+  /// Mutable access, mirroring transitions(): passes (and the verifier's
+  /// corrupted-corpus tests) edit final states in place; callers are
+  /// responsible for re-establishing canonical form.
+  std::vector<StateId> &finals() { return FinalStates; }
   void addFinal(StateId S);
   bool isFinal(StateId S) const;
   void clearFinals() { FinalStates.clear(); }

@@ -15,6 +15,7 @@
 #ifndef MFSA_SUPPORT_DYNAMICBITSET_H
 #define MFSA_SUPPORT_DYNAMICBITSET_H
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -34,18 +35,28 @@ public:
 
   unsigned size() const { return NumBits; }
 
+  // The single-bit accessors assert in checked builds and degrade to a
+  // no-op / false in builds that define NDEBUG: an out-of-range index must
+  // never scribble past Words (belonging sets index live engine state).
+
   void set(unsigned Bit) {
     assert(Bit < NumBits && "bit index out of range");
+    if (Bit >= NumBits)
+      return;
     Words[Bit >> 6] |= 1ULL << (Bit & 63);
   }
 
   void reset(unsigned Bit) {
     assert(Bit < NumBits && "bit index out of range");
+    if (Bit >= NumBits)
+      return;
     Words[Bit >> 6] &= ~(1ULL << (Bit & 63));
   }
 
   bool test(unsigned Bit) const {
     assert(Bit < NumBits && "bit index out of range");
+    if (Bit >= NumBits)
+      return false;
     return (Words[Bit >> 6] >> (Bit & 63)) & 1;
   }
 
@@ -71,16 +82,21 @@ public:
     return N;
   }
 
+  // The set-algebra operators likewise assert on width mismatch but never
+  // read or write past the shorter operand.
+
   DynamicBitset &operator|=(const DynamicBitset &Other) {
     assert(NumBits == Other.NumBits && "bitset width mismatch");
-    for (size_t I = 0, E = Words.size(); I != E; ++I)
+    for (size_t I = 0, E = std::min(Words.size(), Other.Words.size()); I != E;
+         ++I)
       Words[I] |= Other.Words[I];
     return *this;
   }
 
   DynamicBitset &operator&=(const DynamicBitset &Other) {
     assert(NumBits == Other.NumBits && "bitset width mismatch");
-    for (size_t I = 0, E = Words.size(); I != E; ++I)
+    for (size_t I = 0, E = std::min(Words.size(), Other.Words.size()); I != E;
+         ++I)
       Words[I] &= Other.Words[I];
     return *this;
   }
@@ -95,7 +111,8 @@ public:
   /// \returns true if this set and \p Other share at least one bit.
   bool intersects(const DynamicBitset &Other) const {
     assert(NumBits == Other.NumBits && "bitset width mismatch");
-    for (size_t I = 0, E = Words.size(); I != E; ++I)
+    for (size_t I = 0, E = std::min(Words.size(), Other.Words.size()); I != E;
+         ++I)
       if (Words[I] & Other.Words[I])
         return true;
     return false;

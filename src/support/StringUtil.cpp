@@ -8,6 +8,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 using namespace mfsa;
 
@@ -70,8 +71,12 @@ std::string mfsa::xmlUnescape(const std::string &Text) {
         Base = 16;
         Digits = 3;
       }
-      long Code = strtol(Entity.c_str() + Digits, nullptr, Base);
-      if (Code >= 0 && Code < 256)
+      const char *DigitsBegin = Entity.c_str() + Digits;
+      char *DigitsEnd = nullptr;
+      long Code = std::strtol(DigitsBegin, &DigitsEnd, Base);
+      // A digit-less reference like "&#x;" parses to 0 with no digits
+      // consumed; keep it verbatim rather than emitting a NUL byte.
+      if (DigitsEnd != DigitsBegin && Code >= 0 && Code < 256)
         Out.push_back(static_cast<char>(Code));
       else
         Out += Entity;

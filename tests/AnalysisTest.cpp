@@ -1,0 +1,406 @@
+//===- AnalysisTest.cpp - IR verifier + linter + diagnostics tests -----------===//
+//
+// Part of the mfsa project. MIT License.
+//
+// Three groups:
+//   - Diagnostics: text/JSON rendering, golden strings.
+//   - Verifier: clean automata at every level verify, and a corpus of
+//     deliberately corrupted automata — one per invariant — each fires its
+//     check with a positioned finding and without crashing.
+//   - Lint: every catalog rule fires on its seeded fixture; the JSON report
+//     over a fixture ruleset is golden.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Lint.h"
+#include "analysis/Verifier.h"
+#include "compiler/Pipeline.h"
+#include "mfsa/Merge.h"
+
+#include "TestHelpers.h"
+
+#include <algorithm>
+
+using namespace mfsa;
+using namespace mfsa::test;
+
+namespace {
+
+Mfsa mergePatterns(const std::vector<std::string> &Patterns) {
+  std::vector<Nfa> Fsas;
+  Fsas.reserve(Patterns.size());
+  for (const std::string &P : Patterns)
+    Fsas.push_back(compileOptimized(P));
+  std::vector<uint32_t> Ids(Fsas.size());
+  for (uint32_t I = 0; I < Ids.size(); ++I)
+    Ids[I] = I;
+  return mergeFsas(Fsas, Ids);
+}
+
+/// True if any finding in \p Diags carries \p CheckId.
+bool hasCheck(const DiagnosticEngine &Diags, const std::string &CheckId) {
+  return std::any_of(Diags.findings().begin(), Diags.findings().end(),
+                     [&](const Finding &F) { return F.CheckId == CheckId; });
+}
+
+/// Returns the first finding with \p CheckId; fails the test if absent.
+const Finding &findCheck(const DiagnosticEngine &Diags,
+                         const std::string &CheckId) {
+  for (const Finding &F : Diags.findings())
+    if (F.CheckId == CheckId)
+      return F;
+  ADD_FAILURE() << "no finding with check id " << CheckId << "\n"
+                << Diags.renderText();
+  static const Finding None;
+  return None;
+}
+
+//===----------------------------------------------------------------------===//
+// Diagnostics
+//===----------------------------------------------------------------------===//
+
+TEST(Diagnostics, TextRenderingIsPositioned) {
+  DiagnosticEngine Diags;
+  Diags.report(Severity::Error, "verify.nfa.transition-target",
+               "transition target 9 out of range", SourceSpan::forElement(3));
+  Diags.report(Severity::Warning, "lint.redos.nested-quantifier", "nested",
+               SourceSpan::forPattern(2, 4), "unroll it");
+  EXPECT_EQ(Diags.renderText(),
+            "error: element 3: transition target 9 out of range "
+            "[verify.nfa.transition-target]\n"
+            "warning: rule 2, offset 4: nested (hint: unroll it) "
+            "[lint.redos.nested-quantifier]\n");
+  EXPECT_EQ(Diags.numErrors(), 1u);
+  EXPECT_EQ(Diags.numWarnings(), 1u);
+}
+
+TEST(Diagnostics, JsonRenderingIsGolden) {
+  DiagnosticEngine Diags;
+  Diags.report(Severity::Error, "verify.mfsa.bel-width",
+               "belonging set has width 5", SourceSpan::forElement(1));
+  Diags.report(Severity::Note, "lint.subsumed-rule", "a \"quoted\" message",
+               SourceSpan::forRule(7), "hint\nline");
+  EXPECT_EQ(Diags.renderJson(),
+            "{\"findings\":["
+            "{\"severity\":\"error\",\"check\":\"verify.mfsa.bel-width\","
+            "\"message\":\"belonging set has width 5\",\"element\":1},"
+            "{\"severity\":\"note\",\"check\":\"lint.subsumed-rule\","
+            "\"message\":\"a \\\"quoted\\\" message\",\"rule\":7,"
+            "\"hint\":\"hint\\nline\"}"
+            "],\"errors\":1,\"warnings\":0}");
+}
+
+TEST(Diagnostics, EmptyEngineRendersEmptyReport) {
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(Diags.empty());
+  EXPECT_EQ(Diags.renderText(), "");
+  EXPECT_EQ(Diags.renderJson(), "{\"findings\":[],\"errors\":0,\"warnings\":0}");
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier: clean automata
+//===----------------------------------------------------------------------===//
+
+TEST(Verifier, CleanAutomataVerifyAtEveryLevel) {
+  Result<Regex> Re = parseRegex("a(b|c)*d{2,4}");
+  ASSERT_TRUE(Re.ok());
+  Result<Nfa> Raw = buildNfa(*Re);
+  ASSERT_TRUE(Raw.ok());
+  EXPECT_EQ(verifyNfaError(*Raw, IrLevel::RawNfa), "");
+
+  Nfa Optimized = optimizeForMerging(*Raw);
+  EXPECT_EQ(verifyNfaError(Optimized, IrLevel::OptimizedFsa), "");
+
+  Mfsa Z = mergePatterns({"a(b|c)*d", "abd", "acd"});
+  EXPECT_EQ(verifyMfsaError(Z), "");
+}
+
+TEST(Verifier, RawLevelPermitsEpsilonsOptimizedDoesNot) {
+  Result<Regex> Re = parseRegex("(ab)*");
+  ASSERT_TRUE(Re.ok());
+  Result<Nfa> Raw = buildNfa(*Re);
+  ASSERT_TRUE(Raw.ok());
+  ASSERT_TRUE(Raw->hasEpsilons());
+
+  DiagnosticEngine AtRaw;
+  EXPECT_TRUE(verifyNfa(*Raw, IrLevel::RawNfa, AtRaw));
+  DiagnosticEngine AtOptimized;
+  EXPECT_FALSE(verifyNfa(*Raw, IrLevel::OptimizedFsa, AtOptimized));
+  EXPECT_TRUE(hasCheck(AtOptimized, "verify.nfa.epsilon"));
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier: corrupted-NFA corpus
+//===----------------------------------------------------------------------===//
+
+TEST(VerifierCorpus, EmptyAutomaton) {
+  Nfa Empty;
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(verifyNfa(Empty, IrLevel::RawNfa, Diags));
+  EXPECT_TRUE(hasCheck(Diags, "verify.nfa.empty"));
+}
+
+TEST(VerifierCorpus, DanglingTransitionTarget) {
+  Nfa A = compileOptimized("abc");
+  A.transitions().back().To = A.numStates() + 41;
+  A.canonicalize();
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(verifyNfa(A, IrLevel::OptimizedFsa, Diags));
+  const Finding &F = findCheck(Diags, "verify.nfa.transition-target");
+  EXPECT_EQ(F.Sev, Severity::Error);
+  EXPECT_TRUE(F.Span.hasElement()); // positioned at the offending transition
+}
+
+TEST(VerifierCorpus, DanglingTransitionSource) {
+  Nfa A = compileOptimized("ab");
+  A.transitions().front().From = A.numStates() + 3;
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(verifyNfa(A, IrLevel::RawNfa, Diags));
+  EXPECT_TRUE(hasCheck(Diags, "verify.nfa.transition-source"));
+}
+
+TEST(VerifierCorpus, InitialAndFinalOutOfRange) {
+  Nfa A = compileOptimized("ab");
+  A.setInitial(A.numStates() + 1);
+  A.finals().push_back(A.numStates() + 9);
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(verifyNfa(A, IrLevel::RawNfa, Diags));
+  EXPECT_TRUE(hasCheck(Diags, "verify.nfa.initial-range"));
+  EXPECT_TRUE(hasCheck(Diags, "verify.nfa.final-range"));
+}
+
+TEST(VerifierCorpus, UnsortedCoo) {
+  Nfa A = compileOptimized("abcd");
+  ASSERT_GE(A.numTransitions(), 2u);
+  std::swap(A.transitions().front(), A.transitions().back());
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(verifyNfa(A, IrLevel::OptimizedFsa, Diags));
+  const Finding &F = findCheck(Diags, "verify.nfa.coo-order");
+  EXPECT_TRUE(F.Span.hasElement());
+}
+
+TEST(VerifierCorpus, DuplicateCooEntry) {
+  Nfa A = compileOptimized("ab");
+  // Duplicate the first transition; re-sorting keeps the pair adjacent but
+  // canonicalize() would have removed it, so insert by hand.
+  Transition Dup = A.transitions().front();
+  A.transitions().insert(A.transitions().begin(), Dup);
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(verifyNfa(A, IrLevel::OptimizedFsa, Diags));
+  EXPECT_TRUE(hasCheck(Diags, "verify.nfa.coo-duplicate"));
+}
+
+TEST(VerifierCorpus, UnsortedFinals) {
+  Nfa A = compileOptimized("a|bb");
+  // Append a duplicate of the first final: breaks sorted/unique finals.
+  ASSERT_FALSE(A.finals().empty());
+  A.finals().push_back(A.finals().front());
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(verifyNfa(A, IrLevel::OptimizedFsa, Diags));
+  EXPECT_TRUE(hasCheck(Diags, "verify.nfa.final-order"));
+}
+
+TEST(VerifierCorpus, UnreachableAndDeadStates) {
+  Nfa A = compileOptimized("ab");
+  // An island state unreachable from the initial state...
+  StateId Island = A.addState();
+  StateId Sink = A.addState();
+  // ...and a reachable state that can never reach a final (dead).
+  A.transitions().push_back({Island, Sink, SymbolSet::singleton('z')});
+  A.transitions().push_back({0, Sink, SymbolSet::singleton('q')});
+  A.canonicalize();
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(verifyNfa(A, IrLevel::OptimizedFsa, Diags));
+  EXPECT_TRUE(hasCheck(Diags, "verify.nfa.unreachable-state"));
+  EXPECT_TRUE(hasCheck(Diags, "verify.nfa.dead-state"));
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier: corrupted-MFSA corpus
+//===----------------------------------------------------------------------===//
+
+TEST(VerifierCorpus, MfsaDanglingTransition) {
+  Mfsa Z = mergePatterns({"ab", "ac"});
+  Z.transitions().front().To = Z.numStates() + 17;
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(verifyMfsa(Z, Diags));
+  const Finding &F = findCheck(Diags, "verify.mfsa.transition-target");
+  EXPECT_EQ(F.Sev, Severity::Error);
+  EXPECT_TRUE(F.Span.hasElement());
+  EXPECT_NE(verifyMfsaError(Z), "");
+}
+
+TEST(VerifierCorpus, MfsaEpsilonLabel) {
+  Mfsa Z = mergePatterns({"ab", "ac"});
+  Z.transitions().front().Label = SymbolSet();
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(verifyMfsa(Z, Diags));
+  EXPECT_TRUE(hasCheck(Diags, "verify.mfsa.epsilon-label"));
+}
+
+TEST(VerifierCorpus, MfsaBelWidthMismatch) {
+  Mfsa Z = mergePatterns({"ab", "ac"});
+  // An oversized activation/belonging set: the engines would copy its words
+  // out of bounds. The verifier must flag it without ever reading the bits.
+  Z.transitions().front().Bel = DynamicBitset(Z.numRules() + 3);
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(verifyMfsa(Z, Diags));
+  const Finding &F = findCheck(Diags, "verify.mfsa.bel-width");
+  EXPECT_TRUE(F.Span.hasElement());
+}
+
+TEST(VerifierCorpus, MfsaEmptyBelongingSet) {
+  Mfsa Z = mergePatterns({"ab", "ac"});
+  Z.transitions().front().Bel.clear();
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(verifyMfsa(Z, Diags));
+  EXPECT_TRUE(hasCheck(Diags, "verify.mfsa.bel-empty"));
+}
+
+TEST(VerifierCorpus, MfsaDuplicateArc) {
+  Mfsa Z = mergePatterns({"ab", "ac"});
+  Z.transitions().push_back(Z.transitions().front());
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(verifyMfsa(Z, Diags));
+  EXPECT_TRUE(hasCheck(Diags, "verify.mfsa.duplicate-arc"));
+}
+
+TEST(VerifierCorpus, MfsaRuleStatesOutOfRange) {
+  Mfsa Z = mergePatterns({"ab", "ac"});
+  Z.rule(0).Initial = Z.numStates() + 1;
+  Z.rule(1).Finals.push_back(Z.numStates() + 2);
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(verifyMfsa(Z, Diags));
+  EXPECT_TRUE(hasCheck(Diags, "verify.mfsa.rule-initial-range"));
+  const Finding &F = findCheck(Diags, "verify.mfsa.rule-final-range");
+  EXPECT_TRUE(F.Span.hasRule());
+}
+
+TEST(VerifierCorpus, MfsaGlobalIdCollision) {
+  Mfsa Z = mergePatterns({"ab", "ac"});
+  Z.rule(0).GlobalId = 7;
+  Z.rule(1).GlobalId = 7;
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(verifyMfsa(Z, Diags));
+  EXPECT_TRUE(hasCheck(Diags, "verify.mfsa.global-id-collision"));
+}
+
+TEST(VerifierCorpus, MfsaDisconnectedRuleArc) {
+  Mfsa Z = mergePatterns({"ab", "ac"});
+  // An arc owned by rule 0 floating on an island: the injective relabeling
+  // of Algorithm 1 can never produce this.
+  StateId Island = Z.addState();
+  StateId Sink = Z.addState();
+  Z.addTransition(Island, Sink, SymbolSet::singleton('z'), Z.makeBel(0));
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(verifyMfsa(Z, Diags));
+  const Finding &F = findCheck(Diags, "verify.mfsa.rule-disconnected");
+  EXPECT_TRUE(F.Span.hasRule());
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline integration: --verify-each
+//===----------------------------------------------------------------------===//
+
+TEST(VerifyEach, CleanRulesetCompiles) {
+  CompileOptions Options;
+  Options.VerifyEach = true;
+  Options.EmitAnml = false;
+  Result<CompileArtifacts> Artifacts = compileRuleset(
+      {"GET /[a-z]+", "POST /[a-z]+", "[0-9]{1,3}\\.[0-9]{1,3}"}, Options);
+  ASSERT_TRUE(Artifacts.ok()) << Artifacts.diag().render();
+  EXPECT_EQ(Artifacts->CompiledRuleIds.size(), 3u);
+  for (const Mfsa &Z : Artifacts->Mfsas)
+    EXPECT_EQ(verifyMfsaError(Z), "");
+}
+
+TEST(VerifyEach, DefaultFollowsBuildConfig) {
+  CompileOptions Options;
+  EXPECT_EQ(Options.VerifyEach, kVerifyEachDefault);
+}
+
+//===----------------------------------------------------------------------===//
+// Lint
+//===----------------------------------------------------------------------===//
+
+TEST(Lint, CatalogRulesFireOnSeededFixtures) {
+  LintOptions Options;
+  DiagnosticEngine Diags;
+  LintSummary Summary = lintRuleset(
+      {
+          "(a+)+b",        // nested quantifier
+          "(a|aa)+x",      // ambiguous loop witness on the NFA
+          "(a{99}){999}",  // expansion blowup (skipped from deeper layers)
+          "ab(",           // parse error
+          "foo[0-9]bar",   // duplicate pair...
+          "foo[0-9]bar",   // ...
+          ".*",            // universal
+      },
+      Options, Diags);
+  EXPECT_EQ(Summary.RulesBroken, 1u);
+  EXPECT_EQ(Summary.RulesAnalyzed, 5u); // 7 - parse error - blowup skip
+  EXPECT_TRUE(hasCheck(Diags, "lint.redos.nested-quantifier"));
+  EXPECT_TRUE(hasCheck(Diags, "lint.redos.ambiguous-loop"));
+  EXPECT_TRUE(hasCheck(Diags, "lint.expansion.state-blowup"));
+  EXPECT_TRUE(hasCheck(Diags, "lint.parse-error"));
+  EXPECT_TRUE(hasCheck(Diags, "lint.duplicate-rule"));
+  EXPECT_TRUE(hasCheck(Diags, "lint.language.universal"));
+  const Finding &Parse = findCheck(Diags, "lint.parse-error");
+  EXPECT_EQ(Parse.Span.Rule, 3u);
+  const Finding &Dup = findCheck(Diags, "lint.duplicate-rule");
+  EXPECT_EQ(Dup.Span.Rule, 5u);
+}
+
+TEST(Lint, EmptyLanguageRuleFlagged) {
+  DiagnosticEngine Diags;
+  lintRuleset({"a{0}"}, LintOptions(), Diags);
+  EXPECT_TRUE(hasCheck(Diags, "lint.language.empty"));
+}
+
+TEST(Lint, CleanRulesetLintsClean) {
+  DiagnosticEngine Diags;
+  LintSummary Summary =
+      lintRuleset({"GET /[a-z]+", "Host: [a-z0-9.-]+", "admin\\.php"},
+                  LintOptions(), Diags);
+  EXPECT_TRUE(Diags.empty()) << Diags.renderText();
+  EXPECT_EQ(Summary.RulesAnalyzed, 3u);
+}
+
+TEST(Lint, MergedDuplicatesDetectedViaBelongingSets) {
+  Mfsa Z = mergePatterns({"xy[ab]", "xy[ab]", "zz"});
+  DiagnosticEngine Diags;
+  lintMfsa(Z, LintOptions(), Diags);
+  const Finding &F = findCheck(Diags, "lint.merge.identical-rules");
+  EXPECT_EQ(F.Span.Rule, 1u); // GlobalId of the duplicate
+}
+
+TEST(Lint, MergedUnreachableStateDetected) {
+  Mfsa Z = mergePatterns({"ab", "ac"});
+  StateId Island = Z.addState();
+  Z.addTransition(Island, Island, SymbolSet::singleton('z'), Z.makeBel(0));
+  DiagnosticEngine Diags;
+  lintMfsa(Z, LintOptions(), Diags);
+  EXPECT_TRUE(hasCheck(Diags, "lint.merge.unreachable-state"));
+}
+
+TEST(Lint, JsonReportIsGolden) {
+  // The exact --format=json document for a small fixture: field order,
+  // escaping, and finding order are all contractual (docs/static-analysis.md).
+  LintOptions Options;
+  DiagnosticEngine Diags;
+  lintRuleset({"(a+)+b", "foo", "foo"}, Options, Diags);
+  EXPECT_EQ(
+      Diags.renderJson(),
+      "{\"findings\":["
+      "{\"severity\":\"warning\",\"check\":\"lint.redos.nested-quantifier\","
+      "\"message\":\"unbounded quantifier wraps a variable-iteration "
+      "quantifier (catastrophic-ambiguity shape, e.g. (a+)+)\",\"rule\":0,"
+      "\"hint\":\"make the inner repetition fixed-count or unroll the outer "
+      "one\"},"
+      "{\"severity\":\"warning\",\"check\":\"lint.duplicate-rule\","
+      "\"message\":\"duplicate of rule 1: identical optimized automaton\","
+      "\"rule\":2,\"hint\":\"remove one of the two rules\"}"
+      "],\"errors\":0,\"warnings\":2}");
+}
+
+} // namespace
