@@ -22,12 +22,14 @@
 
 #include "compiler/Pipeline.h"
 #include "engine/Imfant.h"
+#include "obs/Metrics.h"
 #include "workload/Datasets.h"
 
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace mfsa::bench {
@@ -65,9 +67,12 @@ struct CompiledDataset {
 };
 
 /// Generates and compiles a dataset through stage 3 once; merging at
-/// different M is then cheap via mergeInGroups.
+/// different M is then cheap via mergeInGroups. When \p Metrics is non-null
+/// the pipeline's per-stage telemetry is recorded into it (the `compile.*`
+/// metrics of the emitted BENCH_*.json).
 inline CompiledDataset compileDataset(const DatasetSpec &Spec,
-                                      size_t StreamSize) {
+                                      size_t StreamSize,
+                                      obs::MetricsRegistry *Metrics = nullptr) {
   CompiledDataset Out;
   Out.Spec = &Spec;
   Out.Rules = generateRuleset(Spec);
@@ -80,6 +85,8 @@ inline CompiledDataset compileDataset(const DatasetSpec &Spec,
                  Spec.Abbrev.c_str(), Artifacts.diag().render().c_str());
     std::exit(1);
   }
+  if (Metrics)
+    Artifacts->Telemetry.recordTo(*Metrics);
   Out.OptimizedFsas = std::move(Artifacts->OptimizedFsas);
   if (StreamSize > 0)
     Out.Stream = generateStream(Spec, Out.Rules, StreamSize);
@@ -107,6 +114,122 @@ inline double geomean(const std::vector<double> &Values) {
     LogSum += std::log(V);
   return std::exp(LogSum / static_cast<double>(Values.size()));
 }
+
+inline std::string jsonEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out.push_back(C);
+      }
+    }
+  }
+  return Out;
+}
+
+/// Machine-readable bench output: every bench owns one BenchReport, adds its
+/// headline numbers with result(), and gets `BENCH_<name>.json` written to
+/// the working directory (or $MFSA_BENCH_JSON_DIR) on destruction. The
+/// embedded registry collects whatever the bench attaches to it — compile
+/// telemetry via compileDataset(), engine scan metrics via setMetrics() —
+/// so one file carries the figure-level numbers and the internals that
+/// explain them. tools/check_bench_json.py validates the schema in CI.
+class BenchReport {
+public:
+  BenchReport(std::string BenchName, std::string PaperRef)
+      : Name(std::move(BenchName)), PaperRef(std::move(PaperRef)) {
+    config("stream_bytes", streamBytes());
+    config("reps", repetitions());
+    config("max_threads", maxThreads());
+    config("metrics_compiled_in", obs::kScanMetricsCompiledIn ? 1 : 0);
+  }
+
+  BenchReport(const BenchReport &) = delete;
+  BenchReport &operator=(const BenchReport &) = delete;
+  ~BenchReport() { write(); }
+
+  /// The registry this bench's metrics land in; attach engines and compile
+  /// telemetry here.
+  obs::MetricsRegistry &registry() { return Registry; }
+
+  void config(const std::string &Key, uint64_t Value) {
+    Config.emplace_back(Key, std::to_string(Value));
+  }
+  void config(const std::string &Key, const std::string &Value) {
+    Config.emplace_back(Key, "\"" + jsonEscape(Value) + "\"");
+  }
+
+  /// Records one headline result row (a cell of the reproduced figure).
+  void result(const std::string &RowName, double Value,
+              const std::string &Unit) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.9g", Value);
+    Results.emplace_back(RowName, std::string(Buf) + ", \"unit\": \"" +
+                                      jsonEscape(Unit) + "\"");
+  }
+
+  std::string path() const {
+    const char *Dir = std::getenv("MFSA_BENCH_JSON_DIR");
+    std::string Base = (Dir && *Dir) ? std::string(Dir) + "/" : std::string();
+    return Base + "BENCH_" + Name + ".json";
+  }
+
+  /// Writes the JSON file; called by the destructor, idempotent.
+  void write() {
+    if (Written)
+      return;
+    Written = true;
+    std::FILE *F = std::fopen(path().c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path().c_str());
+      return;
+    }
+    std::fprintf(F, "{\n  \"schema_version\": 1,\n");
+    std::fprintf(F, "  \"bench\": \"%s\",\n", jsonEscape(Name).c_str());
+    std::fprintf(F, "  \"paper_ref\": \"%s\",\n",
+                 jsonEscape(PaperRef).c_str());
+    std::fprintf(F, "  \"config\": {");
+    for (size_t I = 0; I < Config.size(); ++I)
+      std::fprintf(F, "%s\n    \"%s\": %s", I ? "," : "",
+                   jsonEscape(Config[I].first).c_str(),
+                   Config[I].second.c_str());
+    std::fprintf(F, "\n  },\n  \"results\": [");
+    for (size_t I = 0; I < Results.size(); ++I)
+      std::fprintf(F, "%s\n    {\"name\": \"%s\", \"value\": %s}",
+                   I ? "," : "", jsonEscape(Results[I].first).c_str(),
+                   Results[I].second.c_str());
+    std::fprintf(F, "\n  ],\n  \"metrics\": %s\n}\n",
+                 Registry.toJson().c_str());
+    std::fclose(F);
+    std::printf("\nwrote %s\n", path().c_str());
+  }
+
+private:
+  bool Written = false;
+  std::string Name;
+  std::string PaperRef;
+  std::vector<std::pair<std::string, std::string>> Config;
+  std::vector<std::pair<std::string, std::string>> Results;
+  obs::MetricsRegistry Registry;
+};
 
 /// Prints the standard bench header with the active configuration.
 inline void printHeader(const char *Title, const char *PaperRef) {

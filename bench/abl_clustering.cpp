@@ -22,6 +22,8 @@ int main() {
   printHeader("Ablation E - grouping policy (sequential vs clustered vs "
               "random)",
               "§VIII future work (similarity clustering)");
+  BenchReport Report("abl_clustering",
+                     "§VIII future work (similarity clustering)");
 
   const std::vector<uint32_t> Factors = {5, 20, 50};
   std::printf("%-8s %4s %12s %12s %12s\n", "dataset", "M", "sequential",
@@ -51,6 +53,14 @@ int main() {
                   compressionPercent(Base, Sequential),
                   compressionPercent(Base, Clustered),
                   compressionPercent(Base, Random));
+      if (M == 50) {
+        Report.result(Spec.Abbrev + ".sequential_compression",
+                      compressionPercent(Base, Sequential), "percent");
+        Report.result(Spec.Abbrev + ".clustered_compression",
+                      compressionPercent(Base, Clustered), "percent");
+        Report.result(Spec.Abbrev + ".random_compression",
+                      compressionPercent(Base, Random), "percent");
+      }
     }
   }
   std::printf("\nfinding: sequential grouping already exploits the rulesets- family "

@@ -24,6 +24,8 @@ using namespace mfsa::bench;
 int main() {
   printHeader("Ablation F - DFA baseline vs MFSA",
               "§II DFA/NFA trade-off (state explosion vs bandwidth)");
+  BenchReport Report("abl_dfa_baseline",
+                     "§II DFA/NFA trade-off (state explosion vs bandwidth)");
 
   std::printf("%-8s | %10s %9s | %10s %9s | %10s %9s\n", "dataset",
               "perDFA-st", "time[s]", "uniDFA-st", "time[s]", "MFSA-st",
@@ -68,6 +70,7 @@ int main() {
     if (Union.ok()) {
       UnionStates = Union->NumStates;
       DfaEngine Engine(*Union);
+      Engine.setMetrics(&Report.registry());
       MatchRecorder Recorder;
       Timer Wall;
       Engine.run(Dataset.Stream, Recorder);
@@ -76,6 +79,7 @@ int main() {
 
     // M = all MFSA.
     std::vector<ImfantEngine> Engines = buildEngines(Dataset, 0);
+    Engines[0].setMetrics(&Report.registry());
     uint64_t MfsaStates = Engines[0].numStates();
     Timer Wall;
     MatchRecorder Recorder;
@@ -94,6 +98,13 @@ int main() {
                 TimeStr(UnionSec).c_str(),
                 static_cast<unsigned long>(MfsaStates),
                 TimeStr(MfsaSec).c_str());
+    Report.result(Spec.Abbrev + ".per_rule_dfa_states",
+                  static_cast<double>(PerRuleStates), "states");
+    Report.result(Spec.Abbrev + ".union_dfa_states",
+                  static_cast<double>(UnionStates), "states");
+    Report.result(Spec.Abbrev + ".mfsa_states",
+                  static_cast<double>(MfsaStates), "states");
+    Report.result(Spec.Abbrev + ".mfsa_time_s", MfsaSec, "s");
   }
   std::printf("\nexpected shape: the union DFA is fastest per byte where it "
               "fits but pays orders of magnitude more states (or explodes "

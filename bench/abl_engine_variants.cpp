@@ -21,6 +21,8 @@ using namespace mfsa::bench;
 int main() {
   printHeader("Ablation G - symbol-major vs state-major engine layout",
               "§V engine design (iNFAnt layout choice)");
+  BenchReport Report("abl_engine_variants",
+                     "§V engine design (iNFAnt layout choice)");
 
   const std::vector<uint32_t> Factors = {1, 50, 0};
   std::printf("%-8s %5s %12s %12s %9s\n", "dataset", "M", "symbol-major",
@@ -35,6 +37,8 @@ int main() {
       {
         for (const Mfsa &Z : Groups) {
           ImfantEngine Engine(Z);
+          if (M == 0)
+            Engine.setMetrics(&Report.registry());
           MatchRecorder Recorder;
           Engine.run(Dataset.Stream, Recorder);
           DenseMatches += Recorder.total();
@@ -47,6 +51,8 @@ int main() {
       {
         for (const Mfsa &Z : Groups) {
           SparseImfantEngine Engine(Z);
+          if (M == 0)
+            Engine.setMetrics(&Report.registry());
           MatchRecorder Recorder;
           Engine.run(Dataset.Stream, Recorder);
           SparseMatches += Recorder.total();
@@ -64,6 +70,12 @@ int main() {
       std::printf("%-8s %5s %11.3fs %11.3fs %8.2fx\n", Spec.Abbrev.c_str(),
                   mergingFactorName(M).c_str(), DenseSec, SparseSec,
                   DenseSec / SparseSec);
+      Report.result(Spec.Abbrev + ".m_" + mergingFactorName(M) +
+                        ".symbol_major_s",
+                    DenseSec, "s");
+      Report.result(Spec.Abbrev + ".m_" + mergingFactorName(M) +
+                        ".state_major_s",
+                    SparseSec, "s");
     }
   }
   std::printf("\nratio > 1: state-major wins (sparse active sets); engine "

@@ -48,6 +48,9 @@ Row measure(const std::vector<std::string> &Rules, bool Expand) {
 int main() {
   printHeader("Ablation A - loop expansion on/off",
               "Fig. 5a (expanded loops maximize mergeable transitions)");
+  BenchReport Report("abl_loop_expansion",
+                     "Fig. 5a (expanded loops maximize mergeable "
+                     "transitions)");
 
   std::printf("%-8s | %10s %10s %8s | %10s %10s %8s\n", "dataset",
               "exp:FSA-st", "MFSA-st", "comp%", "cmp:FSA-st", "MFSA-st",
@@ -64,6 +67,10 @@ int main() {
                 static_cast<unsigned long>(Compact.SingleStates),
                 static_cast<unsigned long>(Compact.MergedStates),
                 Compact.CompressionPct);
+    Report.result(Spec.Abbrev + ".expanded_compression",
+                  Expanded.CompressionPct, "percent");
+    Report.result(Spec.Abbrev + ".compact_compression",
+                  Compact.CompressionPct, "percent");
   }
   std::printf("\nnote: 'cmp' (expansion off) over-approximates bounded "
               "repetitions (ablation-only mode); compare compression "

@@ -21,6 +21,8 @@ using namespace mfsa::bench;
 int main() {
   printHeader("Ablation C - merging-time scaling vs M",
               "Eq. 3 complexity discussion (§III-A)");
+  BenchReport Report("abl_merge_complexity",
+                     "Eq. 3 complexity discussion (§III-A)");
 
   const std::vector<uint32_t> Factors = {2, 5, 10, 20, 50, 100, 0};
   std::printf("%-8s", "dataset");
@@ -44,6 +46,8 @@ int main() {
     double Exponent =
         std::log(Millis[5] / Millis[4]) / std::log(100.0 / 50.0);
     std::printf("   growth M50->M100: M^%.1f\n", Exponent);
+    Report.result(Spec.Abbrev + ".merge_m_all_ms", Millis.back(), "ms");
+    Report.result(Spec.Abbrev + ".growth_exponent", Exponent, "exponent");
   }
   std::printf("\nnote: total work is bounded by the dataset size, so the "
               "per-group cost grows polynomially in M while the group count "

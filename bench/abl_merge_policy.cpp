@@ -36,6 +36,9 @@ double compressionFor(const CompiledDataset &Dataset,
 int main() {
   printHeader("Ablation B - merging policy",
               "§III-A / Fig. 5b (CC-exact matching, sub-path length, search)");
+  BenchReport Report("abl_merge_policy",
+                     "§III-A / Fig. 5b (CC-exact matching, sub-path length, "
+                     "search)");
 
   std::printf("%-8s %10s %10s %10s %10s %10s\n", "dataset", "default",
               "noCC", "len=1", "len=5", "noSearch");
@@ -52,12 +55,15 @@ int main() {
     MergeOptions NoSearch = Default;
     NoSearch.EnableSubpathSearch = false;
 
+    double DefaultPct = compressionFor(Dataset, Default);
     std::printf("%-8s %9.2f%% %9.2f%% %9.2f%% %9.2f%% %9.2f%%\n",
-                Spec.Abbrev.c_str(), compressionFor(Dataset, Default),
+                Spec.Abbrev.c_str(), DefaultPct,
                 compressionFor(Dataset, NoCc),
                 compressionFor(Dataset, Len1),
                 compressionFor(Dataset, Len5),
                 compressionFor(Dataset, NoSearch));
+    Report.result(Spec.Abbrev + ".default_compression", DefaultPct,
+                  "percent");
   }
   std::printf("\nexpected shape: noSearch = 0; noCC hurts CC-heavy datasets "
               "(PRO, RG1) most; len=1 over-merges toward the alphabet-limited "

@@ -22,6 +22,8 @@ using namespace mfsa::bench;
 int main() {
   printHeader("Ablation I - stride-1 vs stride-2 DFA scanning",
               "§VII multi-stride automata discussion");
+  BenchReport Report("abl_multistride",
+                     "§VII multi-stride automata discussion");
 
   std::printf("%-8s | %10s %10s %7s | %9s %9s %7s | %8s\n", "dataset",
               "s1-KB", "s2-KB", "growth", "s1[s]", "s2[s]", "speedup",
@@ -61,6 +63,7 @@ int main() {
     Timer Wall1;
     for (const Dfa &D : Plain) {
       DfaEngine Engine(D);
+      Engine.setMetrics(&Report.registry());
       MatchRecorder Recorder;
       Engine.run(Dataset.Stream, Recorder);
       Matches1 += Recorder.total();
@@ -70,6 +73,7 @@ int main() {
     Timer Wall2;
     for (const StridedDfa &D : Strided) {
       StridedDfaEngine Engine(D);
+      Engine.setMetrics(&Report.registry());
       MatchRecorder Recorder;
       Engine.run(Dataset.Stream, Recorder);
       Matches2 += Recorder.total();
@@ -89,6 +93,12 @@ int main() {
                     static_cast<double>(PlainBytes ? PlainBytes : 1),
                 Sec1, Sec2, Sec1 / Sec2,
                 static_cast<unsigned long>(Matches1));
+    Report.result(Spec.Abbrev + ".stride1_time_s", Sec1, "s");
+    Report.result(Spec.Abbrev + ".stride2_time_s", Sec2, "s");
+    Report.result(Spec.Abbrev + ".table_growth",
+                  static_cast<double>(StridedBytes) /
+                      static_cast<double>(PlainBytes ? PlainBytes : 1),
+                  "x");
   }
   std::printf("\nexpected shape: stride 2 roughly halves the per-byte "
               "traversals at a quadratic (atoms^2) table-size cost — the "

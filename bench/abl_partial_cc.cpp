@@ -22,6 +22,8 @@ using namespace mfsa::bench;
 int main() {
   printHeader("Ablation D - partial CC merging via alphabet atoms",
               "§VI-A proposed CC-merging improvement");
+  BenchReport Report("abl_partial_cc",
+                     "§VI-A proposed CC-merging improvement");
 
   std::printf("%-8s %6s | %9s %9s %8s | %9s %9s %8s\n", "dataset", "atoms",
               "ex:states", "trans", "st-comp%", "at:states", "trans",
@@ -48,6 +50,12 @@ int main() {
                 static_cast<unsigned long>(Atomized.TotalStates),
                 static_cast<unsigned long>(Atomized.TotalTransitions),
                 compressionPercent(BaseStates, Atomized.TotalStates));
+    Report.result(Spec.Abbrev + ".exact_compression",
+                  compressionPercent(BaseStates, Exact.TotalStates),
+                  "percent");
+    Report.result(Spec.Abbrev + ".atomized_compression",
+                  compressionPercent(BaseStates, Atomized.TotalStates),
+                  "percent");
   }
   std::printf("\nexpected shape: atom splitting buys extra state compression "
               "on CC-heavy datasets (PRO, RG1) at the price of more "

@@ -23,6 +23,8 @@ using namespace mfsa::bench;
 int main() {
   printHeader("Ablation H - literal prefiltering vs plain MFSA scan",
               "§I decomposition baseline (Hyperscan-style)");
+  BenchReport Report("abl_prefilter",
+                     "§I decomposition baseline (Hyperscan-style)");
 
   const unsigned Reps = repetitions();
   std::printf("%-8s %8s %8s | %10s %10s %8s | %10s\n", "dataset", "prefilt",
@@ -37,6 +39,7 @@ int main() {
       std::fprintf(stderr, "fatal: %s\n", Prefilter.diag().render().c_str());
       return 1;
     }
+    Prefilter->setMetrics(&Report.registry());
 
     double MfsaSec = 0, PrefilterSec = 0;
     uint64_t MfsaMatches = 0, PrefilterMatches = 0;
@@ -73,6 +76,11 @@ int main() {
                 Prefilter->numResidual(), MfsaSec, PrefilterSec,
                 MfsaSec / PrefilterSec,
                 static_cast<unsigned long>(MfsaMatches));
+    Report.result(Spec.Abbrev + ".prefiltered_rules",
+                  static_cast<double>(Prefilter->numPrefiltered()), "rules");
+    Report.result(Spec.Abbrev + ".mfsa_time_s", MfsaSec, "s");
+    Report.result(Spec.Abbrev + ".prefilter_time_s", PrefilterSec, "s");
+    Report.result(Spec.Abbrev + ".speedup", MfsaSec / PrefilterSec, "x");
   }
   std::printf("\nexpected shape: literal-rich, bounded rulesets (BRO, TCP, "
               "PEN) prefilter most of their rules and win when literal hits "

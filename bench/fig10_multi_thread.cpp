@@ -22,6 +22,8 @@ int main() {
   printHeader("Fig. 10 - multi-threaded execution scaling",
               "Fig. 10 (time vs threads per M; speedup and thread-utilization "
               "markers)");
+  BenchReport Report("fig10_multi_thread",
+                     "Fig. 10 (time vs threads per M; speedup markers)");
 
   const unsigned Reps = repetitions();
   std::vector<unsigned> Threads;
@@ -90,6 +92,9 @@ int main() {
 
     double Speedup = BestSingle / BestMerged;
     Speedups.push_back(Speedup);
+    Report.result(Spec.Abbrev + ".best_single_s", BestSingle, "s");
+    Report.result(Spec.Abbrev + ".best_merged_s", BestMerged, "s");
+    Report.result(Spec.Abbrev + ".speedup", Speedup, "x");
     if (FewestThreadsBeatingSingle > 0)
       ThreadSavings.push_back(static_cast<double>(BestSingleT) /
                               FewestThreadsBeatingSingle);
@@ -103,9 +108,12 @@ int main() {
   std::printf("geomean best-MFSA speedup over best parallel single-FSAs: "
               "%.2fx (paper: 4.05x, range 2.52x-6.18x)\n",
               geomean(Speedups));
-  if (!ThreadSavings.empty())
+  Report.result("geomean.speedup", geomean(Speedups), "x");
+  if (!ThreadSavings.empty()) {
     std::printf("geomean thread-count saving at equal performance: %.2fx "
                 "(paper: MFSAs need 1-2 threads to match single-FSA best)\n",
                 geomean(ThreadSavings));
+    Report.result("geomean.thread_saving", geomean(ThreadSavings), "x");
+  }
   return 0;
 }

@@ -18,6 +18,7 @@ using namespace mfsa::bench;
 int main() {
   printHeader("Fig. 1 - normalized INDEL similarity per dataset",
               "Fig. 1 (average pairwise RE similarity)");
+  BenchReport Report("fig1_indel", "Fig. 1 (average pairwise RE similarity)");
 
   std::printf("%-8s %8s %12s\n", "dataset", "#REs", "similarity");
   std::vector<double> All;
@@ -28,11 +29,13 @@ int main() {
     All.push_back(Similarity);
     std::printf("%-8s %8zu %12.4f\n", Spec.Abbrev.c_str(), Rules.size(),
                 Similarity);
+    Report.result(Spec.Abbrev + ".similarity", Similarity, "ratio");
   }
   double Mean = 0;
   for (double V : All)
     Mean += V;
   Mean /= static_cast<double>(All.size());
   std::printf("%-8s %8s %12.4f   (paper: ~0.34)\n", "AVG", "", Mean);
+  Report.result("avg.similarity", Mean, "ratio");
   return 0;
 }

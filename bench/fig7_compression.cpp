@@ -19,6 +19,8 @@ using namespace mfsa::bench;
 int main() {
   printHeader("Fig. 7 - MFSA compression vs merging factor",
               "Fig. 7 (state/transition compression percentages)");
+  BenchReport Report("fig7_compression",
+                     "Fig. 7 (state/transition compression percentages)");
 
   std::vector<uint32_t> Factors = {2, 5, 10, 20, 50, 100, 0};
 
@@ -50,6 +52,10 @@ int main() {
       if (M == 0) {
         AllStates.push_back(StatePct);
         AllTrans.push_back(TransPct);
+        Report.result(Spec.Abbrev + ".state_compression_m_all", StatePct,
+                      "percent");
+        Report.result(Spec.Abbrev + ".transition_compression_m_all",
+                      TransPct, "percent");
       }
     }
     std::printf("\n");
@@ -79,6 +85,8 @@ int main() {
   std::printf("\nM=all averages: states %.2f%% (paper 71.95%%), transitions "
               "%.2f%% (paper 38.88%%)\n",
               StateAvg, TransAvg);
+  Report.result("avg.state_compression_m_all", StateAvg, "percent");
+  Report.result("avg.transition_compression_m_all", TransAvg, "percent");
   std::printf("expected shape: monotone growth in M with a plateau toward "
               "M=all; states compress more than transitions\n");
   return 0;

@@ -18,6 +18,8 @@ using namespace mfsa::bench;
 int main() {
   printHeader("Fig. 8 - compilation stage breakdown",
               "Fig. 8 (per-stage time vs merging factor)");
+  BenchReport Report("fig8_compile_time",
+                     "Fig. 8 (per-stage time vs merging factor)");
 
   const unsigned Reps = repetitions();
   std::vector<uint32_t> Factors = {1, 2, 10, 50, 0};
@@ -39,12 +41,21 @@ int main() {
           return 1;
         }
         Sum += Artifacts->Times;
+        // The last repetition's per-stage telemetry lands in the registry
+        // (counters, not timings, so repetitions would double-count them).
+        if (Rep + 1 == Reps && M == 0)
+          Artifacts->Telemetry.recordTo(Report.registry());
       }
       StageTimes Avg = Sum.scaledBy(1.0 / Reps);
       std::printf("%-8s %6s %10.2f %10.2f %10.2f %10.2f %10.2f %10.2f\n",
                   Spec.Abbrev.c_str(), mergingFactorName(M).c_str(),
                   Avg.FrontEndMs, Avg.AstToFsaMs, Avg.SingleOptMs,
                   Avg.MergingMs, Avg.BackEndMs, Avg.totalMs());
+      Report.result(Spec.Abbrev + ".m_" + mergingFactorName(M) + ".total_ms",
+                    Avg.totalMs(), "ms");
+      Report.result(Spec.Abbrev + ".m_" + mergingFactorName(M) +
+                        ".merging_ms",
+                    Avg.MergingMs, "ms");
     }
   }
   std::printf("\nexpected shape: FE / AST-to-FSA / ME-single roughly constant "

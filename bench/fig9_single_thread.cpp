@@ -25,6 +25,8 @@ using namespace mfsa::bench;
 int main() {
   printHeader("Fig. 9 - single-thread execution time and throughput",
               "Fig. 9 (execution time per M; throughput improvement vs M=1)");
+  BenchReport Report("fig9_single_thread",
+                     "Fig. 9 (execution time per M; throughput vs M=1)");
 
   const unsigned Reps = repetitions();
   const std::vector<uint32_t> Factors = paperMergingFactors();
@@ -39,11 +41,18 @@ int main() {
   std::vector<double> BestImprovement;
 
   for (const DatasetSpec &Spec : standardDatasets()) {
-    CompiledDataset Dataset = compileDataset(Spec, streamBytes());
+    CompiledDataset Dataset =
+        compileDataset(Spec, streamBytes(), &Report.registry());
 
     std::vector<double> Seconds;
     for (uint32_t M : Factors) {
       std::vector<ImfantEngine> Engines = buildEngines(Dataset, M);
+      // Attach scan metrics at M=all: zero-cost when the hooks are compiled
+      // out, and the timed loop is what we want instrumented when they are
+      // (MFSA_METRICS=1 runs trade timing fidelity for internals).
+      if (M == 0)
+        for (ImfantEngine &Engine : Engines)
+          Engine.setMetrics(&Report.registry());
       double Best = 0;
       for (unsigned Rep = 0; Rep < Reps; ++Rep) {
         Timer Wall;
@@ -71,16 +80,24 @@ int main() {
       PerFactor[I].push_back(Improvement);
       BestForDataset = std::max(BestForDataset, Improvement);
       std::printf(" %8.2fx", Improvement);
+      Report.result(Spec.Abbrev + ".m_" + mergingFactorName(Factors[I]) +
+                        ".exec_s",
+                    Seconds[I], "s");
     }
     BestImprovement.push_back(BestForDataset);
     std::printf("\n");
   }
 
   std::printf("\n%-8s", "geomean");
-  for (size_t I = 0; I < Factors.size(); ++I)
+  for (size_t I = 0; I < Factors.size(); ++I) {
     std::printf(" %8.2fx", geomean(PerFactor[I]));
+    Report.result("geomean.m_" + mergingFactorName(Factors[I]) +
+                      ".improvement",
+                  geomean(PerFactor[I]), "x");
+  }
   std::printf("\nbest-M geomean: %.2fx (paper: 5.99x; per-M geomean from "
               "1.47x at M=2 to 5.44x at M=100)\n",
               geomean(BestImprovement));
+  Report.result("geomean.best_m.improvement", geomean(BestImprovement), "x");
   return 0;
 }

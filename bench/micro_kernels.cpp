@@ -118,4 +118,16 @@ BENCHMARK(BM_IndelBitParallel);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  BenchReport Report("micro_kernels",
+                     "hot-kernel microbenchmarks (google-benchmark)");
+  // The scan benchmarks run instrumented when the hooks are compiled in;
+  // the google-benchmark numbers land on stdout, the internals in the JSON.
+  for (ImfantEngine &Engine : fixture().EnginesAll)
+    Engine.setMetrics(&Report.registry());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

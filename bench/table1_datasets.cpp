@@ -17,11 +17,14 @@ using namespace mfsa::bench;
 int main() {
   printHeader("Table I - dataset characteristics",
               "Table I (rule counts, FSA sizes, CC pressure)");
+  BenchReport Report("table1_datasets",
+                     "Table I (rule counts, FSA sizes, CC pressure)");
 
   std::printf("%-8s %8s %10s %10s %10s %10s %10s\n", "dataset", "#REs",
               "totStates", "totTrans", "totCCLen", "avgStates", "avgTrans");
   for (const DatasetSpec &Spec : standardDatasets()) {
-    CompiledDataset Dataset = compileDataset(Spec, /*StreamSize=*/0);
+    CompiledDataset Dataset =
+        compileDataset(Spec, /*StreamSize=*/0, &Report.registry());
     uint64_t States = 0, Trans = 0, CcLen = 0;
     for (const Nfa &A : Dataset.OptimizedFsas) {
       NfaStats Stats = computeStats(A);
@@ -37,6 +40,12 @@ int main() {
                 static_cast<unsigned long>(CcLen),
                 static_cast<double>(States) / N,
                 static_cast<double>(Trans) / N);
+    Report.result(Spec.Abbrev + ".total_states",
+                  static_cast<double>(States), "states");
+    Report.result(Spec.Abbrev + ".total_transitions",
+                  static_cast<double>(Trans), "transitions");
+    Report.result(Spec.Abbrev + ".total_cc_length",
+                  static_cast<double>(CcLen), "chars");
   }
   std::printf("\npaper reference rows (Table I): BRO 217/2863/2645, DS9 "
               "299/12883/12614, PEN 300/4726/4554,\n  PRO 300/3704/3400, RG1 "

@@ -16,19 +16,29 @@ using namespace mfsa::bench;
 int main() {
   printHeader("Table II - active rules during M=all traversal",
               "Table II (avg/max active FSAs per consumed symbol)");
+  BenchReport Report("table2_active_fsas",
+                     "Table II (avg/max active FSAs per consumed symbol)");
 
   std::printf("%-8s %12s %12s %14s\n", "dataset", "avgActive", "maxActive",
               "transitions/ch");
   for (const DatasetSpec &Spec : standardDatasets()) {
-    CompiledDataset Dataset = compileDataset(Spec, streamBytes());
+    CompiledDataset Dataset =
+        compileDataset(Spec, streamBytes(), &Report.registry());
     std::vector<ImfantEngine> Engines = buildEngines(Dataset, 0);
+    Engines[0].setMetrics(&Report.registry());
     RunStats Stats;
     MatchRecorder Recorder;
     Engines[0].run(Dataset.Stream, Recorder, &Stats);
+    double TransPerCh = static_cast<double>(Stats.TransitionsEvaluated) /
+                        static_cast<double>(Stats.Steps ? Stats.Steps : 1);
     std::printf("%-8s %12.2f %12u %14.1f\n", Spec.Abbrev.c_str(),
-                Stats.AvgActiveRules, Stats.MaxActiveRules,
-                static_cast<double>(Stats.TransitionsEvaluated) /
-                    static_cast<double>(Stats.Steps ? Stats.Steps : 1));
+                Stats.AvgActiveRules, Stats.MaxActiveRules, TransPerCh);
+    Report.result(Spec.Abbrev + ".avg_active_rules", Stats.AvgActiveRules,
+                  "rules");
+    Report.result(Spec.Abbrev + ".max_active_rules", Stats.MaxActiveRules,
+                  "rules");
+    Report.result(Spec.Abbrev + ".transitions_per_char", TransPerCh,
+                  "transitions");
   }
   std::printf("\npaper reference (Table II, avg/max): BRO 10.73/40, DS9 "
               "38.02/90, PEN 21.27/39, PRO 10.18/652, RG1 6.55/63, TCP "

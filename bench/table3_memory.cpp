@@ -23,6 +23,8 @@ using namespace mfsa::bench;
 int main() {
   printHeader("Bonus table - matching-structure memory footprint [KB]",
               "§VI-A memory motivation; §II/§VII trade-offs");
+  BenchReport Report("table3_memory",
+                     "§VI-A memory motivation; §II/§VII trade-offs");
 
   std::printf("%-8s %12s %12s %12s %12s\n", "dataset", "iNFAnt(M=1)",
               "iMFAnt(all)", "perDFA", "perDFA-s2");
@@ -57,6 +59,16 @@ int main() {
       std::printf(" %12zu %12zu\n", DfaBytes / 1024, StridedBytes / 1024);
     else
       std::printf(" %12s %12s\n", "exploded", "exploded");
+    Report.result(Spec.Abbrev + ".infant_m1_kb",
+                  static_cast<double>(InfantBytes) / 1024.0, "KB");
+    Report.result(Spec.Abbrev + ".imfant_all_kb",
+                  static_cast<double>(MfsaBytes) / 1024.0, "KB");
+    if (DfaOk) {
+      Report.result(Spec.Abbrev + ".per_dfa_kb",
+                    static_cast<double>(DfaBytes) / 1024.0, "KB");
+      Report.result(Spec.Abbrev + ".per_dfa_stride2_kb",
+                    static_cast<double>(StridedBytes) / 1024.0, "KB");
+    }
   }
   std::printf("\nexpected shape: the merged MFSA is the smallest executable "
               "form (shared transitions stored once); DFAs and especially "

@@ -16,6 +16,7 @@
 #include "anml/Anml.h"
 #include "engine/Imfant.h"
 #include "engine/Parallel.h"
+#include "obs/Metrics.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -31,7 +32,10 @@ static void usage(const char *Prog) {
                "mfsa.anml [...]\n"
                "  -t threads  worker threads (default 1)\n"
                "  -r reps     timed repetitions, best-of (default 1)\n"
-               "  -v          print every (rule, offset) match pair\n",
+               "  -v          print every (rule, offset) match pair\n"
+               "  --metrics   dump scan instrumentation after the run "
+               "(text; --metrics=json for JSON; counters need a build "
+               "with MFSA_METRICS=1 or asserts)\n",
                Prog);
 }
 
@@ -39,6 +43,8 @@ int main(int argc, char **argv) {
   unsigned Threads = 1;
   unsigned Reps = 1;
   bool Verbose = false;
+  bool Metrics = false;
+  bool MetricsJson = false;
   std::vector<std::string> Paths;
 
   for (int I = 1; I < argc; ++I) {
@@ -48,6 +54,10 @@ int main(int argc, char **argv) {
       Reps = std::max(1, std::atoi(argv[++I]));
     else if (!std::strcmp(argv[I], "-v"))
       Verbose = true;
+    else if (!std::strcmp(argv[I], "--metrics"))
+      Metrics = true;
+    else if (!std::strcmp(argv[I], "--metrics=json"))
+      Metrics = MetricsJson = true;
     else if (argv[I][0] == '-') {
       usage(argv[0]);
       return 2;
@@ -81,6 +91,11 @@ int main(int argc, char **argv) {
     Engines.emplace_back(*Z);
   }
 
+  obs::MetricsRegistry Registry;
+  if (Metrics)
+    for (ImfantEngine &Engine : Engines)
+      Engine.setMetrics(&Registry);
+
   std::vector<MatchRecorder> Recorders;
   Recorders.reserve(Engines.size());
   for (size_t I = 0; I < Engines.size(); ++I)
@@ -112,5 +127,8 @@ int main(int argc, char **argv) {
         std::printf("    rule %u @ %lu\n", Rule,
                     static_cast<unsigned long>(End));
   }
+  if (Metrics)
+    std::printf("%s", MetricsJson ? Registry.toJson().c_str()
+                                  : Registry.toText().c_str());
   return 0;
 }

@@ -17,6 +17,7 @@
 
 #include "anml/Anml.h"
 #include "compiler/Pipeline.h"
+#include "obs/Metrics.h"
 #include "workload/Clustering.h"
 
 #include <cstdio>
@@ -40,7 +41,9 @@ static void usage(const char *Prog) {
                "  --isolate   quarantine broken/over-budget rules and keep "
                "going\n"
                "  --verify-each  run the IR verifier after every pipeline "
-               "stage\n",
+               "stage\n"
+               "  --metrics   dump per-stage compile telemetry (text; "
+               "--metrics=json for JSON)\n",
                Prog);
 }
 
@@ -54,6 +57,8 @@ int main(int argc, char **argv) {
   bool EmitDot = false;
   bool Isolate = false;
   bool VerifyEach = false;
+  bool Metrics = false;
+  bool MetricsJson = false;
 
   for (int I = 1; I < argc; ++I) {
     if (!std::strcmp(argv[I], "-M") && I + 1 < argc)
@@ -72,6 +77,10 @@ int main(int argc, char **argv) {
       Isolate = true;
     else if (!std::strcmp(argv[I], "--verify-each"))
       VerifyEach = true;
+    else if (!std::strcmp(argv[I], "--metrics"))
+      Metrics = true;
+    else if (!std::strcmp(argv[I], "--metrics=json"))
+      Metrics = MetricsJson = true;
     else if (argv[I][0] == '-') {
       usage(argv[0]);
       return 2;
@@ -165,6 +174,13 @@ int main(int argc, char **argv) {
               Artifacts->Times.FrontEndMs, Artifacts->Times.AstToFsaMs,
               Artifacts->Times.SingleOptMs, Artifacts->Times.MergingMs,
               Artifacts->Times.BackEndMs);
+
+  if (Metrics) {
+    obs::MetricsRegistry Registry;
+    Artifacts->Telemetry.recordTo(Registry);
+    std::printf("%s", MetricsJson ? Registry.toJson().c_str()
+                                  : Registry.toText().c_str());
+  }
 
   if (EmitAnml) {
     for (size_t I = 0; I < Artifacts->AnmlDocs.size(); ++I) {

@@ -27,6 +27,7 @@
 #include "anml/Anml.h"
 #include "fsa/AlphabetPartition.h"
 #include "fsa/Passes.h"
+#include "obs/Metrics.h"
 
 #include <algorithm>
 #include <cstdlib>
@@ -118,6 +119,41 @@ uint32_t effectiveFsaStateCap(uint32_t UserCap, const CompileBudget &Budget,
 
 } // namespace
 
+void CompileTelemetry::recordTo(obs::MetricsRegistry &Registry) const {
+  static const char *const Names[5] = {"front_end", "ast_to_fsa",
+                                       "single_opt", "merging", "back_end"};
+  for (size_t I = 0; I < 5; ++I) {
+    const std::string Prefix = std::string("compile.") + Names[I] + ".";
+    const StageTelemetry &S = Stages[I];
+    Registry.counter(Prefix + "rules_in").add(S.RulesIn);
+    Registry.counter(Prefix + "rules_out").add(S.RulesOut);
+    Registry.counter(Prefix + "states_out").add(S.StatesOut);
+    Registry.counter(Prefix + "transitions_out").add(S.TransitionsOut);
+    // Timing is nondeterministic, so it lives under the `_ns` suffix the
+    // golden tests mask; nanoseconds keep integral gauges precise for
+    // sub-millisecond stages.
+    Registry.gauge(Prefix + "wall_ns")
+        .set(static_cast<int64_t>(S.WallMs * 1e6));
+  }
+  Registry.counter("compile.quarantined_rules").add(QuarantinedRules);
+  Registry.gauge("compile.peak.rule_states")
+      .set(static_cast<int64_t>(PeakRuleStates));
+  Registry.gauge("compile.peak.rule_transitions")
+      .set(static_cast<int64_t>(PeakRuleTransitions));
+  Registry.gauge("compile.peak.merged_states")
+      .set(static_cast<int64_t>(PeakMergedStates));
+  Registry.gauge("compile.peak.merged_transitions")
+      .set(static_cast<int64_t>(PeakMergedTransitions));
+  Registry.gauge("compile.budget.max_fsa_states")
+      .set(static_cast<int64_t>(BudgetMaxFsaStates));
+  Registry.gauge("compile.budget.max_fsa_transitions")
+      .set(static_cast<int64_t>(BudgetMaxFsaTransitions));
+  Registry.gauge("compile.budget.max_merged_states")
+      .set(static_cast<int64_t>(BudgetMaxMergedStates));
+  Registry.gauge("compile.budget.max_merged_transitions")
+      .set(static_cast<int64_t>(BudgetMaxMergedTransitions));
+}
+
 Result<CompileArtifacts>
 mfsa::compileRuleset(const std::vector<std::string> &Patterns,
                      const CompileOptions &Options) {
@@ -162,6 +198,27 @@ mfsa::compileRuleset(const std::vector<std::string> &Patterns,
   // artifact vectors; compacted after every stage that drops rules.
   std::vector<uint32_t> Alive;
 
+  // Telemetry aggregation (always on; a handful of adds per stage).
+  CompileTelemetry &Tel = Artifacts.Telemetry;
+  Tel.BudgetMaxFsaStates = Budget.MaxFsaStates;
+  Tel.BudgetMaxFsaTransitions = Budget.MaxFsaTransitions;
+  Tel.BudgetMaxMergedStates = Budget.MaxMergedStates;
+  Tel.BudgetMaxMergedTransitions = Budget.MaxMergedTransitions;
+  auto StageTel = [&](CompileStage S) -> StageTelemetry & {
+    return Tel.Stages[static_cast<size_t>(S)];
+  };
+  auto SumNfas = [](const std::vector<Nfa> &Fsas, uint64_t &States,
+                    uint64_t &Transitions, uint64_t &PeakStates,
+                    uint64_t &PeakTransitions) {
+    for (const Nfa &A : Fsas) {
+      States += A.numStates();
+      Transitions += A.numTransitions();
+      PeakStates = std::max<uint64_t>(PeakStates, A.numStates());
+      PeakTransitions = std::max<uint64_t>(PeakTransitions,
+                                           A.numTransitions());
+    }
+  };
+
   // Stage 1 — Front-End: lexical and syntactic analyses (§IV-A).
   Stage.reset();
   Artifacts.Asts.reserve(Patterns.size());
@@ -183,6 +240,12 @@ mfsa::compileRuleset(const std::vector<std::string> &Patterns,
     Alive.push_back(I);
   }
   Artifacts.Times.FrontEndMs = Stage.elapsedMs();
+  {
+    StageTelemetry &S = StageTel(CompileStage::FrontEnd);
+    S.WallMs = Artifacts.Times.FrontEndMs;
+    S.RulesIn = Patterns.size();
+    S.RulesOut = Artifacts.Asts.size();
+  }
 
   // Stage 2 — AST to FSA: Thompson-like construction (§IV-B), bounded loops
   // expanded per §IV-C (2) under the per-rule state budget.
@@ -228,6 +291,14 @@ mfsa::compileRuleset(const std::vector<std::string> &Patterns,
     Alive = std::move(NextAlive);
   }
   Artifacts.Times.AstToFsaMs = Stage.elapsedMs();
+  {
+    StageTelemetry &S = StageTel(CompileStage::AstToFsa);
+    S.WallMs = Artifacts.Times.AstToFsaMs;
+    S.RulesIn = StageTel(CompileStage::FrontEnd).RulesOut;
+    S.RulesOut = Artifacts.RawFsas.size();
+    SumNfas(Artifacts.RawFsas, S.StatesOut, S.TransitionsOut,
+            Tel.PeakRuleStates, Tel.PeakRuleTransitions);
+  }
 
   // Stage 3 — single-FSA optimization: ε-removal, multiplicity folding,
   // compaction (§IV-C (1) and (3)), budgeted because ε-removal may grow the
@@ -292,6 +363,14 @@ mfsa::compileRuleset(const std::vector<std::string> &Patterns,
       }
   }
   Artifacts.Times.SingleOptMs = Stage.elapsedMs();
+  {
+    StageTelemetry &S = StageTel(CompileStage::SingleOpt);
+    S.WallMs = Artifacts.Times.SingleOptMs;
+    S.RulesIn = StageTel(CompileStage::AstToFsa).RulesOut;
+    S.RulesOut = Artifacts.OptimizedFsas.size();
+    SumNfas(Artifacts.OptimizedFsas, S.StatesOut, S.TransitionsOut,
+            Tel.PeakRuleStates, Tel.PeakRuleTransitions);
+  }
 
   // Stage 4 — merging into ⌈N/M⌉ MFSAs (§III, Algorithm 1). Groups are
   // formed over the surviving logical sequence; a budget overrun quarantines
@@ -400,6 +479,20 @@ mfsa::compileRuleset(const std::vector<std::string> &Patterns,
     }
   }
   Artifacts.Times.MergingMs = Stage.elapsedMs();
+  {
+    StageTelemetry &S = StageTel(CompileStage::Merging);
+    S.WallMs = Artifacts.Times.MergingMs;
+    S.RulesIn = StageTel(CompileStage::SingleOpt).RulesOut;
+    S.RulesOut = Alive.size();
+    for (const Mfsa &Z : Artifacts.Mfsas) {
+      S.StatesOut += Z.numStates();
+      S.TransitionsOut += Z.transitions().size();
+      Tel.PeakMergedStates =
+          std::max<uint64_t>(Tel.PeakMergedStates, Z.numStates());
+      Tel.PeakMergedTransitions = std::max<uint64_t>(
+          Tel.PeakMergedTransitions, Z.transitions().size());
+    }
+  }
 
   // Stage 5 — Back-End: extended-ANML generation (§IV-E).
   if (Options.EmitAnml) {
@@ -409,8 +502,15 @@ mfsa::compileRuleset(const std::vector<std::string> &Patterns,
       Artifacts.AnmlDocs.push_back(
           writeAnml(Artifacts.Mfsas[I], "mfsa-" + std::to_string(I)));
     Artifacts.Times.BackEndMs = Stage.elapsedMs();
+    StageTelemetry &S = StageTel(CompileStage::BackEnd);
+    S.WallMs = Artifacts.Times.BackEndMs;
+    S.RulesIn = Artifacts.Mfsas.size();
+    S.RulesOut = Artifacts.AnmlDocs.size();
+    for (const std::string &Doc : Artifacts.AnmlDocs)
+      S.StatesOut += Doc.size(); // document bytes; see StageTelemetry doc
   }
 
+  Tel.QuarantinedRules = Artifacts.Quarantined.size();
   Artifacts.CompiledRuleIds = std::move(Alive);
   return Artifacts;
 }

@@ -47,6 +47,10 @@
 
 namespace mfsa {
 
+namespace obs {
+class MetricsRegistry;
+} // namespace obs
+
 /// How compileRuleset reacts to a rule that fails a stage.
 enum class FailurePolicy : uint8_t {
   /// Fail the whole batch on the first malformed or budget-busting rule,
@@ -148,6 +152,48 @@ struct CompileOptions {
   bool SplitCcByAtoms = false;
 };
 
+/// Aggregate measurements for one pipeline stage: wall time plus the rule
+/// and automaton populations flowing through it. StatesOut/TransitionsOut
+/// sum the stage's surviving outputs (ASTs have no states, so stage 1
+/// reports zeros there; stage 5 reports ANML bytes in StatesOut).
+struct StageTelemetry {
+  double WallMs = 0;
+  uint64_t RulesIn = 0;
+  uint64_t RulesOut = 0;
+  uint64_t StatesOut = 0;
+  uint64_t TransitionsOut = 0;
+};
+
+/// Per-compilation telemetry, filled on every compileRuleset() call (the
+/// aggregation is a handful of adds per stage, so it is unconditional).
+/// recordTo() publishes it into a MetricsRegistry under `compile.*` names;
+/// the budget caps ride along so a JSON dump shows consumption against
+/// limit (PR 1's CompileBudget) without cross-referencing the options.
+struct CompileTelemetry {
+  StageTelemetry Stages[5]; ///< Indexed by CompileStage.
+  uint64_t QuarantinedRules = 0;
+
+  /// Peak single-rule automaton size observed (stages 2-3) and peak merged
+  /// MFSA size (stage 4), against the corresponding CompileBudget caps
+  /// (0 = unlimited).
+  uint64_t PeakRuleStates = 0;
+  uint64_t PeakRuleTransitions = 0;
+  uint64_t PeakMergedStates = 0;
+  uint64_t PeakMergedTransitions = 0;
+  uint64_t BudgetMaxFsaStates = 0;
+  uint64_t BudgetMaxFsaTransitions = 0;
+  uint64_t BudgetMaxMergedStates = 0;
+  uint64_t BudgetMaxMergedTransitions = 0;
+
+  const StageTelemetry &stage(CompileStage S) const {
+    return Stages[static_cast<size_t>(S)];
+  }
+
+  /// Publishes counters/gauges (`compile.<stage>.*`, `compile.budget.*`,
+  /// timing gauges `compile.<stage>.wall_ms`) into \p Registry.
+  void recordTo(obs::MetricsRegistry &Registry) const;
+};
+
 /// One rule the Isolate policy dropped, with full provenance for reporting.
 struct QuarantinedRule {
   uint32_t RuleIndex = 0;                   ///< Index into the input Patterns.
@@ -179,6 +225,7 @@ struct CompileArtifacts {
 
   StageTimes Times;
   MergeReport Merging;
+  CompileTelemetry Telemetry;
 };
 
 /// Compiles \p Patterns end to end. Under FailurePolicy::Strict (default)

@@ -33,11 +33,27 @@ public:
   /// with the same semantics as ImfantEngine::run.
   void run(std::string_view Input, MatchRecorder &Recorder) const;
 
+  /// Attaches `dfa.*` scan instrumentation. A DFA's frontier and per-byte
+  /// transition count are constant 1 — the whole point of the baseline —
+  /// so the occupancy histograms degenerate accordingly; keeping them makes
+  /// every engine emit the same metric shape for the bench tooling.
+  void setMetrics(obs::MetricsRegistry *Registry);
+
   uint32_t numStates() const { return Automaton.NumStates; }
   size_t footprintBytes() const { return Automaton.footprintBytes(); }
 
 private:
+  struct ScanMetricHandles {
+    obs::Counter *Bytes = nullptr;
+    obs::Counter *Transitions = nullptr;
+    obs::Counter *Matches = nullptr;
+    obs::Histogram *Frontier = nullptr;
+    obs::Histogram *ActiveRules = nullptr;
+    obs::Histogram *TransitionsPerByte = nullptr;
+  };
+
   const Dfa &Automaton;
+  ScanMetricHandles Metrics;
 };
 
 } // namespace mfsa

@@ -7,6 +7,7 @@
 #include "engine/Imfant.h"
 
 #include "analysis/Verifier.h"
+#include "obs/Metrics.h"
 
 #include <algorithm>
 #include <cassert>
@@ -122,6 +123,25 @@ ImfantEngine::ImfantEngine(const Mfsa &Z)
   }
 }
 
+void ImfantEngine::setMetrics(obs::MetricsRegistry *Registry) {
+  if (!Registry) {
+    Metrics = ScanMetricHandles{};
+    return;
+  }
+  Metrics.Bytes = &Registry->counter("imfant.bytes_scanned");
+  Metrics.Transitions = &Registry->counter("imfant.transitions_touched");
+  Metrics.Matches = &Registry->counter("imfant.matches");
+  Metrics.Frontier =
+      &Registry->histogram("imfant.frontier_size", obs::pow2Buckets(12));
+  Metrics.ActiveRules =
+      &Registry->histogram("imfant.active_rules", obs::pow2Buckets(12));
+  Metrics.TransitionsPerByte =
+      &Registry->histogram("imfant.transitions_per_byte",
+                           obs::pow2Buckets(14));
+  Registry->gauge("imfant.states").set(NumStates);
+  Registry->gauge("imfant.rules").set(NumRules);
+}
+
 size_t ImfantEngine::footprintBytes() const {
   return Entries.size() * sizeof(TableEntry) + Offsets.size() * 4 +
          (BelPool.size() + InitialRules.size() + FinalRules.size() +
@@ -155,10 +175,19 @@ ImfantEngine::Scanner::Scanner(const ImfantEngine &Engine)
 void ImfantEngine::Scanner::feed(std::string_view Chunk,
                                  MatchRecorder &Recorder, RunStats *Stats) {
   assert(!Finished && "feed() after finish()");
+#if MFSA_METRICS_ENABLED
+  const uint64_t MatchesBefore = Recorder.total();
+#endif
   if (Engine.Words == 1)
     feedLoop<true>(Chunk, Recorder, Stats);
   else
     feedLoop<false>(Chunk, Recorder, Stats);
+#if MFSA_METRICS_ENABLED
+  if (Engine.Metrics.Bytes) {
+    Engine.Metrics.Bytes->add(Chunk.size());
+    Engine.Metrics.Matches->add(Recorder.total() - MatchesBefore);
+  }
+#endif
 }
 
 template <bool SingleWord>
@@ -177,6 +206,17 @@ void ImfantEngine::Scanner::feedLoop(std::string_view Chunk,
   std::vector<uint64_t> UnionJ;
   if (Stats)
     UnionJ.assign(W, 0);
+
+#if MFSA_METRICS_ENABLED
+  // Sampled distribution metrics: counters are exact, histograms observe
+  // every SampleEvery-th byte (MetricsTick persists across chunks so the
+  // cadence survives streaming feeds).
+  const bool Observed = E.Metrics.Bytes != nullptr;
+  const uint32_t SampleEvery = Observed ? obs::scanSampleEvery() : 0;
+  uint64_t ChunkTransitions = 0;
+  if (Observed && MetricsUnionScratch.size() != W)
+    MetricsUnionScratch.assign(W, 0);
+#endif
 
   for (size_t Pos = 0; Pos < Chunk.size(); ++Pos) {
     const unsigned char C = static_cast<unsigned char>(Chunk[Pos]);
@@ -281,6 +321,29 @@ void ImfantEngine::Scanner::feedLoop(std::string_view Chunk,
       ActiveRuleMax = std::max(ActiveRuleMax, ActiveRules);
     }
 
+#if MFSA_METRICS_ENABLED
+    if (Observed) {
+      ChunkTransitions += End - Begin;
+      if (++MetricsTick >= SampleEvery) {
+        MetricsTick = 0;
+        E.Metrics.Frontier->observe(NextTouched.size());
+        E.Metrics.TransitionsPerByte->observe(End - Begin);
+        // Active-set occupancy |∪ J(q)| — the paper's Table II quantity.
+        std::fill(MetricsUnionScratch.begin(), MetricsUnionScratch.end(), 0);
+        for (StateId S : NextTouched) {
+          const uint64_t *J = &NextJ[static_cast<size_t>(S) * W];
+          for (uint32_t I = 0; I < W; ++I)
+            MetricsUnionScratch[I] |= J[I];
+        }
+        uint64_t Occupancy = 0;
+        for (uint32_t I = 0; I < W; ++I)
+          Occupancy += static_cast<uint64_t>(
+              __builtin_popcountll(MetricsUnionScratch[I]));
+        E.Metrics.ActiveRules->observe(Occupancy);
+      }
+    }
+#endif
+
     // Swap buffers; scrub only what the finished step touched.
     for (StateId S : CurTouched) {
       CurActive[S] = 0;
@@ -294,6 +357,11 @@ void ImfantEngine::Scanner::feedLoop(std::string_view Chunk,
       MatchedThisStep[I] = 0;
     MatchedDirtyWords.clear();
   }
+
+#if MFSA_METRICS_ENABLED
+  if (Observed)
+    E.Metrics.Transitions->add(ChunkTransitions);
+#endif
 
   if (Stats) {
     Stats->Steps += Chunk.size();

@@ -38,6 +38,12 @@
 
 namespace mfsa {
 
+namespace obs {
+class Counter;
+class Histogram;
+class MetricsRegistry;
+} // namespace obs
+
 /// Collects matches emitted by an engine run. A match is a (rule, end
 /// offset) pair; the engine already deduplicates pairs arising from multiple
 /// simultaneous paths.
@@ -145,10 +151,23 @@ public:
     std::vector<uint32_t> MatchedDirtyWords;
     std::vector<uint64_t> ActivationScratch;
     std::vector<uint64_t> PendingAtEnd; ///< `$` rules matched at offset().
+
+    // Scan-instrumentation state (only touched when the engine has metrics
+    // attached and MFSA_METRICS_ENABLED builds the hooks in).
+    uint32_t MetricsTick = 0;
+    std::vector<uint64_t> MetricsUnionScratch;
   };
 
   uint32_t numStates() const { return NumStates; }
   uint32_t numRules() const { return NumRules; }
+
+  /// Points scan instrumentation at \p Registry (nullptr detaches). The
+  /// engine resolves its `imfant.*` metric handles here, once, so the scan
+  /// loop only performs relaxed atomic adds — and only in builds with
+  /// MFSA_METRICS_ENABLED (see obs/Metrics.h); elsewhere the hooks are
+  /// compiled out and this call merely caches pointers. Not thread-safe
+  /// against concurrent run() calls: attach before sharing the engine.
+  void setMetrics(obs::MetricsRegistry *Registry);
 
   /// Bytes of the pre-processed matching structure (transition table plus
   /// activation metadata), a memory-footprint proxy for the benches.
@@ -156,6 +175,18 @@ public:
 
 private:
   friend class Scanner;
+
+  /// Resolved metric handles; all null when detached. Distribution metrics
+  /// (frontier size, active-set occupancy, transitions per byte) are
+  /// sampled every obs::scanSampleEvery() bytes; counters stay exact.
+  struct ScanMetricHandles {
+    obs::Counter *Bytes = nullptr;
+    obs::Counter *Transitions = nullptr;
+    obs::Counter *Matches = nullptr;
+    obs::Histogram *Frontier = nullptr;
+    obs::Histogram *ActiveRules = nullptr;
+    obs::Histogram *TransitionsPerByte = nullptr;
+  };
 
   /// One entry of the per-symbol transition table.
   struct TableEntry {
@@ -185,6 +216,8 @@ private:
   std::vector<uint64_t> NotAnchoredEndMask;
 
   std::vector<uint32_t> GlobalIds; ///< Local rule -> dataset rule id.
+
+  ScanMetricHandles Metrics;
 };
 
 } // namespace mfsa

@@ -85,11 +85,28 @@ public:
 
   void run(std::string_view Input, MatchRecorder &Recorder) const;
 
+  /// Attaches `stride2.*` scan instrumentation: exact stride / table-touch
+  /// counters (including mid-stride accept probes, the stride tax) plus the
+  /// degenerate occupancy histograms every engine shares.
+  void setMetrics(obs::MetricsRegistry *Registry);
+
 private:
+  struct ScanMetricHandles {
+    obs::Counter *Bytes = nullptr;
+    obs::Counter *Strides = nullptr;
+    obs::Counter *Transitions = nullptr;
+    obs::Counter *MidProbes = nullptr;
+    obs::Counter *Matches = nullptr;
+    obs::Histogram *Frontier = nullptr;
+    obs::Histogram *ActiveRules = nullptr;
+    obs::Histogram *TransitionsPerByte = nullptr;
+  };
+
   void reportAt(uint32_t State, size_t EndOffset, bool AtEnd,
                 MatchRecorder &Recorder) const;
 
   const StridedDfa &Automaton;
+  ScanMetricHandles Metrics;
 };
 
 } // namespace mfsa

@@ -10,6 +10,7 @@
 #include "fsa/LiteralAnalysis.h"
 #include "fsa/Passes.h"
 #include "mfsa/Merge.h"
+#include "obs/Metrics.h"
 #include "regex/Parser.h"
 
 #include <algorithm>
@@ -62,20 +63,59 @@ PrefilterEngine::create(const std::vector<std::string> &Patterns,
   return Engine;
 }
 
+void PrefilterEngine::setMetrics(obs::MetricsRegistry *Registry) {
+  if (!Registry) {
+    Metrics = ScanMetricHandles{};
+    return;
+  }
+  Metrics.Bytes = &Registry->counter("prefilter.bytes_scanned");
+  Metrics.LiteralHits = &Registry->counter("prefilter.literal_hits");
+  Metrics.Windows = &Registry->counter("prefilter.windows");
+  Metrics.WindowBytes = &Registry->counter("prefilter.window_bytes");
+  Metrics.WindowsConfirmed = &Registry->counter("prefilter.windows_confirmed");
+  Metrics.WindowsDropped = &Registry->counter("prefilter.windows_dropped");
+  Metrics.Matches = &Registry->counter("prefilter.matches");
+  Metrics.WindowLen =
+      &Registry->histogram("prefilter.window_len", obs::pow2Buckets(20));
+  Registry->gauge("prefilter.prefiltered_rules")
+      .set(static_cast<int64_t>(PrefilteredRules.size()));
+  Registry->gauge("prefilter.residual_rules")
+      .set(static_cast<int64_t>(NumResidualRules));
+}
+
 void PrefilterEngine::run(std::string_view Input,
                           MatchRecorder &Recorder) const {
+#if MFSA_METRICS_ENABLED
+  const bool Observed = Metrics.Bytes != nullptr;
+  uint64_t MatchesBefore = Recorder.total();
+  uint64_t LiteralHits = 0, Windows = 0, WindowBytes = 0;
+  uint64_t WindowsConfirmed = 0, WindowsDropped = 0;
+#endif
+
   // Residual rules scan the whole stream the ordinary way.
   if (Residual)
     Residual->run(Input, Recorder);
 
-  if (!Literals || Input.empty())
+  if (!Literals || Input.empty()) {
+#if MFSA_METRICS_ENABLED
+    if (Observed) {
+      Metrics.Bytes->add(Input.size());
+      Metrics.Matches->add(Recorder.total() - MatchesBefore);
+    }
+#endif
     return;
+  }
 
   // Phase 1: literal scan, collecting hit end-offsets per prefiltered rule.
   std::vector<std::vector<size_t>> Hits(PrefilteredRules.size());
   Literals->scan(Input, [&](uint32_t RuleIdx, size_t EndOffset) {
     Hits[RuleIdx].push_back(EndOffset);
   });
+#if MFSA_METRICS_ENABLED
+  if (Observed)
+    for (const std::vector<size_t> &RuleHits : Hits)
+      LiteralHits += RuleHits.size();
+#endif
 
   // Phase 2: per rule, widen hits into ±MaxMatchLength windows, coalesce
   // overlaps (hits arrive already sorted), and confirm with the rule's own
@@ -104,6 +144,29 @@ void PrefilterEngine::run(std::string_view Input,
       Rule.Confirm->run(Input.substr(Begin, End - Begin), Window);
       for (const auto &[GlobalId, Offset] : Window.matches())
         Recorder.onMatch(GlobalId, Begin + Offset);
+#if MFSA_METRICS_ENABLED
+      if (Observed) {
+        ++Windows;
+        WindowBytes += End - Begin;
+        Metrics.WindowLen->observe(End - Begin);
+        if (Window.total() > 0)
+          ++WindowsConfirmed;
+        else
+          ++WindowsDropped;
+      }
+#endif
     }
   }
+
+#if MFSA_METRICS_ENABLED
+  if (Observed) {
+    Metrics.Bytes->add(Input.size());
+    Metrics.LiteralHits->add(LiteralHits);
+    Metrics.Windows->add(Windows);
+    Metrics.WindowBytes->add(WindowBytes);
+    Metrics.WindowsConfirmed->add(WindowsConfirmed);
+    Metrics.WindowsDropped->add(WindowsDropped);
+    Metrics.Matches->add(Recorder.total() - MatchesBefore);
+  }
+#endif
 }

@@ -52,6 +52,13 @@ public:
   size_t numPrefiltered() const { return PrefilteredRules.size(); }
   size_t numResidual() const { return NumResidualRules; }
 
+  /// Attaches `prefilter.*` instrumentation: literal hits, confirm-window
+  /// construction (count, coalesced length, bytes rescanned) and pass/drop
+  /// outcomes, plus the prefiltered/residual rule split as gauges. The
+  /// nested confirm and residual engines keep their own hooks detached;
+  /// only aggregate prefilter behaviour is reported here.
+  void setMetrics(obs::MetricsRegistry *Registry);
+
 private:
   PrefilterEngine() = default;
 
@@ -61,10 +68,22 @@ private:
     uint32_t MaxMatchLength = 0;
   };
 
+  struct ScanMetricHandles {
+    obs::Counter *Bytes = nullptr;
+    obs::Counter *LiteralHits = nullptr;
+    obs::Counter *Windows = nullptr;
+    obs::Counter *WindowBytes = nullptr;
+    obs::Counter *WindowsConfirmed = nullptr;
+    obs::Counter *WindowsDropped = nullptr;
+    obs::Counter *Matches = nullptr;
+    obs::Histogram *WindowLen = nullptr;
+  };
+
   std::vector<PrefilteredRule> PrefilteredRules;
   std::unique_ptr<AhoCorasick> Literals; ///< Index-aligned with the rules.
   std::unique_ptr<ImfantEngine> Residual;
   size_t NumResidualRules = 0;
+  ScanMetricHandles Metrics;
 };
 
 } // namespace mfsa

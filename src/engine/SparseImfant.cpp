@@ -7,6 +7,7 @@
 #include "engine/SparseImfant.h"
 
 #include "analysis/Verifier.h"
+#include "obs/Metrics.h"
 
 #include <algorithm>
 #include <cassert>
@@ -116,6 +117,25 @@ SparseImfantEngine::SparseImfantEngine(const Mfsa &Z)
       InitialStates.end());
 }
 
+void SparseImfantEngine::setMetrics(obs::MetricsRegistry *Registry) {
+  if (!Registry) {
+    Metrics = ScanMetricHandles{};
+    return;
+  }
+  Metrics.Bytes = &Registry->counter("sparse.bytes_scanned");
+  Metrics.Transitions = &Registry->counter("sparse.transitions_touched");
+  Metrics.Matches = &Registry->counter("sparse.matches");
+  Metrics.Frontier =
+      &Registry->histogram("sparse.frontier_size", obs::pow2Buckets(12));
+  Metrics.ActiveRules =
+      &Registry->histogram("sparse.active_rules", obs::pow2Buckets(12));
+  Metrics.TransitionsPerByte =
+      &Registry->histogram("sparse.transitions_per_byte",
+                           obs::pow2Buckets(14));
+  Registry->gauge("sparse.states").set(NumStates);
+  Registry->gauge("sparse.rules").set(NumRules);
+}
+
 void SparseImfantEngine::run(std::string_view Input,
                              MatchRecorder &Recorder) const {
   const uint32_t W = Words;
@@ -128,11 +148,25 @@ void SparseImfantEngine::run(std::string_view Input,
   std::vector<uint32_t> MatchedDirtyWords;
   std::vector<uint64_t> A(W, 0);
 
+#if MFSA_METRICS_ENABLED
+  const bool Observed = Metrics.Bytes != nullptr;
+  const uint32_t SampleEvery = Observed ? obs::scanSampleEvery() : 0;
+  uint32_t MetricsTick = 0;
+  uint64_t TotalEdges = 0;
+  uint64_t EdgesThisByte = 0;
+  uint64_t MatchesBefore = Recorder.total();
+  std::vector<uint64_t> UnionScratch(Observed ? W : 0, 0);
+#endif
+
   // Walks one source state's out-edges for symbol C with activation-source
   // words SrcJ (already masked to the rules that may cross).
   auto Expand = [&](StateId From, const uint64_t *SrcJ, size_t Pos,
                     bool AtEnd) {
     const unsigned char C = static_cast<unsigned char>(Input[Pos]);
+#if MFSA_METRICS_ENABLED
+    if (Observed)
+      EdgesThisByte += EdgeOffsets[From + 1] - EdgeOffsets[From];
+#endif
     for (uint32_t EIdx = EdgeOffsets[From], EEnd = EdgeOffsets[From + 1];
          EIdx != EEnd; ++EIdx) {
       const OutEdge &Edge = Edges[EIdx];
@@ -197,6 +231,29 @@ void SparseImfantEngine::run(std::string_view Input,
         Expand(S, Scratch.data(), Pos, AtEnd);
     }
 
+#if MFSA_METRICS_ENABLED
+    if (Observed) {
+      TotalEdges += EdgesThisByte;
+      if (++MetricsTick >= SampleEvery) {
+        MetricsTick = 0;
+        Metrics.Frontier->observe(NextTouched.size());
+        Metrics.TransitionsPerByte->observe(EdgesThisByte);
+        std::fill(UnionScratch.begin(), UnionScratch.end(), 0);
+        for (StateId S : NextTouched) {
+          const uint64_t *J = &NextJ[static_cast<size_t>(S) * W];
+          for (uint32_t I = 0; I < W; ++I)
+            UnionScratch[I] |= J[I];
+        }
+        uint64_t Occupancy = 0;
+        for (uint32_t I = 0; I < W; ++I)
+          Occupancy += static_cast<uint64_t>(
+              __builtin_popcountll(UnionScratch[I]));
+        Metrics.ActiveRules->observe(Occupancy);
+      }
+      EdgesThisByte = 0;
+    }
+#endif
+
     for (StateId S : CurTouched) {
       CurActive[S] = 0;
       std::memset(&CurJ[static_cast<size_t>(S) * W], 0, W * 8);
@@ -209,4 +266,12 @@ void SparseImfantEngine::run(std::string_view Input,
       MatchedThisStep[I] = 0;
     MatchedDirtyWords.clear();
   }
+
+#if MFSA_METRICS_ENABLED
+  if (Observed) {
+    Metrics.Bytes->add(Input.size());
+    Metrics.Transitions->add(TotalEdges);
+    Metrics.Matches->add(Recorder.total() - MatchesBefore);
+  }
+#endif
 }

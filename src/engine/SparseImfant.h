@@ -37,10 +37,23 @@ public:
   /// Scans \p Input, reporting (rule, end-offset) matches.
   void run(std::string_view Input, MatchRecorder &Recorder) const;
 
+  /// Attaches `sparse.*` scan instrumentation (see ImfantEngine::setMetrics
+  /// for the contract; hooks compile out without MFSA_METRICS_ENABLED).
+  void setMetrics(obs::MetricsRegistry *Registry);
+
   uint32_t numStates() const { return NumStates; }
   uint32_t numRules() const { return NumRules; }
 
 private:
+  struct ScanMetricHandles {
+    obs::Counter *Bytes = nullptr;
+    obs::Counter *Transitions = nullptr;
+    obs::Counter *Matches = nullptr;
+    obs::Histogram *Frontier = nullptr;
+    obs::Histogram *ActiveRules = nullptr;
+    obs::Histogram *TransitionsPerByte = nullptr;
+  };
+
   /// One CSR adjacency entry.
   struct OutEdge {
     SymbolSet Label;
@@ -63,6 +76,8 @@ private:
   std::vector<uint64_t> NotAnchoredStartMask;
   std::vector<uint64_t> NotAnchoredEndMask;
   std::vector<uint32_t> GlobalIds;
+
+  ScanMetricHandles Metrics;
 };
 
 } // namespace mfsa

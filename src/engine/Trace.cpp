@@ -6,6 +6,8 @@
 
 #include "engine/Trace.h"
 
+#include "obs/Metrics.h"
+
 #include <algorithm>
 #include <map>
 
@@ -89,6 +91,68 @@ std::vector<TraceStep> mfsa::traceActivation(const Mfsa &Z,
     Current = std::move(Next);
   }
   return Trace;
+}
+
+void mfsa::replayTrace(const Mfsa &Z, std::string_view Input,
+                       TraceSink &Sink) {
+  const uint32_t NumRules = Z.numRules();
+  std::vector<TraceStep> Trace = traceActivation(Z, Input);
+
+  DynamicBitset Prev(NumRules);
+  for (const TraceStep &Step : Trace) {
+    DynamicBitset Cur(NumRules);
+    for (const TraceStep::ActiveEntry &Entry : Step.Active)
+      for (RuleId Rule : Entry.ActiveRules)
+        Cur.set(Rule);
+
+    DynamicBitset Deactivated = Prev, Activated = Cur;
+    for (size_t I = 0, E = Deactivated.words().size(); I != E; ++I) {
+      Deactivated.words()[I] &= ~Cur.words()[I];
+      Activated.words()[I] &= ~Prev.words()[I];
+    }
+    Deactivated.forEach([&](unsigned Rule) {
+      Sink.onRuleDeactivated(static_cast<RuleId>(Rule), Step.Offset);
+    });
+    Activated.forEach([&](unsigned Rule) {
+      Sink.onRuleActivated(static_cast<RuleId>(Rule), Step.Offset);
+    });
+    for (const auto &[Rule, GlobalId] : Step.Matches)
+      Sink.onMatch(Rule, GlobalId, Step.Offset);
+    Sink.onStep(Step.Offset, Step.Symbol,
+                static_cast<uint32_t>(Step.Active.size()),
+                static_cast<uint32_t>(Cur.count()));
+    Prev = std::move(Cur);
+  }
+}
+
+MetricsTraceSink::MetricsTraceSink(obs::MetricsRegistry &Registry) {
+  Activations = &Registry.counter("trace.activations");
+  Deactivations = &Registry.counter("trace.deactivations");
+  Matches = &Registry.counter("trace.matches");
+  Steps = &Registry.counter("trace.steps");
+  ActiveRulesHist =
+      &Registry.histogram("trace.active_rules", obs::pow2Buckets(12));
+  ActiveStatesHist =
+      &Registry.histogram("trace.active_states", obs::pow2Buckets(12));
+}
+
+void MetricsTraceSink::onRuleDeactivated(RuleId, uint64_t) {
+  Deactivations->add(1);
+}
+
+void MetricsTraceSink::onRuleActivated(RuleId, uint64_t) {
+  Activations->add(1);
+}
+
+void MetricsTraceSink::onMatch(RuleId, uint32_t, uint64_t) {
+  Matches->add(1);
+}
+
+void MetricsTraceSink::onStep(uint64_t, unsigned char, uint32_t ActiveStates,
+                              uint32_t ActiveRules) {
+  Steps->add(1);
+  ActiveStatesHist->observe(ActiveStates);
+  ActiveRulesHist->observe(ActiveRules);
 }
 
 std::string mfsa::formatTrace(const Mfsa &Z, std::string_view Input) {

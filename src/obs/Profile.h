@@ -1,0 +1,77 @@
+//===- Profile.h - RAII scoped-timer profiling hooks ------------*- C++ -*-===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Declares ScopedTimer and the MFSA_PROFILE_SCOPE macro: RAII wall-clock
+/// probes that feed the same MetricsRegistry as the counters, so one JSON
+/// dump carries both event counts and where the time went. A scope named
+/// "merge.group" produces the histogram `merge.group_ns` (nanosecond
+/// observations; the `_ns` suffix marks it as timing for the golden-test
+/// masking convention in Metrics.h).
+///
+/// The macro compiles to nothing when MFSA_METRICS_ENABLED is 0, matching
+/// the scan-instrumentation gate; ScopedTimer itself is always available
+/// for call sites that want explicit control.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MFSA_OBS_PROFILE_H
+#define MFSA_OBS_PROFILE_H
+
+#include "obs/Metrics.h"
+#include "support/Timer.h"
+
+namespace mfsa::obs {
+
+/// Observes the scope's elapsed nanoseconds into \p Target on destruction.
+/// Target may be null (probe disabled) so call sites can gate at runtime
+/// without branching around the declaration.
+class ScopedTimer {
+public:
+  explicit ScopedTimer(Histogram *Target) : Target(Target) {}
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+  ~ScopedTimer() {
+    if (Target)
+      Target->observe(Clock.elapsedNs());
+  }
+
+private:
+  Histogram *Target;
+  Timer Clock;
+};
+
+/// Default bucket bounds for `_ns` scope histograms: 1 µs .. ~4 s.
+inline std::vector<uint64_t> profileBuckets() {
+  std::vector<uint64_t> Bounds;
+  for (uint64_t B = 1000; B <= 4'000'000'000ULL; B *= 4)
+    Bounds.push_back(B);
+  return Bounds;
+}
+
+/// Registers (once) and returns the `<Name>_ns` histogram in \p Registry.
+inline Histogram &profileScope(MetricsRegistry &Registry,
+                               std::string_view Name) {
+  return Registry.histogram(std::string(Name) + "_ns", profileBuckets());
+}
+
+} // namespace mfsa::obs
+
+#define MFSA_OBS_CAT2(A, B) A##B
+#define MFSA_OBS_CAT(A, B) MFSA_OBS_CAT2(A, B)
+
+#if MFSA_METRICS_ENABLED
+/// Times the rest of the enclosing scope into `<NAME>_ns` of REGISTRY.
+#define MFSA_PROFILE_SCOPE(REGISTRY, NAME)                                   \
+  ::mfsa::obs::ScopedTimer MFSA_OBS_CAT(MfsaProfileScope, __LINE__)(         \
+      &::mfsa::obs::profileScope((REGISTRY), (NAME)))
+#else
+#define MFSA_PROFILE_SCOPE(REGISTRY, NAME)                                   \
+  do {                                                                       \
+  } while (false)
+#endif
+
+#endif // MFSA_OBS_PROFILE_H

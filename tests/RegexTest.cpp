@@ -7,6 +7,11 @@
 #include "regex/Lexer.h"
 #include "regex/Parser.h"
 
+#include "fsa/Reference.h"
+#include "mfsa/Merge.h"
+
+#include "TestHelpers.h"
+
 #include <gtest/gtest.h>
 
 using namespace mfsa;
@@ -250,5 +255,51 @@ TEST(Ast, CloneIsDeepAndEqualPrinted) {
 TEST(Ast, CountNodes) {
   Regex Re = parseOk("ab|c");
   // Alternate(Concat(a, b), c) = 1 + (1 + 2) + 1.
+  EXPECT_EQ(printAst(*Re.Root), "ab|c");
   EXPECT_EQ(countAstNodes(*Re.Root), 5u);
 }
+
+//===----------------------------------------------------------------------===//
+// Print/re-parse round-trip property test
+//===----------------------------------------------------------------------===//
+
+class PrintRoundTripProperty : public ::testing::TestWithParam<uint64_t> {};
+
+// Random ASTs through print -> re-parse must (a) reach a printer fixpoint,
+// (b) denote the same language per the AST oracle, and (c) compile to an
+// engine that agrees with that oracle. Seeded so failures reproduce.
+TEST_P(PrintRoundTripProperty, RandomAstsSurvivePrintAndReparse) {
+  Rng Random(GetParam());
+  for (int Case = 0; Case < 25; ++Case) {
+    std::string Pattern = test::randomPattern(Random);
+    Regex First = parseOk(Pattern);
+    std::string Printed = printAst(*First.Root);
+    Regex Second = parseOk(Printed);
+    EXPECT_EQ(Printed, printAst(*Second.Root))
+        << "printer not stable for seed=" << GetParam() << " pattern "
+        << Pattern;
+
+    Mfsa Z = mergeFsas({test::compileOptimized(Printed)}, {0});
+    ImfantEngine Engine(Z);
+    for (int Trial = 0; Trial < 3; ++Trial) {
+      std::string Input = test::randomInput(Random, 16);
+      std::set<size_t> Original = astMatchEnds(First, Input);
+      EXPECT_EQ(Original, astMatchEnds(Second, Input))
+          << "language changed by round-trip: seed=" << GetParam()
+          << " pattern " << Pattern << " -> " << Printed << " input "
+          << Input;
+      MatchRecorder Recorder(MatchRecorder::Mode::Collect);
+      Engine.run(Input, Recorder);
+      std::set<size_t> EngineEnds;
+      for (const auto &[Rule, End] : Recorder.matches())
+        EngineEnds.insert(static_cast<size_t>(End));
+      EXPECT_EQ(EngineEnds, Original)
+          << "engine disagrees with oracle: seed=" << GetParam()
+          << " pattern " << Printed << " input " << Input;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrintRoundTripProperty,
+                         ::testing::Values(211, 223, 227, 229, 233, 239, 241,
+                                           251));

@@ -14,6 +14,7 @@
 #ifndef MFSA_TESTS_TESTHELPERS_H
 #define MFSA_TESTS_TESTHELPERS_H
 
+#include "engine/Imfant.h"
 #include "fsa/Builder.h"
 #include "fsa/Passes.h"
 #include "fsa/Reference.h"
@@ -22,8 +23,11 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
 #include <string>
+#include <string_view>
+#include <vector>
 
 namespace mfsa::test {
 
@@ -98,6 +102,42 @@ inline std::string formatEnds(const std::set<size_t> &Ends) {
   std::string Out = "{";
   for (size_t E : Ends)
     Out += std::to_string(E) + ",";
+  Out += "}";
+  return Out;
+}
+
+/// Per-global-rule match-end sets from a Collect-mode recorder; the common
+/// currency of the differential harness (every engine reports through a
+/// MatchRecorder, so normalizing here makes the comparisons engine-blind).
+inline std::map<uint32_t, std::set<size_t>>
+recorderEnds(const MatchRecorder &Recorder) {
+  std::map<uint32_t, std::set<size_t>> Ends;
+  for (const auto &[Rule, End] : Recorder.matches())
+    Ends[Rule].insert(static_cast<size_t>(End));
+  return Ends;
+}
+
+/// Brute-force oracle: per-rule match ends straight off the ASTs, keyed
+/// like recorderEnds (rules with no matches omitted).
+inline std::map<uint32_t, std::set<size_t>>
+oracleRuleEnds(const std::vector<std::string> &Patterns,
+               std::string_view Input) {
+  std::map<uint32_t, std::set<size_t>> Ends;
+  for (size_t I = 0; I < Patterns.size(); ++I) {
+    Result<Regex> Re = parseRegex(Patterns[I]);
+    EXPECT_TRUE(Re.ok()) << Patterns[I];
+    std::set<size_t> E = astMatchEnds(*Re, Input);
+    if (!E.empty())
+      Ends[static_cast<uint32_t>(I)] = E;
+  }
+  return Ends;
+}
+
+/// Formats a whole ruleset for failure messages.
+inline std::string formatPatterns(const std::vector<std::string> &Patterns) {
+  std::string Out = "{";
+  for (const std::string &P : Patterns)
+    Out += "\"" + P + "\",";
   Out += "}";
   return Out;
 }

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Schema checker for the BENCH_*.json reports the bench harness emits.
+
+Validates every file against the BenchReport contract (schema_version 1,
+see docs/observability.md):
+
+  - top-level: schema_version == 1, bench, paper_ref, config, results,
+    metrics;
+  - config: stream_bytes / reps / max_threads / metrics_compiled_in;
+  - results: a list of {name, value, unit} rows with numeric values;
+  - metrics: the registry export with counters (non-negative integers),
+    gauges (integers), and histograms whose counts arrays are consistent
+    (len(counts) == len(bounds) + 1, sum(counts) == count);
+  - every metric named *_ns or *_ms is a non-negative wall-clock reading.
+
+`--require NAME` (repeatable) additionally asserts that a metric with that
+name exists somewhere across the checked files — CI uses it to prove the
+instrumented build actually reported occupancy, transitions/byte, and
+per-stage compile times. Pure stdlib; exit 0 = all files pass, 1 = any
+violation.
+"""
+
+import argparse
+import json
+import numbers
+import sys
+
+
+def fail(path, message):
+    print(f"{path}: {message}", file=sys.stderr)
+    return 1
+
+
+def check_histogram(path, name, hist):
+    errors = 0
+    for key in ("bounds", "counts", "count", "sum", "max", "mean"):
+        if key not in hist:
+            errors += fail(path, f"histogram {name} lacks '{key}'")
+    if errors:
+        return errors
+    bounds, counts = hist["bounds"], hist["counts"]
+    if len(counts) != len(bounds) + 1:
+        errors += fail(
+            path,
+            f"histogram {name}: {len(counts)} counts for "
+            f"{len(bounds)} bounds (want bounds + overflow)",
+        )
+    if bounds != sorted(set(bounds)):
+        errors += fail(path, f"histogram {name}: bounds not increasing")
+    if sum(counts) != hist["count"]:
+        errors += fail(
+            path,
+            f"histogram {name}: counts sum {sum(counts)} != "
+            f"count {hist['count']}",
+        )
+    if any(c < 0 for c in counts) or hist["sum"] < 0 or hist["max"] < 0:
+        errors += fail(path, f"histogram {name}: negative statistic")
+    return errors
+
+
+def check_timing(path, name, value):
+    if name.endswith(("_ns", "_ms")) and value < 0:
+        return fail(path, f"timing metric {name} is negative: {value}")
+    return 0
+
+
+def check_file(path, seen_metrics):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        return fail(path, f"unreadable or invalid JSON: {err}")
+
+    errors = 0
+    for key in ("schema_version", "bench", "paper_ref", "config", "results",
+                "metrics"):
+        if key not in doc:
+            errors += fail(path, f"missing top-level '{key}'")
+    if errors:
+        return errors
+    if doc["schema_version"] != 1:
+        errors += fail(path, f"schema_version {doc['schema_version']} != 1")
+    if not doc["bench"] or not isinstance(doc["bench"], str):
+        errors += fail(path, "empty bench name")
+
+    for key in ("stream_bytes", "reps", "max_threads", "metrics_compiled_in"):
+        if key not in doc["config"]:
+            errors += fail(path, f"config lacks '{key}'")
+
+    if not isinstance(doc["results"], list):
+        errors += fail(path, "results is not a list")
+    else:
+        for row in doc["results"]:
+            if sorted(row) != ["name", "unit", "value"]:
+                errors += fail(path, f"malformed result row: {row}")
+            elif not isinstance(row["value"], numbers.Real):
+                errors += fail(
+                    path, f"result {row['name']} value is not numeric")
+
+    metrics = doc["metrics"]
+    seen = set()
+    for section in ("counters", "gauges", "histograms"):
+        if section not in metrics or not isinstance(metrics[section], dict):
+            errors += fail(path, f"metrics lacks '{section}' object")
+            continue
+        seen.update(metrics[section])
+    for name, value in metrics.get("counters", {}).items():
+        if not isinstance(value, int) or value < 0:
+            errors += fail(path, f"counter {name} not a non-negative int")
+        else:
+            errors += check_timing(path, name, value)
+    for name, value in metrics.get("gauges", {}).items():
+        if not isinstance(value, int):
+            errors += fail(path, f"gauge {name} not an int")
+        else:
+            errors += check_timing(path, name, value)
+    for name, hist in metrics.get("histograms", {}).items():
+        if not isinstance(hist, dict):
+            errors += fail(path, f"histogram {name} not an object")
+        else:
+            errors += check_histogram(path, name, hist)
+
+    seen_metrics.update(seen)
+    if not errors:
+        print(f"{path}: ok ({len(doc['results'])} results, "
+              f"{len(seen)} metrics)")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", help="BENCH_*.json files")
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="assert this metric name is present in some file (repeatable)",
+    )
+    args = parser.parse_args()
+    seen_metrics = set()
+    errors = sum(check_file(path, seen_metrics) for path in args.files)
+    for name in args.require:
+        if name not in seen_metrics:
+            errors += fail("<required>", f"metric '{name}' not reported by "
+                           "any checked file")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
