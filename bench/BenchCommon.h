@@ -23,6 +23,7 @@
 #include "compiler/Pipeline.h"
 #include "engine/Imfant.h"
 #include "obs/Metrics.h"
+#include "support/SimdDispatch.h"
 #include "workload/Datasets.h"
 
 #include <cmath>
@@ -104,6 +105,29 @@ buildEngines(const CompiledDataset &Dataset, uint32_t MergingFactor,
   for (const Mfsa &Z : Groups)
     Engines.emplace_back(Z);
   return Engines;
+}
+
+/// Compiler identification baked into every report so a baseline comparison
+/// can refuse to diff numbers from different toolchains.
+inline const char *toolchainString() {
+#if defined(__clang__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+/// CMake build type, injected per-bench as MFSA_BUILD_TYPE by
+/// bench/CMakeLists.txt; empty for single-config generators run without
+/// CMAKE_BUILD_TYPE.
+inline const char *buildTypeString() {
+#ifdef MFSA_BUILD_TYPE
+  return MFSA_BUILD_TYPE;
+#else
+  return "";
+#endif
 }
 
 inline double geomean(const std::vector<double> &Values) {
@@ -202,10 +226,19 @@ public:
       std::fprintf(stderr, "warning: cannot write %s\n", path().c_str());
       return;
     }
-    std::fprintf(F, "{\n  \"schema_version\": 1,\n");
+    std::fprintf(F, "{\n  \"schema_version\": 2,\n");
     std::fprintf(F, "  \"bench\": \"%s\",\n", jsonEscape(Name).c_str());
     std::fprintf(F, "  \"paper_ref\": \"%s\",\n",
                  jsonEscape(PaperRef).c_str());
+    // Provenance (schema v2): comparing throughput across different
+    // toolchains, build types, or SIMD levels is meaningless, so each report
+    // states what produced it and tools/compare_bench_json.py checks.
+    std::fprintf(F, "  \"toolchain\": \"%s\",\n",
+                 jsonEscape(toolchainString()).c_str());
+    std::fprintf(F, "  \"build_type\": \"%s\",\n",
+                 jsonEscape(buildTypeString()).c_str());
+    std::fprintf(F, "  \"simd_level\": \"%s\",\n",
+                 simd::levelName(simd::activeLevel()));
     std::fprintf(F, "  \"config\": {");
     for (size_t I = 0; I < Config.size(); ++I)
       std::fprintf(F, "%s\n    \"%s\": %s", I ? "," : "",

@@ -91,4 +91,15 @@ AhoCorasick::AhoCorasick(const std::vector<std::string> &Literals)
   for (uint32_t Node = 0; Node < NumNodes; ++Node)
     std::copy(Flattened[Node].begin(), Flattened[Node].end(),
               Outputs.begin() + OutputOffsets[Node]);
+
+  // Root-skip acceleration: collect the bytes that leave the root. While
+  // scanning from the root every other byte provably stays there with no
+  // output, so the scan loop may jump straight to the next start byte.
+  for (unsigned Byte = 0; Byte < 256; ++Byte)
+    if (Next[Byte] != 0) {
+      RootNeedles.push_back(static_cast<uint8_t>(Byte));
+      RootBitmap[Byte >> 6] |= 1ULL << (Byte & 63);
+    }
+  RootSkipEnabled =
+      !RootNeedles.empty() && RootNeedles.size() <= kMaxRootNeedles;
 }

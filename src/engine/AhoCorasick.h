@@ -23,6 +23,8 @@
 #ifndef MFSA_ENGINE_AHOCORASICK_H
 #define MFSA_ENGINE_AHOCORASICK_H
 
+#include "support/SimdDispatch.h"
+
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -40,21 +42,48 @@ public:
   /// Scans \p Input, invoking Fn(LiteralIndex, EndOffset) for every
   /// occurrence (end-exclusive offset, matching the library's match
   /// convention).
+  ///
+  /// While the automaton sits in the root state — the common case for a
+  /// selective prefilter — no output is possible (literals are non-empty)
+  /// and only bytes that begin some literal leave the root. When those
+  /// start bytes are few (<= kMaxRootNeedles distinct values), the scan
+  /// skips ahead to the next such byte with the dispatch table's
+  /// vectorized byte-class search instead of walking the dense table
+  /// byte-at-a-time.
   template <typename CallableT>
   void scan(std::string_view Input, CallableT Fn) const {
+    const simd::KernelTable &K = simd::ops();
+    const uint8_t *Data = reinterpret_cast<const uint8_t *>(Input.data());
     uint32_t State = 0;
-    for (size_t Pos = 0; Pos < Input.size(); ++Pos) {
-      State = Next[static_cast<size_t>(State) * 256 +
-                   static_cast<unsigned char>(Input[Pos])];
+    size_t Pos = 0;
+    while (Pos < Input.size()) {
+      if (State == 0 && RootSkipEnabled) {
+        Pos += K.FindByteInSet(Data + Pos, Input.size() - Pos,
+                               RootNeedles.data(),
+                               static_cast<uint32_t>(RootNeedles.size()),
+                               RootBitmap);
+        if (Pos >= Input.size())
+          break;
+      }
+      State = Next[static_cast<size_t>(State) * 256 + Data[Pos]];
       for (uint32_t OutIdx = OutputOffsets[State],
                     OutEnd = OutputOffsets[State + 1];
            OutIdx != OutEnd; ++OutIdx)
         Fn(Outputs[OutIdx], Pos + 1);
+      ++Pos;
     }
   }
 
   uint32_t numNodes() const { return NumNodes; }
   size_t numLiterals() const { return NumLiterals; }
+
+  /// True when the root-skip fast path is active (few distinct literal
+  /// start bytes); exposed for tests and bench provenance.
+  bool rootSkipEnabled() const { return RootSkipEnabled; }
+
+  /// Vector paths compare against each needle; beyond this the skip loop
+  /// would cost more than the dense table walk it replaces.
+  static constexpr size_t kMaxRootNeedles = 8;
 
 private:
   uint32_t NumNodes = 0;
@@ -62,6 +91,13 @@ private:
   std::vector<uint32_t> Next;          ///< NumNodes x 256 dense table.
   std::vector<uint32_t> Outputs;       ///< Flattened literal indices.
   std::vector<uint32_t> OutputOffsets; ///< NumNodes + 1 row starts.
+
+  /// Root-skip acceleration state: the distinct bytes with a root
+  /// transition, as a needle list for the vector kernels and as a 256-bit
+  /// membership bitmap for the scalar tail.
+  std::vector<uint8_t> RootNeedles;
+  uint64_t RootBitmap[4] = {0, 0, 0, 0};
+  bool RootSkipEnabled = false;
 };
 
 } // namespace mfsa

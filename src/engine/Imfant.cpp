@@ -8,6 +8,7 @@
 
 #include "analysis/Verifier.h"
 #include "obs/Metrics.h"
+#include "support/SimdDispatch.h"
 
 #include <algorithm>
 #include <cassert>
@@ -195,9 +196,13 @@ void ImfantEngine::Scanner::feedLoop(std::string_view Chunk,
                                      MatchRecorder &Recorder,
                                      RunStats *Stats) {
   const ImfantEngine &E = Engine;
-  // With SingleWord the compiler folds every bitset loop to one scalar op.
+  // With SingleWord the compiler folds every bitset loop to one scalar op;
+  // wider MFSAs go through the runtime-dispatched SIMD kernels instead.
+  // The table is resolved once per chunk so a test switching levels between
+  // runs always scans with a consistent implementation.
   const uint32_t W = SingleWord ? 1u : E.Words;
   assert(W == E.Words && "dispatch mismatch");
+  const simd::KernelTable &K = simd::ops();
   uint64_t *A = ActivationScratch.data();
 
   uint64_t ActiveRuleSum = 0;
@@ -252,9 +257,11 @@ void ImfantEngine::Scanner::feedLoop(std::string_view Chunk,
       // offset 0.
       if (FromActive) {
         const uint64_t *SrcJ = &CurJ[static_cast<size_t>(Entry.From) * W];
-        for (uint32_t I = 0; I < W; ++I) {
-          A[I] = SrcJ[I] & Bel[I];
-          Any = Any || A[I];
+        if constexpr (SingleWord) {
+          A[0] = SrcJ[0] & Bel[0];
+          Any = A[0] != 0;
+        } else {
+          Any = K.AndInto(A, SrcJ, Bel, W);
         }
       } else {
         std::fill(ActivationScratch.begin(), ActivationScratch.end(), 0);
@@ -262,12 +269,16 @@ void ImfantEngine::Scanner::feedLoop(std::string_view Chunk,
       if (FromInitial) {
         const uint64_t *Init =
             &E.InitialRules[static_cast<size_t>(Entry.From) * W];
-        for (uint32_t I = 0; I < W; ++I) {
-          uint64_t Inject = Init[I] & Bel[I];
+        if constexpr (SingleWord) {
+          uint64_t Inject = Init[0] & Bel[0];
           if (!AtStart)
-            Inject &= E.NotAnchoredStartMask[I];
-          A[I] |= Inject;
-          Any = Any || A[I];
+            Inject &= E.NotAnchoredStartMask[0];
+          A[0] |= Inject;
+          Any = Any || A[0];
+        } else {
+          Any = K.OrAndInto(A, Init, Bel,
+                            AtStart ? nullptr : E.NotAnchoredStartMask.data(),
+                            W);
         }
       }
       if (!Any)
@@ -279,8 +290,10 @@ void ImfantEngine::Scanner::feedLoop(std::string_view Chunk,
         NextActive[Entry.To] = 1;
         NextTouched.push_back(Entry.To);
       }
-      for (uint32_t I = 0; I < W; ++I)
-        DstJ[I] |= A[I];
+      if constexpr (SingleWord)
+        DstJ[0] |= A[0];
+      else
+        K.OrWords(DstJ, A, W);
 
       // Match reporting (Eq. 5): active rules for which the destination is
       // final. Unanchored-end rules report immediately (minus pairs already
@@ -309,14 +322,10 @@ void ImfantEngine::Scanner::feedLoop(std::string_view Chunk,
     }
 
     if (Stats) {
-      for (StateId S : NextTouched) {
-        const uint64_t *J = &NextJ[static_cast<size_t>(S) * W];
-        for (uint32_t I = 0; I < W; ++I)
-          UnionJ[I] |= J[I];
-      }
-      uint32_t ActiveRules = 0;
-      for (uint32_t I = 0; I < W; ++I)
-        ActiveRules += static_cast<uint32_t>(__builtin_popcountll(UnionJ[I]));
+      for (StateId S : NextTouched)
+        K.OrWords(UnionJ.data(), &NextJ[static_cast<size_t>(S) * W], W);
+      uint32_t ActiveRules =
+          static_cast<uint32_t>(K.CountWords(UnionJ.data(), W));
       ActiveRuleSum += ActiveRules;
       ActiveRuleMax = std::max(ActiveRuleMax, ActiveRules);
     }
@@ -330,16 +339,11 @@ void ImfantEngine::Scanner::feedLoop(std::string_view Chunk,
         E.Metrics.TransitionsPerByte->observe(End - Begin);
         // Active-set occupancy |∪ J(q)| — the paper's Table II quantity.
         std::fill(MetricsUnionScratch.begin(), MetricsUnionScratch.end(), 0);
-        for (StateId S : NextTouched) {
-          const uint64_t *J = &NextJ[static_cast<size_t>(S) * W];
-          for (uint32_t I = 0; I < W; ++I)
-            MetricsUnionScratch[I] |= J[I];
-        }
-        uint64_t Occupancy = 0;
-        for (uint32_t I = 0; I < W; ++I)
-          Occupancy += static_cast<uint64_t>(
-              __builtin_popcountll(MetricsUnionScratch[I]));
-        E.Metrics.ActiveRules->observe(Occupancy);
+        for (StateId S : NextTouched)
+          K.OrWords(MetricsUnionScratch.data(),
+                    &NextJ[static_cast<size_t>(S) * W], W);
+        E.Metrics.ActiveRules->observe(
+            K.CountWords(MetricsUnionScratch.data(), W));
       }
     }
 #endif

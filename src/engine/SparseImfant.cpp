@@ -8,6 +8,7 @@
 
 #include "analysis/Verifier.h"
 #include "obs/Metrics.h"
+#include "support/SimdDispatch.h"
 
 #include <algorithm>
 #include <cassert>
@@ -138,7 +139,20 @@ void SparseImfantEngine::setMetrics(obs::MetricsRegistry *Registry) {
 
 void SparseImfantEngine::run(std::string_view Input,
                              MatchRecorder &Recorder) const {
-  const uint32_t W = Words;
+  if (Words == 1)
+    runImpl<true>(Input, Recorder);
+  else
+    runImpl<false>(Input, Recorder);
+}
+
+template <bool SingleWord>
+void SparseImfantEngine::runImpl(std::string_view Input,
+                                 MatchRecorder &Recorder) const {
+  // SingleWord lets the compiler fold the bitset loops to one scalar op
+  // each; the wide path goes through the runtime-dispatched SIMD kernels.
+  const uint32_t W = SingleWord ? 1u : Words;
+  assert(W == Words && "dispatch mismatch");
+  [[maybe_unused]] const simd::KernelTable &K = simd::ops();
   const size_t N = NumStates;
 
   std::vector<uint8_t> CurActive(N, 0), NextActive(N, 0);
@@ -173,10 +187,12 @@ void SparseImfantEngine::run(std::string_view Input,
       if (!Edge.Label.contains(C))
         continue;
       const uint64_t *Bel = &BelPool[static_cast<size_t>(Edge.BelIdx) * W];
-      bool Any = false;
-      for (uint32_t I = 0; I < W; ++I) {
-        A[I] = SrcJ[I] & Bel[I];
-        Any = Any || A[I];
+      bool Any;
+      if constexpr (SingleWord) {
+        A[0] = SrcJ[0] & Bel[0];
+        Any = A[0] != 0;
+      } else {
+        Any = K.AndInto(A.data(), SrcJ, Bel, W);
       }
       if (!Any)
         continue;
@@ -185,8 +201,10 @@ void SparseImfantEngine::run(std::string_view Input,
         NextActive[Edge.To] = 1;
         NextTouched.push_back(Edge.To);
       }
-      for (uint32_t I = 0; I < W; ++I)
-        DstJ[I] |= A[I];
+      if constexpr (SingleWord)
+        DstJ[0] |= A[0];
+      else
+        K.OrWords(DstJ, A.data(), W);
       if (FinalAny[Edge.To]) {
         const uint64_t *Fin = &FinalRules[static_cast<size_t>(Edge.To) * W];
         for (uint32_t I = 0; I < W; ++I) {
@@ -222,10 +240,15 @@ void SparseImfantEngine::run(std::string_view Input,
     // OR and the per-step match dedup keep that sound.
     for (StateId S : InitialStates) {
       const uint64_t *Init = &InitialRules[static_cast<size_t>(S) * W];
-      bool Any = false;
-      for (uint32_t I = 0; I < W; ++I) {
-        Scratch[I] = AtStart ? Init[I] : (Init[I] & NotAnchoredStartMask[I]);
-        Any = Any || Scratch[I];
+      bool Any;
+      if constexpr (SingleWord) {
+        Scratch[0] = AtStart ? Init[0] : (Init[0] & NotAnchoredStartMask[0]);
+        Any = Scratch[0] != 0;
+      } else if (AtStart) {
+        std::memcpy(Scratch.data(), Init, W * 8);
+        Any = K.AnyWords(Scratch.data(), W);
+      } else {
+        Any = K.AndInto(Scratch.data(), Init, NotAnchoredStartMask.data(), W);
       }
       if (Any)
         Expand(S, Scratch.data(), Pos, AtEnd);
@@ -239,16 +262,10 @@ void SparseImfantEngine::run(std::string_view Input,
         Metrics.Frontier->observe(NextTouched.size());
         Metrics.TransitionsPerByte->observe(EdgesThisByte);
         std::fill(UnionScratch.begin(), UnionScratch.end(), 0);
-        for (StateId S : NextTouched) {
-          const uint64_t *J = &NextJ[static_cast<size_t>(S) * W];
-          for (uint32_t I = 0; I < W; ++I)
-            UnionScratch[I] |= J[I];
-        }
-        uint64_t Occupancy = 0;
-        for (uint32_t I = 0; I < W; ++I)
-          Occupancy += static_cast<uint64_t>(
-              __builtin_popcountll(UnionScratch[I]));
-        Metrics.ActiveRules->observe(Occupancy);
+        for (StateId S : NextTouched)
+          K.OrWords(UnionScratch.data(), &NextJ[static_cast<size_t>(S) * W],
+                    W);
+        Metrics.ActiveRules->observe(K.CountWords(UnionScratch.data(), W));
       }
       EdgesThisByte = 0;
     }

@@ -37,6 +37,15 @@ public:
   /// Scans \p Input, reporting (rule, end-offset) matches.
   void run(std::string_view Input, MatchRecorder &Recorder) const;
 
+private:
+  /// The scan loop, compiled twice like ImfantEngine's: SingleWord folds
+  /// the rule-bitset work to scalar ops for MFSAs of up to 64 rules; wider
+  /// MFSAs dispatch through the runtime-selected SIMD kernels.
+  template <bool SingleWord>
+  void runImpl(std::string_view Input, MatchRecorder &Recorder) const;
+
+public:
+
   /// Attaches `sparse.*` scan instrumentation (see ImfantEngine::setMetrics
   /// for the contract; hooks compile out without MFSA_METRICS_ENABLED).
   void setMetrics(obs::MetricsRegistry *Registry);

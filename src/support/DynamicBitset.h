@@ -15,6 +15,8 @@
 #ifndef MFSA_SUPPORT_DYNAMICBITSET_H
 #define MFSA_SUPPORT_DYNAMICBITSET_H
 
+#include "support/SimdDispatch.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cstddef>
@@ -66,20 +68,19 @@ public:
       W = 0;
   }
 
+  // The bulk queries and set-algebra operators below dispatch through the
+  // runtime-selected SIMD kernel table (support/SimdDispatch.h); the scalar
+  // table is the reference the vector paths are property-tested against.
+
   bool any() const {
-    for (uint64_t W : Words)
-      if (W)
-        return true;
-    return false;
+    return simd::ops().AnyWords(Words.data(), Words.size());
   }
 
   bool none() const { return !any(); }
 
   unsigned count() const {
-    unsigned N = 0;
-    for (uint64_t W : Words)
-      N += static_cast<unsigned>(__builtin_popcountll(W));
-    return N;
+    return static_cast<unsigned>(
+        simd::ops().CountWords(Words.data(), Words.size()));
   }
 
   // The set-algebra operators likewise assert on width mismatch but never
@@ -87,17 +88,23 @@ public:
 
   DynamicBitset &operator|=(const DynamicBitset &Other) {
     assert(NumBits == Other.NumBits && "bitset width mismatch");
-    for (size_t I = 0, E = std::min(Words.size(), Other.Words.size()); I != E;
-         ++I)
-      Words[I] |= Other.Words[I];
+    simd::ops().OrWords(Words.data(), Other.Words.data(),
+                        std::min(Words.size(), Other.Words.size()));
     return *this;
   }
 
   DynamicBitset &operator&=(const DynamicBitset &Other) {
     assert(NumBits == Other.NumBits && "bitset width mismatch");
-    for (size_t I = 0, E = std::min(Words.size(), Other.Words.size()); I != E;
-         ++I)
-      Words[I] &= Other.Words[I];
+    simd::ops().AndWords(Words.data(), Other.Words.data(),
+                         std::min(Words.size(), Other.Words.size()));
+    return *this;
+  }
+
+  /// Removes every bit of \p Other from this set (this &= ~Other).
+  DynamicBitset &subtract(const DynamicBitset &Other) {
+    assert(NumBits == Other.NumBits && "bitset width mismatch");
+    simd::ops().AndNotWords(Words.data(), Other.Words.data(),
+                            std::min(Words.size(), Other.Words.size()));
     return *this;
   }
 
@@ -111,11 +118,9 @@ public:
   /// \returns true if this set and \p Other share at least one bit.
   bool intersects(const DynamicBitset &Other) const {
     assert(NumBits == Other.NumBits && "bitset width mismatch");
-    for (size_t I = 0, E = std::min(Words.size(), Other.Words.size()); I != E;
-         ++I)
-      if (Words[I] & Other.Words[I])
-        return true;
-    return false;
+    return simd::ops().IntersectsWords(
+        Words.data(), Other.Words.data(),
+        std::min(Words.size(), Other.Words.size()));
   }
 
   friend bool operator==(const DynamicBitset &A, const DynamicBitset &B) {

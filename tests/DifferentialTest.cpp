@@ -24,6 +24,7 @@
 #include "engine/SparseImfant.h"
 #include "fsa/Determinize.h"
 #include "mfsa/Merge.h"
+#include "support/SimdDispatch.h"
 
 #include "TestHelpers.h"
 
@@ -49,8 +50,16 @@ std::string formatCase(uint64_t Seed,
          " ruleset=" + formatPatterns(Patterns) + " input=\"" + Input + "\"";
 }
 
+/// Restores the env-resolved SIMD level on scope exit so a failing ASSERT
+/// inside checkRuleset cannot leak a pinned level into later tests.
+struct SimdLevelGuard {
+  ~SimdLevelGuard() { simd::resetToEnv(); }
+};
+
 /// Compiles \p Patterns into every engine and checks each \p Input against
-/// the AST oracle. \p Seed only labels failures.
+/// the AST oracle under every available SIMD dispatch level (the oracle is
+/// computed once per input; only the engines re-run per level). \p Seed only
+/// labels failures.
 void checkRuleset(uint64_t Seed, const std::vector<std::string> &Patterns,
                   const std::vector<std::string> &Inputs) {
   std::vector<Nfa> Fsas;
@@ -76,37 +85,44 @@ void checkRuleset(uint64_t Seed, const std::vector<std::string> &Patterns,
   Result<PrefilterEngine> Prefilter = PrefilterEngine::create(Patterns);
   ASSERT_TRUE(Prefilter.ok()) << formatPatterns(Patterns);
 
+  SimdLevelGuard Guard;
   for (const std::string &Input : Inputs) {
     RuleEnds Expected = oracleRuleEnds(Patterns, Input);
-    std::string Tag = formatCase(Seed, Patterns, Input);
 
-    {
-      MatchRecorder Recorder(MatchRecorder::Mode::Collect);
-      Imfant.run(Input, Recorder);
-      EXPECT_EQ(recorderEnds(Recorder), Expected) << "engine=imfant " << Tag;
-    }
-    {
-      MatchRecorder Recorder(MatchRecorder::Mode::Collect);
-      Sparse.run(Input, Recorder);
-      EXPECT_EQ(recorderEnds(Recorder), Expected) << "engine=sparse " << Tag;
-    }
-    if (UnionDfa.ok()) {
-      DfaEngine Engine(*UnionDfa);
-      MatchRecorder Recorder(MatchRecorder::Mode::Collect);
-      Engine.run(Input, Recorder);
-      EXPECT_EQ(recorderEnds(Recorder), Expected) << "engine=dfa " << Tag;
-    }
-    if (Stride2) {
-      StridedDfaEngine Engine(*Stride2);
-      MatchRecorder Recorder(MatchRecorder::Mode::Collect);
-      Engine.run(Input, Recorder);
-      EXPECT_EQ(recorderEnds(Recorder), Expected) << "engine=stride2 " << Tag;
-    }
-    {
-      MatchRecorder Recorder(MatchRecorder::Mode::Collect);
-      Prefilter->run(Input, Recorder);
-      EXPECT_EQ(recorderEnds(Recorder), Expected) << "engine=prefilter "
-                                                  << Tag;
+    for (simd::Level Lvl : simd::availableLevels()) {
+      ASSERT_TRUE(simd::setLevel(Lvl));
+      std::string Tag = formatCase(Seed, Patterns, Input) +
+                        " simd=" + simd::levelName(Lvl);
+
+      {
+        MatchRecorder Recorder(MatchRecorder::Mode::Collect);
+        Imfant.run(Input, Recorder);
+        EXPECT_EQ(recorderEnds(Recorder), Expected) << "engine=imfant " << Tag;
+      }
+      {
+        MatchRecorder Recorder(MatchRecorder::Mode::Collect);
+        Sparse.run(Input, Recorder);
+        EXPECT_EQ(recorderEnds(Recorder), Expected) << "engine=sparse " << Tag;
+      }
+      if (UnionDfa.ok()) {
+        DfaEngine Engine(*UnionDfa);
+        MatchRecorder Recorder(MatchRecorder::Mode::Collect);
+        Engine.run(Input, Recorder);
+        EXPECT_EQ(recorderEnds(Recorder), Expected) << "engine=dfa " << Tag;
+      }
+      if (Stride2) {
+        StridedDfaEngine Engine(*Stride2);
+        MatchRecorder Recorder(MatchRecorder::Mode::Collect);
+        Engine.run(Input, Recorder);
+        EXPECT_EQ(recorderEnds(Recorder), Expected) << "engine=stride2 "
+                                                    << Tag;
+      }
+      {
+        MatchRecorder Recorder(MatchRecorder::Mode::Collect);
+        Prefilter->run(Input, Recorder);
+        EXPECT_EQ(recorderEnds(Recorder), Expected) << "engine=prefilter "
+                                                    << Tag;
+      }
     }
   }
 }
@@ -172,4 +188,54 @@ TEST(Differential, SelfOverlappingRules) {
   for (int Trial = 0; Trial < 4; ++Trial)
     Inputs.push_back(randomInput(Random, 40));
   checkRuleset(4244, Patterns, Inputs);
+}
+
+//===----------------------------------------------------------------------===//
+// Wide rulesets: everything above stays under 64 rules, where the iMFAnt
+// engines take their single-word scalar fast path. These rule counts force
+// multi-word activation sets (70 rules -> 2 words, 261 -> 5) so the fused
+// AndInto/OrAndInto kernels — including the 256-bit main loop plus its tail —
+// are what actually executes at each dispatch level.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// \p Count deterministic patterns: every 2-byte literal over {a..e}, then
+/// 3-byte literals, then a band of random shapes for operator coverage.
+std::vector<std::string> widePatterns(size_t Count, uint64_t Seed) {
+  static const char Alphabet[] = "abcde";
+  std::vector<std::string> Patterns;
+  for (int A = 0; A < 5 && Patterns.size() < Count; ++A)
+    for (int B = 0; B < 5 && Patterns.size() < Count; ++B)
+      Patterns.push_back({Alphabet[A], Alphabet[B]});
+  for (int A = 0; A < 5 && Patterns.size() < Count; ++A)
+    for (int B = 0; B < 5 && Patterns.size() < Count; ++B)
+      for (int C = 0; C < 5 && Patterns.size() < Count; ++C)
+        Patterns.push_back({Alphabet[A], Alphabet[B], Alphabet[C]});
+  Rng Random(Seed);
+  while (Patterns.size() < Count)
+    Patterns.push_back(randomPattern(Random, /*MaxDepth=*/3));
+  return Patterns;
+}
+
+} // namespace
+
+TEST(Differential, WideRulesetTwoWords) {
+  Rng Random(4245);
+  std::vector<std::string> Patterns = widePatterns(70, 4245);
+  Patterns[68] = "^a[bc]+d";
+  Patterns[69] = "(ab|cd)+e$";
+  std::vector<std::string> Inputs = {""};
+  for (int Trial = 0; Trial < 3; ++Trial)
+    Inputs.push_back(randomInput(Random, 30 + Random.nextBelow(30)));
+  checkRuleset(4245, Patterns, Inputs);
+}
+
+TEST(Differential, WideRulesetManyWords) {
+  Rng Random(4246);
+  std::vector<std::string> Patterns = widePatterns(261, 4246);
+  std::vector<std::string> Inputs;
+  for (int Trial = 0; Trial < 3; ++Trial)
+    Inputs.push_back(randomInput(Random, 40 + Random.nextBelow(25)));
+  checkRuleset(4246, Patterns, Inputs);
 }

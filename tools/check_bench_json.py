@@ -1,11 +1,12 @@
 #!/usr/bin/env python3
 """Schema checker for the BENCH_*.json reports the bench harness emits.
 
-Validates every file against the BenchReport contract (schema_version 1,
-see docs/observability.md):
+Validates every file against the BenchReport contract (schema_version 1
+or 2, see docs/observability.md):
 
-  - top-level: schema_version == 1, bench, paper_ref, config, results,
-    metrics;
+  - top-level: schema_version in {1, 2}, bench, paper_ref, config, results,
+    metrics; v2 additionally requires the provenance fields toolchain,
+    build_type, and simd_level (one of scalar / sse42 / avx2);
   - config: stream_bytes / reps / max_threads / metrics_compiled_in;
   - results: a list of {name, value, unit} rows with numeric values;
   - metrics: the registry export with counters (non-negative integers),
@@ -78,10 +79,19 @@ def check_file(path, seen_metrics):
             errors += fail(path, f"missing top-level '{key}'")
     if errors:
         return errors
-    if doc["schema_version"] != 1:
-        errors += fail(path, f"schema_version {doc['schema_version']} != 1")
+    version = doc["schema_version"]
+    if version not in (1, 2):
+        errors += fail(path, f"schema_version {version} not in (1, 2)")
     if not doc["bench"] or not isinstance(doc["bench"], str):
         errors += fail(path, "empty bench name")
+    if version == 2:
+        for key in ("toolchain", "build_type", "simd_level"):
+            if key not in doc or not isinstance(doc[key], str):
+                errors += fail(path, f"schema v2 requires string '{key}'")
+        if doc.get("simd_level") not in ("scalar", "sse42", "avx2"):
+            errors += fail(
+                path, f"simd_level {doc.get('simd_level')!r} not one of "
+                "scalar/sse42/avx2")
 
     for key in ("stream_bytes", "reps", "max_threads", "metrics_compiled_in"):
         if key not in doc["config"]:
