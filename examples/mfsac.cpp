@@ -42,6 +42,13 @@ static void usage(const char *Prog) {
                "going\n"
                "  --verify-each  run the IR verifier after every pipeline "
                "stage\n"
+               "  --validate-passes  prove L(after) == L(before) for every "
+               "optimization pass\n"
+               "              and every rule's MFSA belonging-set projection "
+               "(Eq. 10)\n"
+               "  --no-validate  force translation validation off (overrides "
+               "MFSA_VALIDATE\n"
+               "              and the Debug-build default)\n"
                "  --metrics   dump per-stage compile telemetry (text; "
                "--metrics=json for JSON)\n",
                Prog);
@@ -57,6 +64,8 @@ int main(int argc, char **argv) {
   bool EmitDot = false;
   bool Isolate = false;
   bool VerifyEach = false;
+  bool ValidatePasses = false;
+  bool NoValidate = false;
   bool Metrics = false;
   bool MetricsJson = false;
 
@@ -77,6 +86,10 @@ int main(int argc, char **argv) {
       Isolate = true;
     else if (!std::strcmp(argv[I], "--verify-each"))
       VerifyEach = true;
+    else if (!std::strcmp(argv[I], "--validate-passes"))
+      ValidatePasses = true;
+    else if (!std::strcmp(argv[I], "--no-validate"))
+      NoValidate = true;
     else if (!std::strcmp(argv[I], "--metrics"))
       Metrics = true;
     else if (!std::strcmp(argv[I], "--metrics=json"))
@@ -124,6 +137,15 @@ int main(int argc, char **argv) {
     Options.Policy = FailurePolicy::Isolate;
   if (VerifyEach)
     Options.VerifyEach = true;
+  if (ValidatePasses && NoValidate) {
+    std::fprintf(stderr,
+                 "error: --validate-passes and --no-validate are exclusive\n");
+    return 2;
+  }
+  if (ValidatePasses)
+    Options.Validate = ValidateMode::On;
+  else if (NoValidate)
+    Options.Validate = ValidateMode::Off;
   Result<CompileArtifacts> Artifacts = compileRuleset(Rules, Options);
   if (!Artifacts.ok()) {
     std::fprintf(stderr, "error: %s\n", Artifacts.diag().render().c_str());
@@ -174,6 +196,16 @@ int main(int argc, char **argv) {
               Artifacts->Times.FrontEndMs, Artifacts->Times.AstToFsaMs,
               Artifacts->Times.SingleOptMs, Artifacts->Times.MergingMs,
               Artifacts->Times.BackEndMs);
+
+  if (ValidatePasses) {
+    const ValidateStats &V = Artifacts->Telemetry.Validation;
+    std::printf("validation: %lu pass/merge proofs, %lu failed, "
+                "%lu inconclusive, %lu skipped (%.2f ms)\n",
+                static_cast<unsigned long>(V.Proofs),
+                static_cast<unsigned long>(V.Failures),
+                static_cast<unsigned long>(V.Inconclusive),
+                static_cast<unsigned long>(V.Skipped), V.WallMs);
+  }
 
   if (Metrics) {
     obs::MetricsRegistry Registry;

@@ -36,6 +36,10 @@ static void usage(const char *Prog) {
                "  --no-merge          lint rules only; skip compiling and the\n"
                "                      post-merge belonging-set analysis\n"
                "  --no-pairwise       skip duplicate/subsumption checks\n"
+               "  --exact-states N    decide duplicate/subsumption pairs with\n"
+               "                      the antichain inclusion prover when both\n"
+               "                      automata have <= N states (default 512;\n"
+               "                      0 = heuristic oracle only)\n"
                "  -M factor           merging factor for the post-merge pass\n"
                "                      (default 0 = merge all)\n"
                "  -i                  case-insensitive matching\n",
@@ -58,6 +62,8 @@ int main(int argc, char **argv) {
       Merge = false;
     else if (!std::strcmp(argv[I], "--no-pairwise"))
       Options.CheckDuplicates = Options.CheckSubsumption = false;
+    else if (!std::strcmp(argv[I], "--exact-states") && I + 1 < argc)
+      Options.ExactCheckMaxStates = static_cast<uint32_t>(std::atoi(argv[++I]));
     else if (!std::strcmp(argv[I], "-M") && I + 1 < argc)
       MergingFactor = static_cast<uint32_t>(std::atoi(argv[++I]));
     else if (!std::strcmp(argv[I], "-i"))

@@ -140,6 +140,16 @@ std::string DiagnosticEngine::renderJson() const {
       Out += ",\"offset\":" + std::to_string(F.Span.Offset);
     if (F.Span.hasElement())
       Out += ",\"element\":" + std::to_string(F.Span.Element);
+    if (!F.Method.empty()) {
+      Out += ",\"method\":\"";
+      Out += jsonEscape(F.Method);
+      Out += "\"";
+    }
+    if (F.HasCounterexample) {
+      Out += ",\"counterexample\":\"";
+      Out += jsonEscape(F.Counterexample);
+      Out += "\"";
+    }
     if (!F.FixHint.empty()) {
       Out += ",\"hint\":\"";
       Out += jsonEscape(F.FixHint);

@@ -85,6 +85,19 @@ struct Finding {
   std::string Message; ///< Human-readable description of the defect.
   SourceSpan Span;     ///< Where it was found.
   std::string FixHint; ///< Optional remediation suggestion; may be empty.
+
+  /// How the finding was established: "exact" (a proof — structural
+  /// identity or the antichain inclusion checker) or "heuristic" (sampled
+  /// probes). Empty for checks where the distinction is meaningless;
+  /// rendered as the JSON "method" field when set.
+  std::string Method;
+
+  /// Witness word for translation-validation failures: a word accepted by
+  /// exactly one side of a failed equivalence proof. May contain arbitrary
+  /// bytes (it is escaped on rendering); distinct from "unset" via
+  /// HasCounterexample, since ε — the empty word — is a legal witness.
+  std::string Counterexample;
+  bool HasCounterexample = false;
 };
 
 /// Collects findings from any number of checkers and renders reports. The

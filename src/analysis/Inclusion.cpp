@@ -1,0 +1,327 @@
+//===- Inclusion.cpp - antichain language-inclusion prover -------------------===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Implementation notes.
+//
+// Alphabet reduction: every transition label of A and B is a union of the
+// partition atoms computed over both automata, so for any atom with
+// representative byte c, label ∩ atom ≠ ∅ ⟺ c ∈ label. The search therefore
+// steps on one representative byte per atom and tests membership with a
+// single contains() — no set intersections in the inner loop — while still
+// covering every symbol class exactly once.
+//
+// ε-arcs are folded into the step relation up front: A-side successors are
+// taken from the ε-closure of the current spoiler state, B-side macrostates
+// are kept ε-closed, and acceptance tests use closure-aware final flags.
+// This lets raw Thompson automata (stage 2) be compared directly against
+// their optimized forms (stage 3).
+//
+// The search is breadth-first over an append-only node arena; each node
+// stores its parent index and incoming byte, so a violating node's path
+// spells a shortest counterexample word.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Inclusion.h"
+
+#include "fsa/AlphabetPartition.h"
+#include "support/DynamicBitset.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <vector>
+
+using namespace mfsa;
+
+namespace {
+
+/// ε-closure of every state, BFS over ε-arcs (same construction as the
+/// ε-removal pass, local here to keep the prover self-contained).
+std::vector<std::vector<StateId>> epsilonClosures(const Nfa &A) {
+  std::vector<std::vector<StateId>> EpsOut(A.numStates());
+  for (const Transition &T : A.transitions())
+    if (T.isEpsilon())
+      EpsOut[T.From].push_back(T.To);
+
+  std::vector<std::vector<StateId>> Closures(A.numStates());
+  std::vector<bool> Seen(A.numStates());
+  for (StateId Q = 0; Q < A.numStates(); ++Q) {
+    std::fill(Seen.begin(), Seen.end(), false);
+    std::queue<StateId> Work;
+    Work.push(Q);
+    Seen[Q] = true;
+    while (!Work.empty()) {
+      StateId R = Work.front();
+      Work.pop();
+      Closures[Q].push_back(R);
+      for (StateId S : EpsOut[R])
+        if (!Seen[S]) {
+          Seen[S] = true;
+          Work.push(S);
+        }
+    }
+  }
+  return Closures;
+}
+
+/// X ⊆ Y over equal-width bitsets.
+bool isSubsetOf(const DynamicBitset &X, const DynamicBitset &Y) {
+  const std::vector<uint64_t> &XW = X.words();
+  const std::vector<uint64_t> &YW = Y.words();
+  for (size_t I = 0, E = XW.size(); I != E; ++I)
+    if (XW[I] & ~YW[I])
+      return false;
+  return true;
+}
+
+/// One (spoiler state, B-macrostate) pair in the product search.
+struct SearchNode {
+  StateId P = 0;                       ///< Spoiler position in A.
+  uint32_t Parent = UINT32_MAX;        ///< Arena index of the predecessor.
+  int16_t Byte = -1;                   ///< Incoming byte; -1 at the root.
+  bool Dead = false;                   ///< Evicted from the antichain.
+  DynamicBitset S;                     ///< ε-closed macrostate of B.
+};
+
+} // namespace
+
+InclusionResult mfsa::checkInclusion(const Nfa &A, const Nfa &B,
+                                     const InclusionOptions &Options) {
+  Timer Wall;
+  InclusionResult Result;
+
+  // A with no states recognizes ∅, which is included in anything.
+  if (A.numStates() == 0) {
+    Result.Stats.WallMs = Wall.elapsedMs();
+    return Result;
+  }
+
+  // Alphabet atoms over both automata; one representative byte per atom is
+  // a complete set of step symbols (see file header). The residual atom of
+  // unused symbols steps nowhere on either side and dies immediately.
+  const std::vector<SymbolSet> Atoms =
+      computeAlphabetAtoms(std::vector<Nfa>{A, B});
+  std::vector<unsigned char> Reps;
+  Reps.reserve(Atoms.size());
+  for (const SymbolSet &Atom : Atoms)
+    Reps.push_back(Atom.min());
+
+  // A side: ε-closures, closure-aware final flags, per-state non-ε arcs.
+  const std::vector<std::vector<StateId>> AClosure = epsilonClosures(A);
+  std::vector<bool> AFinal(A.numStates(), false);
+  for (StateId F : A.finals())
+    AFinal[F] = true;
+  std::vector<bool> AAccepting(A.numStates(), false);
+  for (StateId Q = 0; Q < A.numStates(); ++Q)
+    for (StateId R : AClosure[Q])
+      if (AFinal[R])
+        AAccepting[Q] = true;
+  std::vector<std::vector<const Transition *>> AOut(A.numStates());
+  for (const Transition &T : A.transitions())
+    if (!T.isEpsilon())
+      AOut[T.From].push_back(&T);
+
+  // B side: ε-successor lists (to keep macrostates closed), final bitset,
+  // per-state non-ε arcs.
+  const uint32_t NB = B.numStates();
+  std::vector<std::vector<StateId>> BEps(NB);
+  std::vector<std::vector<const Transition *>> BOut(NB);
+  for (const Transition &T : B.transitions()) {
+    if (T.isEpsilon())
+      BEps[T.From].push_back(T.To);
+    else
+      BOut[T.From].push_back(&T);
+  }
+  DynamicBitset BFinals(NB);
+  for (StateId F : B.finals())
+    BFinals.set(F);
+
+  // ε-closes \p Set in place.
+  std::vector<StateId> CloseWork;
+  auto CloseOverEps = [&](DynamicBitset &Set) {
+    CloseWork.clear();
+    Set.forEach([&](unsigned Q) { CloseWork.push_back(Q); });
+    for (size_t I = 0; I < CloseWork.size(); ++I)
+      for (StateId Q : BEps[CloseWork[I]])
+        if (!Set.test(Q)) {
+          Set.set(Q);
+          CloseWork.push_back(Q);
+        }
+  };
+
+  std::vector<SearchNode> Arena;
+  std::deque<uint32_t> Frontier; // BFS ⇒ shortest counterexample.
+  std::vector<std::vector<uint32_t>> Antichain(A.numStates());
+  uint64_t Alive = 0;
+
+  // True when the node is a violation witness: the spoiler accepts (via
+  // ε-closure) but no B state in the macrostate does.
+  auto Violates = [&](const SearchNode &Node) {
+    return AAccepting[Node.P] &&
+           (NB == 0 || !Node.S.intersects(BFinals));
+  };
+
+  auto ExtractWord = [&](uint32_t Index) {
+    std::string Word;
+    for (uint32_t I = Index; Arena[I].Byte >= 0; I = Arena[I].Parent)
+      Word.push_back(static_cast<char>(Arena[I].Byte));
+    std::reverse(Word.begin(), Word.end());
+    return Word;
+  };
+
+  // Admits (P, S) unless an antichain entry already dominates it; evicts
+  // entries the new pair dominates. \returns the violating node's index or
+  // UINT32_MAX.
+  auto Admit = [&](StateId P, DynamicBitset S, uint32_t Parent,
+                   int16_t Byte) -> uint32_t {
+    std::vector<uint32_t> &Chain = Antichain[P];
+    for (uint32_t Index : Chain)
+      if (!Arena[Index].Dead && isSubsetOf(Arena[Index].S, S))
+        return UINT32_MAX; // Dominated: a stronger pair is already stored.
+    size_t Keep = 0;
+    for (uint32_t Index : Chain) {
+      if (!Arena[Index].Dead && isSubsetOf(S, Arena[Index].S)) {
+        Arena[Index].Dead = true; // New pair is stronger.
+        --Alive;
+      } else {
+        Chain[Keep++] = Index;
+      }
+    }
+    Chain.resize(Keep);
+
+    const uint32_t Index = static_cast<uint32_t>(Arena.size());
+    Arena.push_back(SearchNode{P, Parent, Byte, false, std::move(S)});
+    Chain.push_back(Index);
+    ++Alive;
+    Result.Stats.AntichainPeak =
+        std::max(Result.Stats.AntichainPeak, Alive);
+    ++Result.Stats.MacrostatesExplored;
+    if (Violates(Arena[Index]))
+      return Index;
+    Frontier.push_back(Index);
+    return UINT32_MAX;
+  };
+
+  // Root: spoiler at A's initial, macrostate = ε-closure of B's initial.
+  DynamicBitset S0(NB);
+  if (NB != 0) {
+    S0.set(B.initial());
+    CloseOverEps(S0);
+  }
+  uint32_t Violation = Admit(A.initial(), std::move(S0), UINT32_MAX, -1);
+
+  while (Violation == UINT32_MAX && !Frontier.empty()) {
+    if (Options.MaxMacrostates != 0 &&
+        Result.Stats.MacrostatesExplored >= Options.MaxMacrostates) {
+      Result.Status = InclusionStatus::ResourceLimit;
+      Result.Stats.WallMs = Wall.elapsedMs();
+      return Result;
+    }
+    const uint32_t Index = Frontier.front();
+    Frontier.pop_front();
+    if (Arena[Index].Dead)
+      continue;
+    const StateId P = Arena[Index].P;
+
+    for (size_t AtomIdx = 0; AtomIdx < Reps.size() && Violation == UINT32_MAX;
+         ++AtomIdx) {
+      const unsigned char Rep = Reps[AtomIdx];
+
+      // Spoiler successors on this atom, through the ε-closure of P.
+      bool AnySpoiler = false;
+      for (StateId Q : AClosure[P]) {
+        for (const Transition *T : AOut[Q])
+          if (T->Label.contains(Rep)) {
+            AnySpoiler = true;
+            break;
+          }
+        if (AnySpoiler)
+          break;
+      }
+      if (!AnySpoiler)
+        continue; // The atom extends no word of L(A) from here.
+
+      // Duplicator macrostate successor, ε-closed. Computed once per atom
+      // and shared by every spoiler successor.
+      DynamicBitset Next(NB);
+      Arena[Index].S.forEach([&](unsigned Q) {
+        for (const Transition *T : BOut[Q])
+          if (T->Label.contains(Rep))
+            Next.set(T->To);
+      });
+      CloseOverEps(Next);
+
+      for (StateId Q : AClosure[P]) {
+        for (const Transition *T : AOut[Q]) {
+          if (!T->Label.contains(Rep))
+            continue;
+          Violation = Admit(T->To, Next, Index,
+                            static_cast<int16_t>(Rep));
+          if (Violation != UINT32_MAX)
+            break;
+        }
+        if (Violation != UINT32_MAX)
+          break;
+      }
+    }
+  }
+
+  if (Violation != UINT32_MAX) {
+    Result.Status = InclusionStatus::NotIncluded;
+    Result.Counterexample = ExtractWord(Violation);
+  }
+  Result.Stats.WallMs = Wall.elapsedMs();
+  return Result;
+}
+
+EquivalenceResult mfsa::checkEquivalence(const Nfa &A, const Nfa &B,
+                                         const InclusionOptions &Options) {
+  EquivalenceResult Result;
+  Result.AInB = checkInclusion(A, B, Options);
+  Result.BInA = checkInclusion(B, A, Options);
+  if (Result.AInB.included() && Result.BInA.included())
+    Result.Status = EquivalenceStatus::Equal;
+  else if (Result.AInB.Status == InclusionStatus::NotIncluded ||
+           Result.BInA.Status == InclusionStatus::NotIncluded)
+    Result.Status = EquivalenceStatus::NotEqual;
+  else
+    Result.Status = EquivalenceStatus::ResourceLimit;
+  return Result;
+}
+
+bool mfsa::acceptsWord(const Nfa &A, std::string_view Word) {
+  if (A.numStates() == 0)
+    return false;
+  const std::vector<std::vector<StateId>> Closures = epsilonClosures(A);
+  std::vector<std::vector<const Transition *>> Out(A.numStates());
+  for (const Transition &T : A.transitions())
+    if (!T.isEpsilon())
+      Out[T.From].push_back(&T);
+
+  std::vector<bool> Current(A.numStates(), false);
+  std::vector<bool> Next(A.numStates(), false);
+  for (StateId Q : Closures[A.initial()])
+    Current[Q] = true;
+  for (char C : Word) {
+    const unsigned char Byte = static_cast<unsigned char>(C);
+    std::fill(Next.begin(), Next.end(), false);
+    for (StateId Q = 0; Q < A.numStates(); ++Q) {
+      if (!Current[Q])
+        continue;
+      for (const Transition *T : Out[Q])
+        if (T->Label.contains(Byte))
+          for (StateId R : Closures[T->To])
+            Next[R] = true;
+    }
+    std::swap(Current, Next);
+  }
+  for (StateId F : A.finals())
+    if (Current[F])
+      return true;
+  return false;
+}

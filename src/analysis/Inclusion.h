@@ -1,0 +1,136 @@
+//===- Inclusion.h - antichain language-inclusion prover --------*- C++ -*-===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Declares an exact language-inclusion decision procedure for the Nfa model,
+/// following the antichain algorithm of De Wulf, Doyen, Henzinger & Raskin
+/// ("Antichains: A New Algorithm for Checking Universality of Finite
+/// Automata", CAV 2006), in the forward formulation the Mata library
+/// (Chocholatý et al. 2023) showed practical on exactly this class of NFAs.
+///
+/// checkInclusion(A, B) decides L(A) ⊆ L(B) by a forward product search of
+/// pairs (p, S): p a state of A the spoiler can reach on some word w, S the
+/// full macrostate (subset of B's states, as in determinization) reachable
+/// on w. A pair with p final and S ∩ F_B = ∅ witnesses a word in L(A)\L(B);
+/// if no such pair is reachable the inclusion holds. The antichain insight
+/// keeps the search small: a stored pair (p, T) with T ⊆ S makes any new
+/// (p, S) redundant — whatever violation S can still reach, the smaller
+/// (stronger) macrostate T reaches too — so only ⊆-minimal macrostates per
+/// A-state are retained. The alphabet is first reduced to the partition
+/// atoms induced by both automata (fsa/AlphabetPartition.h), so the per-pair
+/// branching factor is the number of distinct symbol classes, not 256.
+///
+/// Both operands may contain ε-arcs (the prover closes over them natively),
+/// so raw stage-2 Thompson automata are directly comparable against their
+/// optimized forms. Anchors are NOT part of the language; callers comparing
+/// rule semantics must compare anchor flags separately (translation
+/// validation does).
+///
+/// The search is breadth-first, so the extracted counterexample is a
+/// shortest word in the language difference.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MFSA_ANALYSIS_INCLUSION_H
+#define MFSA_ANALYSIS_INCLUSION_H
+
+#include "fsa/Nfa.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mfsa {
+
+/// Outcome of one inclusion query.
+enum class InclusionStatus : uint8_t {
+  Included,      ///< Proven: L(A) ⊆ L(B).
+  NotIncluded,   ///< Refuted, with a witness word in L(A) \ L(B).
+  ResourceLimit, ///< The antichain search hit MaxMacrostates; undecided.
+};
+
+/// Resource knobs for one inclusion query.
+struct InclusionOptions {
+  /// Cap on (p, S) pairs admitted to the search frontier (after antichain
+  /// pruning). The antichain bound is exponential only in pathological
+  /// cases; rule-sized automata typically explore a few hundred pairs.
+  /// 0 means unlimited.
+  uint64_t MaxMacrostates = 1u << 16;
+};
+
+/// Cost accounting for one inclusion query, exported through the
+/// `analysis.inclusion.*` metrics.
+struct InclusionStats {
+  uint64_t MacrostatesExplored = 0; ///< (p, S) pairs admitted to the search.
+  uint64_t AntichainPeak = 0;       ///< Max ⊆-minimal pairs alive at once.
+  double WallMs = 0.0;
+};
+
+/// Result of checkInclusion.
+struct InclusionResult {
+  InclusionStatus Status = InclusionStatus::Included;
+  /// A shortest word in L(A) \ L(B); meaningful iff NotIncluded. May be
+  /// empty (the ε word) and may contain arbitrary bytes.
+  std::string Counterexample;
+  InclusionStats Stats;
+
+  bool included() const { return Status == InclusionStatus::Included; }
+  bool conclusive() const {
+    return Status != InclusionStatus::ResourceLimit;
+  }
+};
+
+/// Decides L(A) ⊆ L(B). Anchor flags are ignored; ε-arcs are handled.
+InclusionResult checkInclusion(const Nfa &A, const Nfa &B,
+                               const InclusionOptions &Options = {});
+
+/// Outcome of one equivalence query (both inclusion directions).
+enum class EquivalenceStatus : uint8_t {
+  Equal,         ///< Proven: L(A) == L(B).
+  NotEqual,      ///< Refuted; counterexample() locates the witness.
+  ResourceLimit, ///< At least one direction was undecided, neither refuted.
+};
+
+/// Result of checkEquivalence. Both directions always run (a refuted
+/// direction still leaves the other's verdict meaningful — lint uses
+/// one-sided inclusions as exact subsumption evidence).
+struct EquivalenceResult {
+  EquivalenceStatus Status = EquivalenceStatus::Equal;
+  InclusionResult AInB; ///< L(A) ⊆ L(B) query.
+  InclusionResult BInA; ///< L(B) ⊆ L(A) query.
+
+  bool equal() const { return Status == EquivalenceStatus::Equal; }
+  bool conclusive() const {
+    return Status != EquivalenceStatus::ResourceLimit;
+  }
+
+  /// The refuted direction's result (AInB preferred when both failed), or
+  /// nullptr when no direction was refuted. The witness word is accepted by
+  /// exactly one operand: by A if the returned pointer is &AInB, by B if it
+  /// is &BInA.
+  const InclusionResult *counterexample() const {
+    if (AInB.Status == InclusionStatus::NotIncluded)
+      return &AInB;
+    if (BInA.Status == InclusionStatus::NotIncluded)
+      return &BInA;
+    return nullptr;
+  }
+};
+
+/// Decides L(A) == L(B) by proving both inclusions.
+EquivalenceResult checkEquivalence(const Nfa &A, const Nfa &B,
+                                   const InclusionOptions &Options = {});
+
+/// Whole-word acceptance oracle: true iff \p Word ∈ L(A), by direct
+/// ε-closure simulation. Independent of the antichain search, so replaying
+/// a counterexample through it confirms a refutation is a real language
+/// difference rather than a prover bug. Anchors are ignored, matching the
+/// prover's language view.
+bool acceptsWord(const Nfa &A, std::string_view Word);
+
+} // namespace mfsa
+
+#endif // MFSA_ANALYSIS_INCLUSION_H

@@ -15,11 +15,14 @@
 //   Language layer empty/universal checks on the optimized FSA via the
 //                  Reference simulator.
 //
-// The pairwise layer (duplicates/subsumption) then cross-checks small
-// automata with the brute-force oracle: enumerate every string up to a
-// bounded length over the rules' joint representative alphabet and compare
-// match-end sets. Pairs are gated by cheap signatures (anchors + label
-// union) so the quadratic pass stays affordable on real rulesets.
+// The pairwise layer (duplicates/subsumption) decides small pairs exactly
+// with the antichain language-inclusion prover (analysis/Inclusion.h),
+// tagging those findings "exact"; pairs above the exact cutoff (or whose
+// proof hits the macrostate cap) fall back to the brute-force oracle —
+// enumerate every string up to a bounded length over the rules' joint
+// representative alphabet and compare match-end sets — tagged "heuristic".
+// Pairs are gated by cheap signatures (anchors; label union for the oracle)
+// so the quadratic pass stays affordable on real rulesets.
 //
 // lintMfsa is independent: it reads only the merged automaton's belonging
 // sets. Sub[i] = ∩ { bel(t) : rule i owns t } is computed in one sweep; any
@@ -30,6 +33,7 @@
 
 #include "analysis/Lint.h"
 
+#include "analysis/Inclusion.h"
 #include "fsa/Builder.h"
 #include "fsa/Passes.h"
 #include "fsa/Reference.h"
@@ -435,33 +439,105 @@ LintSummary mfsa::lintRuleset(const std::vector<std::string> &Patterns,
     }
   }
 
-  // Pairwise layer.
+  // Pairwise layer. Pairs small enough for the antichain prover are
+  // *decided* — duplicate/subsumption findings become language proofs
+  // (method "exact") and non-findings mean the languages really are
+  // incomparable. The brute-force probe oracle survives as the fallback
+  // for pairs over the exact cutoff or whose proof hits the macrostate cap
+  // (method "heuristic").
   if (!Options.CheckDuplicates && !Options.CheckSubsumption)
     return Summary;
+  // Rendered as a (method-tagged) finding; the convenience report() has no
+  // Method parameter on purpose — only pairwise findings carry one.
+  auto Report = [&](Severity Sev, const char *CheckId, std::string Message,
+                    uint32_t Rule, std::string FixHint, const char *Method) {
+    Finding F;
+    F.Sev = Sev;
+    F.CheckId = CheckId;
+    F.Message = std::move(Message);
+    F.Span = SourceSpan::forRule(Rule);
+    F.FixHint = std::move(FixHint);
+    F.Method = Method;
+    Diags.report(std::move(F));
+  };
+  // Subsumption notes on a rule whose whole language is empty (or ε-only)
+  // are vacuous — lint.language.empty already covers it.
+  auto Trivial = [](const RuleArtifacts &R) {
+    return R.Optimized.finals().empty() || R.Optimized.numTransitions() == 0;
+  };
   for (uint32_t I = 0; I < Rules.size(); ++I) {
     const RuleArtifacts &A = Rules[I];
-    if (!A.Built || A.Optimized.numStates() > Options.OracleMaxStates)
+    if (!A.Built)
       continue;
     for (uint32_t J = I + 1; J < Rules.size(); ++J) {
       const RuleArtifacts &B = Rules[J];
-      if (!B.Built || B.Optimized.numStates() > Options.OracleMaxStates)
+      if (!B.Built)
+        continue;
+      const bool ExactEligible =
+          Options.ExactCheckMaxStates != 0 &&
+          A.Optimized.numStates() <= Options.ExactCheckMaxStates &&
+          B.Optimized.numStates() <= Options.ExactCheckMaxStates;
+      const bool OracleEligible =
+          A.Optimized.numStates() <= Options.OracleMaxStates &&
+          B.Optimized.numStates() <= Options.OracleMaxStates;
+      if (!ExactEligible && !OracleEligible)
         continue;
       if (A.Optimized.anchoredStart() != B.Optimized.anchoredStart() ||
           A.Optimized.anchoredEnd() != B.Optimized.anchoredEnd())
         continue;
 
-      // Fast path: canonical automata are structurally comparable.
+      // Fast path: canonical automata are structurally comparable, and
+      // structural identity is an exact proof for free.
       if (Options.CheckDuplicates && A.Optimized == B.Optimized) {
-        Diags.report(Severity::Warning, "lint.duplicate-rule",
-                     "duplicate of rule " + std::to_string(I) +
-                         ": identical optimized automaton",
-                     SourceSpan::forRule(J), "remove one of the two rules");
+        Report(Severity::Warning, "lint.duplicate-rule",
+               "duplicate of rule " + std::to_string(I) +
+                   ": identical optimized automaton",
+               J, "remove one of the two rules", "exact");
         continue;
+      }
+
+      if (ExactEligible) {
+        InclusionOptions Exact;
+        Exact.MaxMacrostates = Options.ExactCheckMaxMacrostates;
+        const EquivalenceResult E =
+            checkEquivalence(A.Optimized, B.Optimized, Exact);
+        const bool AInB = E.AInB.included();
+        const bool BInA = E.BInA.included();
+        if (AInB && BInA) {
+          if (Options.CheckDuplicates)
+            Report(Severity::Warning, "lint.duplicate-rule",
+                   "duplicate of rule " + std::to_string(I) +
+                       ": languages proven equal",
+                   J, "the rules accept exactly the same words; remove one",
+                   "exact");
+          else if (Options.CheckSubsumption && !Trivial(A))
+            Report(Severity::Note, "lint.subsumed-rule",
+                   "rule " + std::to_string(I) + " subsumed by rule " +
+                       std::to_string(J) + " (language inclusion proven)",
+                   I, {}, "exact");
+          continue;
+        }
+        if (AInB || BInA) {
+          // One-sided inclusion holds even if the other direction hit the
+          // macrostate cap — a proof is a proof.
+          const uint32_t Sub = AInB ? I : J;
+          const uint32_t Super = AInB ? J : I;
+          if (Options.CheckSubsumption && !Trivial(AInB ? A : B))
+            Report(Severity::Note, "lint.subsumed-rule",
+                   "rule " + std::to_string(Sub) + " subsumed by rule " +
+                       std::to_string(Super) +
+                       " (language inclusion proven)",
+                   Sub, {}, "exact");
+          continue;
+        }
+        if (E.AInB.conclusive() && E.BInA.conclusive())
+          continue; // Proven incomparable; nothing to report.
+        // Both directions undecided (macrostate cap): fall back to probes.
       }
 
       // Oracle path, gated on identical effective alphabets so the
       // quadratic pass only probes plausible pairs.
-      if (A.Alphabet != B.Alphabet)
+      if (!OracleEligible || A.Alphabet != B.Alphabet)
         continue;
       std::vector<unsigned char> Symbols =
           representativeSymbols(A.Alphabet, Options.OracleMaxAlphabet);
@@ -470,27 +546,25 @@ LintSummary mfsa::lintRuleset(const std::vector<std::string> &Patterns,
       OracleVerdict V = runOracle(A.Optimized, B.Optimized, Symbols,
                                   Options.OracleMaxLength);
       if (Options.CheckDuplicates && V.Equal) {
-        Diags.report(Severity::Warning, "lint.duplicate-rule",
-                     "likely duplicate of rule " + std::to_string(I) +
-                         ": identical matches on all " +
-                         std::to_string(V.Probes) + " probe inputs",
-                     SourceSpan::forRule(J),
-                     "the rules report the same (rule, end) matches; remove "
-                     "one");
+        Report(Severity::Warning, "lint.duplicate-rule",
+               "likely duplicate of rule " + std::to_string(I) +
+                   ": identical matches on all " + std::to_string(V.Probes) +
+                   " probe inputs",
+               J,
+               "the rules report the same (rule, end) matches; remove one",
+               "heuristic");
       } else if (Options.CheckSubsumption && V.ASubB) {
-        Diags.report(Severity::Note, "lint.subsumed-rule",
-                     "rule " + std::to_string(I) +
-                         " appears subsumed by rule " + std::to_string(J) +
-                         " (matches ⊆ on " + std::to_string(V.Probes) +
-                         " probe inputs)",
-                     SourceSpan::forRule(I));
+        Report(Severity::Note, "lint.subsumed-rule",
+               "rule " + std::to_string(I) + " appears subsumed by rule " +
+                   std::to_string(J) + " (matches ⊆ on " +
+                   std::to_string(V.Probes) + " probe inputs)",
+               I, {}, "heuristic");
       } else if (Options.CheckSubsumption && V.BSubA) {
-        Diags.report(Severity::Note, "lint.subsumed-rule",
-                     "rule " + std::to_string(J) +
-                         " appears subsumed by rule " + std::to_string(I) +
-                         " (matches ⊆ on " + std::to_string(V.Probes) +
-                         " probe inputs)",
-                     SourceSpan::forRule(J));
+        Report(Severity::Note, "lint.subsumed-rule",
+               "rule " + std::to_string(J) + " appears subsumed by rule " +
+                   std::to_string(I) + " (matches ⊆ on " +
+                   std::to_string(V.Probes) + " probe inputs)",
+               J, {}, "heuristic");
       }
     }
   }

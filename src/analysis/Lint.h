@@ -42,11 +42,15 @@
 ///   lint.language.universal       every single-byte input matches, so the
 ///                                 rule fires at every offset (warning)
 ///   lint.duplicate-rule           two rules have identical optimized
-///                                 automata, or agree on every probe input
+///                                 automata, proven-equal languages
+///                                 (antichain inclusion checker, tagged
+///                                 "exact"), or agree on every probe input
 ///                                 of the brute-force Reference oracle
-///                                 (warning)
-///   lint.subsumed-rule            rule A's matches are a subset of rule
-///                                 B's on every probe input (note)
+///                                 (tagged "heuristic") (warning)
+///   lint.subsumed-rule            rule A's language is proven included in
+///                                 rule B's ("exact"), or A's matches are a
+///                                 subset of B's on every probe input
+///                                 ("heuristic") (note)
 ///
 /// Post-merge passes over an Mfsa (belonging-set analysis):
 ///
@@ -94,6 +98,17 @@ struct LintOptions {
   uint32_t OracleMaxLength = 4;
   /// ...over at most this many representative symbols.
   uint32_t OracleMaxAlphabet = 4;
+
+  /// Exact pairwise checking: pairs where both optimized automata have at
+  /// most this many states are decided by the antichain language-inclusion
+  /// prover (analysis/Inclusion.h) — findings become proofs, tagged
+  /// `"method":"exact"` in JSON — before any oracle probing. Pairs above
+  /// the cutoff (or whose proof hits ExactCheckMaxMacrostates) fall back to
+  /// the brute-force oracle, tagged `"method":"heuristic"`. 0 disables the
+  /// exact path entirely.
+  uint32_t ExactCheckMaxStates = 512;
+  /// Macrostate cap per exact pairwise proof (see InclusionOptions).
+  uint64_t ExactCheckMaxMacrostates = 1u << 14;
 
   /// Master switches for the pairwise passes (quadratic in ruleset size).
   bool CheckDuplicates = true;

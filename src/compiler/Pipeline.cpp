@@ -101,6 +101,22 @@ Diag injectedFault() {
   return Diag("injected fault (MFSA_FAULT_STAGE)", static_cast<size_t>(-1));
 }
 
+/// MFSA_VALIDATE environment override: 1 = force on, 0 = force off,
+/// unset/unrecognized = no override.
+enum class ValidateEnv : uint8_t { Unset, ForceOn, ForceOff };
+
+ValidateEnv readValidateEnv() {
+  const char *Env = std::getenv("MFSA_VALIDATE");
+  if (!Env || !*Env)
+    return ValidateEnv::Unset;
+  const std::string Text(Env);
+  if (Text == "1" || Text == "on" || Text == "true")
+    return ValidateEnv::ForceOn;
+  if (Text == "0" || Text == "off" || Text == "false")
+    return ValidateEnv::ForceOff;
+  return ValidateEnv::Unset;
+}
+
 /// Combines the user's per-rule cap with the budget's absolute and
 /// pattern-relative caps (0 = unlimited throughout).
 uint32_t effectiveFsaStateCap(uint32_t UserCap, const CompileBudget &Budget,
@@ -118,6 +134,23 @@ uint32_t effectiveFsaStateCap(uint32_t UserCap, const CompileBudget &Budget,
 }
 
 } // namespace
+
+bool mfsa::validatePassesEnabled(ValidateMode Mode, size_t NumRules,
+                                 uint32_t AutoMaxRules) {
+  if (Mode == ValidateMode::On)
+    return true;
+  if (Mode == ValidateMode::Off)
+    return false;
+  switch (readValidateEnv()) {
+  case ValidateEnv::ForceOn:
+    return true;
+  case ValidateEnv::ForceOff:
+    return false;
+  case ValidateEnv::Unset:
+    break;
+  }
+  return kValidatePassesDefault && NumRules <= AutoMaxRules;
+}
 
 void CompileTelemetry::recordTo(obs::MetricsRegistry &Registry) const {
   static const char *const Names[5] = {"front_end", "ast_to_fsa",
@@ -152,6 +185,19 @@ void CompileTelemetry::recordTo(obs::MetricsRegistry &Registry) const {
       .set(static_cast<int64_t>(BudgetMaxMergedStates));
   Registry.gauge("compile.budget.max_merged_transitions")
       .set(static_cast<int64_t>(BudgetMaxMergedTransitions));
+  // Translation-validation proof cost (ValidateMode; zeros when off). Wall
+  // time is a `_ns` gauge like the stage timings so goldens mask it.
+  Registry.counter("analysis.inclusion.proofs").add(Validation.Proofs);
+  Registry.counter("analysis.inclusion.failures").add(Validation.Failures);
+  Registry.counter("analysis.inclusion.inconclusive")
+      .add(Validation.Inconclusive);
+  Registry.counter("analysis.inclusion.skipped").add(Validation.Skipped);
+  Registry.counter("analysis.inclusion.macrostates")
+      .add(Validation.MacrostatesExplored);
+  Registry.gauge("analysis.inclusion.antichain_peak")
+      .set(static_cast<int64_t>(Validation.AntichainPeak));
+  Registry.gauge("analysis.inclusion.wall_ns")
+      .set(static_cast<int64_t>(Validation.WallMs * 1e6));
 }
 
 Result<CompileArtifacts>
@@ -162,6 +208,8 @@ mfsa::compileRuleset(const std::vector<std::string> &Patterns,
   const CompileBudget &Budget = Options.Budget;
   const bool Isolate = Options.Policy == FailurePolicy::Isolate;
   const FaultSpec Fault = readFaultSpec();
+  const bool Validate = validatePassesEnabled(
+      Options.Validate, Patterns.size(), Options.ValidateAutoMaxRules);
 
   auto Injected = [&](CompileStage S, uint32_t OriginalId) {
     return Fault.Active && Fault.Stage == S && Fault.Rule == OriginalId;
@@ -317,12 +365,24 @@ mfsa::compileRuleset(const std::vector<std::string> &Patterns,
           return std::move(*Failure);
         continue;
       }
+      // Translation validation binds the per-pass hook: each individual
+      // pass application must prove L(after) == L(before) or the rule
+      // fails this stage with the counterexample in its diagnostic.
+      PassValidator PassCheck;
+      if (Validate)
+        PassCheck = [&](const char *PassName, const Nfa &Before,
+                        const Nfa &After) {
+          return validatePassEquivalenceError(Before, After, PassName,
+                                              Options.Validation,
+                                              &Tel.Validation);
+        };
       Result<Nfa> Optimized =
           Injected(CompileStage::SingleOpt, Id)
               ? Result<Nfa>(injectedFault())
               : optimizeForMergingBudgeted(Artifacts.RawFsas[L],
                                            Budget.MaxFsaStates,
-                                           Budget.MaxFsaTransitions);
+                                           Budget.MaxFsaTransitions,
+                                           PassCheck);
       if (!Optimized.ok()) {
         if (Fail(Id, CompileStage::SingleOpt, Optimized.takeDiag()))
           return std::move(*Failure);
@@ -349,6 +409,9 @@ mfsa::compileRuleset(const std::vector<std::string> &Patterns,
     Alive = std::move(NextAlive);
   }
   if (Options.SplitCcByAtoms) {
+    std::vector<Nfa> PreSplit;
+    if (Validate)
+      PreSplit = Artifacts.OptimizedFsas;
     Artifacts.OptimizedFsas = splitAllByAtoms(Artifacts.OptimizedFsas);
     // Re-verify after the whole-ruleset label refinement: a violation here
     // is a splitter bug, so no single rule is at fault and the batch fails.
@@ -359,6 +422,18 @@ mfsa::compileRuleset(const std::vector<std::string> &Patterns,
         if (!Violation.empty())
           return Result<CompileArtifacts>::error(
               "atom-split verifier: rule " + std::to_string(Alive[L]) +
+              ": " + Violation);
+      }
+    // Atom splitting must be language-neutral too; like the verifier, a
+    // refutation here is a splitter bug, so the batch fails either way.
+    if (Validate)
+      for (size_t L = 0; L < Artifacts.OptimizedFsas.size(); ++L) {
+        std::string Violation = validatePassEquivalenceError(
+            PreSplit[L], Artifacts.OptimizedFsas[L], "split-cc-by-atoms",
+            Options.Validation, &Tel.Validation);
+        if (!Violation.empty())
+          return Result<CompileArtifacts>::error(
+              "translation validation: rule " + std::to_string(Alive[L]) +
               ": " + Violation);
       }
   }
@@ -430,6 +505,18 @@ mfsa::compileRuleset(const std::vector<std::string> &Patterns,
             if (!Violation.empty())
               return Result<CompileArtifacts>::error("stage-4 verifier: " +
                                                      Violation);
+          }
+          // Translation validation of Eq. 10: every rule's belonging-set
+          // projection must accept exactly the language of the optimized
+          // FSA that went into the merge. A refutation is a merger bug
+          // (the counterexample word names the divergence), so the batch
+          // fails under either policy, like a stage-4 verifier failure.
+          if (Validate) {
+            std::string Violation = validateMergeProjectionError(
+                *Z, Members, Options.Validation, &Tel.Validation);
+            if (!Violation.empty())
+              return Result<CompileArtifacts>::error(
+                  "translation validation: " + Violation);
           }
           Artifacts.Merging += Attempt;
           Artifacts.Mfsas.push_back(Z.take());

@@ -36,6 +36,7 @@
 #ifndef MFSA_COMPILER_PIPELINE_H
 #define MFSA_COMPILER_PIPELINE_H
 
+#include "analysis/TranslationValidate.h"
 #include "fsa/Builder.h"
 #include "mfsa/Merge.h"
 #include "regex/Parser.h"
@@ -114,6 +115,33 @@ inline constexpr bool kVerifyEachDefault = true;
 inline constexpr bool kVerifyEachDefault = false;
 #endif
 
+/// Default for ValidateMode::Auto resolution: Debug builds (CMake defines
+/// MFSA_VALIDATE_DEFAULT) validate small rulesets by default, mirroring the
+/// VerifyEach convention; release builds keep validation opt-in.
+#ifdef MFSA_VALIDATE_DEFAULT
+inline constexpr bool kValidatePassesDefault = true;
+#else
+inline constexpr bool kValidatePassesDefault = false;
+#endif
+
+/// Whether compileRuleset proves language preservation (translation
+/// validation, analysis/TranslationValidate.h) after every optimization
+/// pass and the merge.
+enum class ValidateMode : uint8_t {
+  /// Resolve from the environment: MFSA_VALIDATE=1/on/true forces On,
+  /// =0/off/false forces Off; otherwise on iff this is a Debug build
+  /// (kValidatePassesDefault) and the ruleset has at most
+  /// CompileOptions::ValidateAutoMaxRules rules.
+  Auto,
+  On,
+  Off,
+};
+
+/// Resolves \p Mode against the MFSA_VALIDATE environment variable, the
+/// build-type default, and the ruleset size (see ValidateMode::Auto).
+bool validatePassesEnabled(ValidateMode Mode, size_t NumRules,
+                           uint32_t AutoMaxRules);
+
 /// End-to-end compilation knobs.
 struct CompileOptions {
   ParseOptions Parse;
@@ -142,6 +170,23 @@ struct CompileOptions {
   /// single input rule is at fault — that is a compiler bug surfacing.
   /// Exposed on the mfsac CLI as `--verify-each`.
   bool VerifyEach = kVerifyEachDefault;
+
+  /// Translation validation (`mfsac --validate-passes`): prove, with the
+  /// antichain inclusion checker, that every stage-3 pass application and
+  /// the stage-4 merge preserved each rule's language. A refuted per-rule
+  /// pass proof is treated like a malformed rule (fail-fast under Strict,
+  /// quarantined under Isolate); a refuted merge-projection proof always
+  /// fails the batch — like a stage-4 verifier failure, it is a compiler
+  /// bug, not an input fault.
+  ValidateMode Validate = ValidateMode::Auto;
+
+  /// Auto-mode ruleset-size threshold: Debug builds validate by default
+  /// only when the ruleset has at most this many rules (proofs are
+  /// per-pass per-rule, so the default keeps test-suite latency sane).
+  uint32_t ValidateAutoMaxRules = 64;
+
+  /// Proof resource knobs (cutoffs, counterexample replay).
+  ValidateOptions Validation;
 
   /// Enables the paper's proposed partial character-class merging (§VI-A):
   /// after single-FSA optimization, every transition label is split into
@@ -184,6 +229,10 @@ struct CompileTelemetry {
   uint64_t BudgetMaxFsaTransitions = 0;
   uint64_t BudgetMaxMergedStates = 0;
   uint64_t BudgetMaxMergedTransitions = 0;
+
+  /// Translation-validation proof accounting (zero when validation was off);
+  /// recordTo publishes it under `analysis.inclusion.*`.
+  ValidateStats Validation;
 
   const StageTelemetry &stage(CompileStage S) const {
     return Stages[static_cast<size_t>(S)];

@@ -250,6 +250,13 @@ Nfa mfsa::optimizeForMerging(const Nfa &A) {
 
 Result<Nfa> mfsa::optimizeForMergingBudgeted(const Nfa &A, uint64_t MaxStates,
                                              uint64_t MaxTransitions) {
+  return optimizeForMergingBudgeted(A, MaxStates, MaxTransitions,
+                                    PassValidator());
+}
+
+Result<Nfa> mfsa::optimizeForMergingBudgeted(const Nfa &A, uint64_t MaxStates,
+                                             uint64_t MaxTransitions,
+                                             const PassValidator &Validate) {
   auto OverBudget = [&](const Nfa &Current) -> bool {
     return (MaxStates != 0 && Current.numStates() > MaxStates) ||
            (MaxTransitions != 0 && Current.numTransitions() > MaxTransitions);
@@ -262,8 +269,21 @@ Result<Nfa> mfsa::optimizeForMergingBudgeted(const Nfa &A, uint64_t MaxStates,
         std::to_string(MaxStates) + " / " + std::to_string(MaxTransitions) +
         ")");
   };
+  // Runs one pass, handing the before/after pair to the validation hook.
+  // The first hook failure wins; later passes still run (cheap, and the
+  // chain's shape stays identical with and without validation).
+  std::string ValidationError;
+  auto Step = [&](Nfa (*Pass)(const Nfa &), const char *Name,
+                  const Nfa &Input) -> Nfa {
+    Nfa Output = Pass(Input);
+    if (Validate && ValidationError.empty())
+      ValidationError = Validate(Name, Input, Output);
+    return Output;
+  };
 
-  Nfa Current = removeEpsilons(A);
+  Nfa Current = Step(removeEpsilons, "remove-epsilons", A);
+  if (!ValidationError.empty())
+    return Result<Nfa>::error(ValidationError);
   if (OverBudget(Current))
     return BudgetError(Current);
   // Folding and bisimulation merging enable each other: folding normalizes
@@ -273,12 +293,18 @@ Result<Nfa> mfsa::optimizeForMergingBudgeted(const Nfa &A, uint64_t MaxStates,
   for (;;) {
     uint32_t StatesBefore = Current.numStates();
     uint32_t TransBefore = Current.numTransitions();
-    Current = mergeBisimilarStates(foldMultiplicity(Current));
+    Current = Step(mergeBisimilarStates, "merge-bisimilar-states",
+                   Step(foldMultiplicity, "fold-multiplicity", Current));
+    if (!ValidationError.empty())
+      return Result<Nfa>::error(ValidationError);
     if (Current.numStates() == StatesBefore &&
         Current.numTransitions() == TransBefore)
       break;
   }
-  Current = compactReachable(foldMultiplicity(Current));
+  Current = Step(compactReachable, "compact-reachable",
+                 Step(foldMultiplicity, "fold-multiplicity", Current));
+  if (!ValidationError.empty())
+    return Result<Nfa>::error(ValidationError);
   if (OverBudget(Current))
     return BudgetError(Current);
   return Current;

@@ -31,6 +31,9 @@
 #include "fsa/Nfa.h"
 #include "support/Result.h"
 
+#include <functional>
+#include <string>
+
 namespace mfsa {
 
 /// Removes every ε-arc: δ'(q, c) = ∪ { δ(r, c) : r ∈ ε-closure(q) }, and a
@@ -70,6 +73,23 @@ Nfa optimizeForMerging(const Nfa &A);
 /// diagnostic instead of unbounded growth. 0 means unlimited for either cap.
 Result<Nfa> optimizeForMergingBudgeted(const Nfa &A, uint64_t MaxStates,
                                        uint64_t MaxTransitions);
+
+/// Translation-validation hook for the budgeted pass chain: called after
+/// each individual pass application with the pass name ("remove-epsilons",
+/// "fold-multiplicity", "merge-bisimilar-states", "compact-reachable") and
+/// the automaton before/after. A non-empty return string aborts the chain
+/// with that message as the diagnostic. Declared here (not in analysis/) so
+/// the fsa layer stays free of an analysis dependency — the pipeline binds
+/// it to analysis/TranslationValidate.h.
+using PassValidator =
+    std::function<std::string(const char *PassName, const Nfa &Before,
+                              const Nfa &After)>;
+
+/// optimizeForMergingBudgeted with a per-pass validation hook; a null
+/// \p Validate behaves exactly like the three-argument overload.
+Result<Nfa> optimizeForMergingBudgeted(const Nfa &A, uint64_t MaxStates,
+                                       uint64_t MaxTransitions,
+                                       const PassValidator &Validate);
 
 } // namespace mfsa
 

@@ -22,11 +22,11 @@ void Mfsa::addTransition(StateId From, StateId To, const SymbolSet &Label,
   Transitions.push_back(MfsaTransition{From, To, Label, std::move(Bel)});
 }
 
-Nfa Mfsa::extractRule(RuleId Id) const {
-  assert(Id < numRules() && "unknown rule");
-  const RuleInfo &Info = Rules[Id];
+Nfa Mfsa::projectBelonging(const DynamicBitset &Mask, StateId Initial,
+                           const std::vector<StateId> &Finals) const {
+  assert(Mask.size() == numRules() && "mask width mismatch");
 
-  // Gather the rule's transitions and the states they touch.
+  // Gather the masked transitions and the states they touch.
   constexpr StateId Unmapped = UINT32_MAX;
   std::vector<StateId> NewId(NumStatesValue, Unmapped);
   Nfa Out;
@@ -36,16 +36,24 @@ Nfa Mfsa::extractRule(RuleId Id) const {
     return NewId[S];
   };
 
-  // Map the initial state first so it exists even for a transition-less rule.
-  Out.setInitial(MapState(Info.Initial));
+  // Map the initial state first so it exists even for a transition-less
+  // projection.
+  Out.setInitial(MapState(Initial));
   for (const MfsaTransition &T : Transitions)
-    if (T.Bel.test(Id))
+    if (T.Bel.intersects(Mask))
       Out.addTransition(MapState(T.From), MapState(T.To), T.Label);
-  for (StateId F : Info.Finals)
+  for (StateId F : Finals)
     if (NewId[F] != Unmapped)
       Out.addFinal(NewId[F]);
-  Out.setAnchors(Info.AnchoredStart, Info.AnchoredEnd);
   Out.canonicalize();
+  return Out;
+}
+
+Nfa Mfsa::extractRule(RuleId Id) const {
+  assert(Id < numRules() && "unknown rule");
+  const RuleInfo &Info = Rules[Id];
+  Nfa Out = projectBelonging(makeBel(Id), Info.Initial, Info.Finals);
+  Out.setAnchors(Info.AnchoredStart, Info.AnchoredEnd);
   return Out;
 }
 

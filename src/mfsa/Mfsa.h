@@ -100,8 +100,19 @@ public:
   /// Extracts rule \p Id's own sub-automaton: the transitions whose `bel`
   /// contains Id, compacted and renumbered. By construction (no transition
   /// is removed nor changed, §III-A) this is isomorphic to the merged input
-  /// FSA — the property verifyAgainstInputs() checks.
+  /// FSA — the property verifyAgainstInputs() checks, and translation
+  /// validation (analysis/TranslationValidate.h) strengthens to a language
+  /// equivalence proof against the pre-merge FSA (Eq. 10).
   Nfa extractRule(RuleId Id) const;
+
+  /// Generalized belonging-set projection: materializes the sub-automaton
+  /// of the transitions whose `bel` intersects \p Mask (width numRules()),
+  /// renumbered compactly with \p Initial mapped first; \p Finals lists
+  /// final states in merged-graph ids (unreached ones are dropped). The
+  /// result carries no anchor flags — a multi-rule mask has no single
+  /// anchor semantics; extractRule(Id) restores the rule's own.
+  Nfa projectBelonging(const DynamicBitset &Mask, StateId Initial,
+                       const std::vector<StateId> &Finals) const;
 
   /// Checks that every rule's extractRule() image has exactly the state and
   /// transition counts of the corresponding input FSA (\p Inputs parallel

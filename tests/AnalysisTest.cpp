@@ -383,6 +383,36 @@ TEST(Lint, MergedUnreachableStateDetected) {
   EXPECT_TRUE(hasCheck(Diags, "lint.merge.unreachable-state"));
 }
 
+TEST(Lint, ExactProverFindsStructurallyDifferentDuplicates) {
+  // a{2,3} and aa|aaa denote the same language through different syntax;
+  // the antichain prover decides the pair exactly.
+  DiagnosticEngine Diags;
+  lintRuleset({"a{2,3}", "aa|aaa"}, LintOptions(), Diags);
+  const Finding &F = findCheck(Diags, "lint.duplicate-rule");
+  EXPECT_EQ(F.Span.Rule, 1u);
+  EXPECT_EQ(F.Method, "exact");
+}
+
+TEST(Lint, ExactSubsumptionProven) {
+  // ab ⊆ a[bc]. The old heuristic oracle was blind to this pair (the
+  // effective alphabets differ, so probing was skipped); the prover is not.
+  DiagnosticEngine Diags;
+  lintRuleset({"ab", "a[bc]"}, LintOptions(), Diags);
+  const Finding &F = findCheck(Diags, "lint.subsumed-rule");
+  EXPECT_EQ(F.Span.Rule, 0u);
+  EXPECT_EQ(F.Method, "exact");
+  EXPECT_NE(F.Message.find("inclusion proven"), std::string::npos)
+      << F.Message;
+}
+
+TEST(Lint, DisablingExactPathRestoresHeuristicBlindness) {
+  LintOptions Options;
+  Options.ExactCheckMaxStates = 0; // heuristic oracle only
+  DiagnosticEngine Diags;
+  lintRuleset({"ab", "a[bc]"}, Options, Diags);
+  EXPECT_FALSE(hasCheck(Diags, "lint.subsumed-rule")) << Diags.renderText();
+}
+
 TEST(Lint, JsonReportIsGolden) {
   // The exact --format=json document for a small fixture: field order,
   // escaping, and finding order are all contractual (docs/static-analysis.md).
@@ -399,7 +429,8 @@ TEST(Lint, JsonReportIsGolden) {
       "one\"},"
       "{\"severity\":\"warning\",\"check\":\"lint.duplicate-rule\","
       "\"message\":\"duplicate of rule 1: identical optimized automaton\","
-      "\"rule\":2,\"hint\":\"remove one of the two rules\"}"
+      "\"rule\":2,\"method\":\"exact\","
+      "\"hint\":\"remove one of the two rules\"}"
       "],\"errors\":0,\"warnings\":2}");
 }
 

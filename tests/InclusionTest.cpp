@@ -1,0 +1,258 @@
+//===- InclusionTest.cpp - antichain inclusion/equivalence prover tests ------===//
+//
+// Part of the mfsa project. MIT License.
+//
+// Three groups:
+//   - Inclusion/Equivalence: hand-picked pairs with known relations, raw
+//     ε-NFAs against their optimized forms, the resource-limit path.
+//   - Counterexamples: every refutation's witness word must replay as a
+//     real language difference through the independent acceptsWord oracle.
+//   - Properties: seeded random patterns — optimization preserves the
+//     language, and L(P) ⊆ L(P|Q) by construction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Inclusion.h"
+
+#include "fsa/Builder.h"
+#include "fsa/Passes.h"
+#include "regex/Parser.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace mfsa;
+using namespace mfsa::test;
+
+namespace {
+
+/// Parses + builds the raw Thompson ε-NFA; aborts the test on error.
+Nfa buildRaw(const std::string &Pattern) {
+  Result<Regex> Re = parseRegex(Pattern);
+  EXPECT_TRUE(Re.ok()) << Pattern;
+  Result<Nfa> Built = buildNfa(*Re);
+  EXPECT_TRUE(Built.ok()) << Pattern;
+  return Built.take();
+}
+
+/// Asserts L(A) ⊆ L(B) was refuted and the witness really separates the
+/// languages (accepted by A, rejected by B) per the replay oracle.
+void expectRefuted(const Nfa &A, const Nfa &B, const InclusionResult &R) {
+  ASSERT_EQ(R.Status, InclusionStatus::NotIncluded);
+  EXPECT_TRUE(acceptsWord(A, R.Counterexample))
+      << "witness not accepted by the left operand";
+  EXPECT_FALSE(acceptsWord(B, R.Counterexample))
+      << "witness accepted by the right operand";
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Inclusion on known pairs
+//===----------------------------------------------------------------------===//
+
+TEST(Inclusion, SubsetOfAlternation) {
+  Nfa A = compileOptimized("a");
+  Nfa B = compileOptimized("a|b");
+  EXPECT_TRUE(checkInclusion(A, B).included());
+  InclusionResult Back = checkInclusion(B, A);
+  expectRefuted(B, A, Back);
+  EXPECT_EQ(Back.Counterexample, "b"); // BFS => shortest witness
+}
+
+TEST(Inclusion, LiteralInStar) {
+  Nfa A = compileOptimized("aaa");
+  Nfa B = compileOptimized("a*");
+  EXPECT_TRUE(checkInclusion(A, B).included());
+  InclusionResult Back = checkInclusion(B, A);
+  expectRefuted(B, A, Back);
+  EXPECT_LT(Back.Counterexample.size(), 3u); // ε, "a" or "aa"
+}
+
+TEST(Inclusion, BoundedRepeatInUnbounded) {
+  Nfa A = compileOptimized("(ab){2,4}");
+  Nfa B = compileOptimized("(ab)+");
+  EXPECT_TRUE(checkInclusion(A, B).included());
+  expectRefuted(B, A, checkInclusion(B, A));
+}
+
+TEST(Inclusion, ClassesOverlapWithoutInclusion) {
+  Nfa A = compileOptimized("[ab]x");
+  Nfa B = compileOptimized("[bc]x");
+  expectRefuted(A, B, checkInclusion(A, B));
+  expectRefuted(B, A, checkInclusion(B, A));
+}
+
+TEST(Inclusion, EmptyLanguageIsIncludedInEverything) {
+  // `a` intersected away: a rule whose finals are unreachable after
+  // optimization still has states; build one by hand.
+  Nfa Empty;
+  StateId S0 = Empty.addState();
+  Empty.addState(); // final, but no arc reaches it
+  Empty.setInitial(S0);
+  Empty.addFinal(1);
+  Nfa B = compileOptimized("a");
+  EXPECT_TRUE(checkInclusion(Empty, B).included());
+  expectRefuted(B, Empty, checkInclusion(B, Empty));
+}
+
+TEST(Inclusion, EpsilonOnlyLanguage) {
+  Nfa A = compileOptimized("a?");
+  Nfa B = compileOptimized("a");
+  InclusionResult R = checkInclusion(A, B);
+  ASSERT_EQ(R.Status, InclusionStatus::NotIncluded);
+  EXPECT_EQ(R.Counterexample, ""); // ε ∈ L(a?) \ L(a), the shortest witness
+  EXPECT_TRUE(acceptsWord(A, ""));
+  EXPECT_FALSE(acceptsWord(B, ""));
+}
+
+TEST(Inclusion, ResourceLimitIsInconclusive) {
+  Nfa A = compileOptimized("(a|b)*abb");
+  Nfa B = compileOptimized("(a|b)*");
+  InclusionOptions Tiny;
+  Tiny.MaxMacrostates = 1;
+  InclusionResult R = checkInclusion(A, B, Tiny);
+  EXPECT_EQ(R.Status, InclusionStatus::ResourceLimit);
+  EXPECT_FALSE(R.conclusive());
+  // With the default cap the same query is decided.
+  EXPECT_TRUE(checkInclusion(A, B).included());
+}
+
+TEST(Inclusion, StatsAreAccountedFor) {
+  Nfa A = compileOptimized("(a|b)*abb");
+  Nfa B = compileOptimized("(a|b)*");
+  InclusionResult R = checkInclusion(A, B);
+  EXPECT_GT(R.Stats.MacrostatesExplored, 0u);
+  EXPECT_GT(R.Stats.AntichainPeak, 0u);
+  EXPECT_LE(R.Stats.AntichainPeak, R.Stats.MacrostatesExplored);
+}
+
+//===----------------------------------------------------------------------===//
+// Equivalence
+//===----------------------------------------------------------------------===//
+
+TEST(Equivalence, CommutedAlternationsAreEqual) {
+  EquivalenceResult R =
+      checkEquivalence(compileOptimized("(a|b)*"), compileOptimized("(b|a)*"));
+  EXPECT_TRUE(R.equal());
+  EXPECT_EQ(R.counterexample(), nullptr);
+}
+
+TEST(Equivalence, BoundedRepeatExpansion) {
+  EquivalenceResult R =
+      checkEquivalence(compileOptimized("a{2,3}"), compileOptimized("aa|aaa"));
+  EXPECT_TRUE(R.equal());
+}
+
+TEST(Equivalence, RawEpsilonNfaEqualsOptimized) {
+  // The prover must close over ε natively: compare the raw Thompson
+  // construction (ε-arcs everywhere) against the fully optimized pipeline
+  // output of the same pattern.
+  for (const char *Pattern : {"a(b|c)*d", "(ab|cd)+e?", "x{0,3}(y|z)"}) {
+    Nfa Raw = buildRaw(Pattern);
+    ASSERT_TRUE(Raw.hasEpsilons()) << Pattern;
+    EquivalenceResult R = checkEquivalence(Raw, optimizeForMerging(Raw));
+    EXPECT_TRUE(R.equal()) << Pattern;
+  }
+}
+
+TEST(Equivalence, RefutationLocatesTheLargerSide) {
+  Nfa A = compileOptimized("ab");
+  Nfa B = compileOptimized("ab|ac");
+  EquivalenceResult R = checkEquivalence(A, B);
+  ASSERT_EQ(R.Status, EquivalenceStatus::NotEqual);
+  // A ⊆ B holds; the witness must come from the B ⊄ A direction.
+  ASSERT_EQ(R.counterexample(), &R.BInA);
+  EXPECT_EQ(R.counterexample()->Counterexample, "ac");
+}
+
+//===----------------------------------------------------------------------===//
+// acceptsWord (the replay oracle itself)
+//===----------------------------------------------------------------------===//
+
+TEST(AcceptsWord, WholeWordSemantics) {
+  Nfa A = compileOptimized("ab");
+  EXPECT_TRUE(acceptsWord(A, "ab"));
+  EXPECT_FALSE(acceptsWord(A, "a"));   // prefix is not the word
+  EXPECT_FALSE(acceptsWord(A, "abb")); // substring match is not acceptance
+  EXPECT_FALSE(acceptsWord(A, ""));
+}
+
+TEST(AcceptsWord, ClosesOverEpsilons) {
+  Nfa Raw = buildRaw("(a|b)*c?");
+  EXPECT_TRUE(acceptsWord(Raw, ""));
+  EXPECT_TRUE(acceptsWord(Raw, "abba"));
+  EXPECT_TRUE(acceptsWord(Raw, "abc"));
+  EXPECT_FALSE(acceptsWord(Raw, "cc"));
+}
+
+//===----------------------------------------------------------------------===//
+// Properties over seeded random patterns
+//===----------------------------------------------------------------------===//
+
+TEST(InclusionProperty, OptimizationPreservesTheLanguage) {
+  for (uint64_t Seed = 7100; Seed < 7130; ++Seed) {
+    Rng Random(Seed);
+    std::string Pattern = randomPattern(Random);
+    Result<Regex> Re = parseRegex(Pattern);
+    ASSERT_TRUE(Re.ok()) << Pattern;
+    Result<Nfa> Raw = buildNfa(*Re);
+    if (!Raw.ok())
+      continue; // repeat bound over the builder limit; nothing to compare
+    EquivalenceResult R = checkEquivalence(*Raw, optimizeForMerging(*Raw));
+    ASSERT_TRUE(R.conclusive()) << "seed " << Seed << " pattern " << Pattern;
+    EXPECT_TRUE(R.equal()) << "seed " << Seed << " pattern " << Pattern;
+  }
+}
+
+TEST(InclusionProperty, OperandIsIncludedInItsAlternation) {
+  for (uint64_t Seed = 7200; Seed < 7225; ++Seed) {
+    Rng Random(Seed);
+    std::string P = randomPattern(Random, /*MaxDepth=*/3);
+    std::string Q = randomPattern(Random, /*MaxDepth=*/3);
+    Result<Regex> ReP = parseRegex(P);
+    Result<Regex> ReBoth = parseRegex("(" + P + ")|(" + Q + ")");
+    ASSERT_TRUE(ReP.ok() && ReBoth.ok()) << P << " | " << Q;
+    Result<Nfa> NfaP = buildNfa(*ReP);
+    Result<Nfa> NfaBoth = buildNfa(*ReBoth);
+    if (!NfaP.ok() || !NfaBoth.ok())
+      continue;
+    InclusionResult R =
+        checkInclusion(optimizeForMerging(*NfaP), optimizeForMerging(*NfaBoth));
+    ASSERT_TRUE(R.conclusive()) << "seed " << Seed;
+    EXPECT_TRUE(R.included()) << "seed " << Seed << " P=" << P << " Q=" << Q;
+  }
+}
+
+TEST(InclusionProperty, RefutationsReplayThroughTheOracle) {
+  // Distinct random patterns are usually inequivalent; whenever the prover
+  // says so, the witness must be a genuine one-sided word.
+  unsigned Refutations = 0;
+  for (uint64_t Seed = 7300; Seed < 7330; ++Seed) {
+    Rng Random(Seed);
+    std::string P = randomPattern(Random, /*MaxDepth=*/3);
+    std::string Q = randomPattern(Random, /*MaxDepth=*/3);
+    Result<Regex> ReP = parseRegex(P);
+    Result<Regex> ReQ = parseRegex(Q);
+    ASSERT_TRUE(ReP.ok() && ReQ.ok());
+    Result<Nfa> NfaP = buildNfa(*ReP);
+    Result<Nfa> NfaQ = buildNfa(*ReQ);
+    if (!NfaP.ok() || !NfaQ.ok())
+      continue;
+    Nfa A = optimizeForMerging(*NfaP);
+    Nfa B = optimizeForMerging(*NfaQ);
+    EquivalenceResult R = checkEquivalence(A, B);
+    const InclusionResult *Cex = R.counterexample();
+    if (!Cex)
+      continue;
+    ++Refutations;
+    const Nfa &Accepts = (Cex == &R.AInB) ? A : B;
+    const Nfa &Rejects = (Cex == &R.AInB) ? B : A;
+    EXPECT_TRUE(acceptsWord(Accepts, Cex->Counterexample))
+        << "seed " << Seed << " P=" << P << " Q=" << Q;
+    EXPECT_FALSE(acceptsWord(Rejects, Cex->Counterexample))
+        << "seed " << Seed << " P=" << P << " Q=" << Q;
+  }
+  EXPECT_GT(Refutations, 5u) << "the seed band stopped producing refutations";
+}

@@ -208,7 +208,8 @@ TEST(CompileTelemetry, ExportIsByteStableModuloTimings) {
   std::string A = maskTimings(Export(), &MaskedA);
   std::string B = maskTimings(Export(), &MaskedB);
   EXPECT_EQ(A, B) << "compile telemetry not deterministic modulo timings";
-  EXPECT_EQ(MaskedA, 5u) << "one wall_ns gauge per pipeline stage";
+  EXPECT_EQ(MaskedA, 6u)
+      << "one wall_ns gauge per pipeline stage plus the validation proofs";
   EXPECT_EQ(MaskedA, MaskedB);
 
   // Every stage exports the full metric family.
@@ -222,6 +223,7 @@ TEST(CompileTelemetry, ExportIsByteStableModuloTimings) {
           << Stage << "." << Field;
   EXPECT_NE(A.find("\"compile.quarantined_rules\": 0"), std::string::npos);
   EXPECT_NE(A.find("\"compile.peak.merged_states\""), std::string::npos);
+  EXPECT_NE(A.find("\"analysis.inclusion.proofs\""), std::string::npos);
 }
 
 //===----------------------------------------------------------------------===//
