@@ -5,18 +5,24 @@
 // Command-line matcher, the analogue of the artifact's multithreaded_imfant:
 //
 //   $ ./imfant_run -t 4 -r 15 stream.bin out.anml [more.anml ...]
+//   $ ./imfant_run --load-artifact rules.mfsa stream.bin
 //
-// loads extended-ANML automata, scans the stream with T worker threads
-// pulling automata from a shared queue (paper §VI-C2), and prints the best
-// matching time over R repetitions (the artifact's -DREPS) and per-automaton
-// match counts.
+// loads extended-ANML automata — or a compiled binary artifact (mfsac
+// --emit-artifact) with corruption-hardened validation and optional
+// recompile fallback — scans the stream with T worker threads pulling
+// automata from a shared queue (paper §VI-C2), and prints the best matching
+// time over R repetitions (the artifact's -DREPS) and per-automaton match
+// counts.
 //
 //===----------------------------------------------------------------------===//
 
 #include "anml/Anml.h"
+#include "artifact/Reader.h"
 #include "engine/Imfant.h"
 #include "engine/Parallel.h"
 #include "obs/Metrics.h"
+
+#include "CliInput.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -30,13 +36,25 @@ static void usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s [-t threads] [-r reps] [-v] stream.bin "
                "mfsa.anml [...]\n"
+               "       %s [options] --load-artifact rules.mfsa stream.bin\n"
                "  -t threads  worker threads (default 1)\n"
                "  -r reps     timed repetitions, best-of (default 1)\n"
                "  -v          print every (rule, offset) match pair\n"
+               "  --load-artifact path  load compiled MFSAs from a binary\n"
+               "              artifact (validated end to end before use)\n"
+               "  --fallback-rules file  if the artifact is rejected,\n"
+               "              recompile these rules instead of failing\n"
+               "  --spot-check  also prove sampled artifact rules' languages\n"
+               "              against a fresh compile of the embedded "
+               "patterns\n"
                "  --metrics   dump scan instrumentation after the run "
                "(text; --metrics=json for JSON; counters need a build "
-               "with MFSA_METRICS=1 or asserts)\n",
-               Prog);
+               "with MFSA_METRICS=1 or asserts)\n"
+               "exit codes: 0 ok, 1 error, 2 usage, 3 missing/unreadable "
+               "input,\n"
+               "            4 empty input, 5 artifact rejected with no "
+               "usable fallback\n",
+               Prog, Prog);
 }
 
 int main(int argc, char **argv) {
@@ -45,6 +63,9 @@ int main(int argc, char **argv) {
   bool Verbose = false;
   bool Metrics = false;
   bool MetricsJson = false;
+  bool SpotCheck = false;
+  std::string ArtifactPath;
+  std::string FallbackRulesPath;
   std::vector<std::string> Paths;
 
   for (int I = 1; I < argc; ++I) {
@@ -54,44 +75,80 @@ int main(int argc, char **argv) {
       Reps = std::max(1, std::atoi(argv[++I]));
     else if (!std::strcmp(argv[I], "-v"))
       Verbose = true;
+    else if (!std::strcmp(argv[I], "--load-artifact") && I + 1 < argc)
+      ArtifactPath = argv[++I];
+    else if (!std::strcmp(argv[I], "--fallback-rules") && I + 1 < argc)
+      FallbackRulesPath = argv[++I];
+    else if (!std::strcmp(argv[I], "--spot-check"))
+      SpotCheck = true;
     else if (!std::strcmp(argv[I], "--metrics"))
       Metrics = true;
     else if (!std::strcmp(argv[I], "--metrics=json"))
       Metrics = MetricsJson = true;
     else if (argv[I][0] == '-') {
       usage(argv[0]);
-      return 2;
+      return cli::kExitUsage;
     } else
       Paths.push_back(argv[I]);
   }
-  if (Paths.size() < 2) {
+  const size_t WantPaths = ArtifactPath.empty() ? 2 : 1;
+  if (Paths.size() < WantPaths ||
+      (!ArtifactPath.empty() && Paths.size() != 1)) {
     usage(argv[0]);
-    return 2;
+    return cli::kExitUsage;
   }
 
-  Result<std::string> Stream = loadFile(Paths[0]);
-  if (!Stream.ok()) {
-    std::fprintf(stderr, "error: %s\n", Stream.diag().render().c_str());
-    return 1;
-  }
+  std::string Stream;
+  if (int Rc = cli::readInputFile(Paths[0], "input stream", Stream))
+    return Rc;
+
+  // The registry exists unconditionally so the artifact loader's
+  // `artifact.load.*` / `artifact.fallback.*` metrics are counted whether or
+  // not --metrics later dumps them.
+  obs::MetricsRegistry Registry;
 
   std::vector<ImfantEngine> Engines;
-  for (size_t I = 1; I < Paths.size(); ++I) {
-    Result<std::string> Doc = loadFile(Paths[I]);
-    if (!Doc.ok()) {
-      std::fprintf(stderr, "error: %s\n", Doc.diag().render().c_str());
-      return 1;
+  std::vector<std::string> EngineNames;
+  if (!ArtifactPath.empty()) {
+    std::vector<std::string> FallbackRules;
+    if (!FallbackRulesPath.empty())
+      if (int Rc = cli::readRulesFile(FallbackRulesPath, FallbackRules))
+        return Rc;
+    artifact::LoadOptions LoadOptions;
+    LoadOptions.SpotCheckValidate = SpotCheck;
+    Result<artifact::RecoveredRuleset> Recovered =
+        artifact::loadArtifactOrRecompile(ArtifactPath, FallbackRules, {},
+                                          LoadOptions, &Registry);
+    if (!Recovered.ok()) {
+      std::fprintf(stderr, "error: %s\n", Recovered.diag().render().c_str());
+      return FallbackRules.empty() ? cli::kExitArtifactRejected
+                                   : cli::kExitRuntime;
     }
-    Result<Mfsa> Z = readAnml(*Doc);
-    if (!Z.ok()) {
-      std::fprintf(stderr, "error: %s: %s\n", Paths[I].c_str(),
-                   Z.diag().render().c_str());
-      return 1;
+    if (!Recovered->FromArtifact)
+      std::fprintf(stderr,
+                   "warning: artifact rejected, recompiled %zu fallback "
+                   "rule(s): %s\n",
+                   FallbackRules.size(), Recovered->FallbackReason.c_str());
+    for (size_t I = 0; I < Recovered->Mfsas.size(); ++I) {
+      Engines.emplace_back(Recovered->Mfsas[I]);
+      EngineNames.push_back(ArtifactPath + "[" + std::to_string(I) + "]");
     }
-    Engines.emplace_back(*Z);
+  } else {
+    for (size_t I = 1; I < Paths.size(); ++I) {
+      std::string Doc;
+      if (int Rc = cli::readInputFile(Paths[I], "ANML file", Doc))
+        return Rc;
+      Result<Mfsa> Z = readAnml(Doc);
+      if (!Z.ok()) {
+        std::fprintf(stderr, "error: %s: %s\n", Paths[I].c_str(),
+                     Z.diag().render().c_str());
+        return cli::kExitRuntime;
+      }
+      Engines.emplace_back(*Z);
+      EngineNames.push_back(Paths[I]);
+    }
   }
 
-  obs::MetricsRegistry Registry;
   if (Metrics)
     for (ImfantEngine &Engine : Engines)
       Engine.setMetrics(&Registry);
@@ -102,25 +159,24 @@ int main(int argc, char **argv) {
     Recorders.emplace_back(Verbose ? MatchRecorder::Mode::Collect
                                    : MatchRecorder::Mode::CountOnly);
 
-  ParallelRunResult Result =
-      runParallel(Engines, *Stream, Threads, &Recorders);
+  ParallelRunResult Result = runParallel(Engines, Stream, Threads, &Recorders);
   for (unsigned Rep = 1; Rep < Reps; ++Rep) {
-    ParallelRunResult Again = runParallel(Engines, *Stream, Threads);
+    ParallelRunResult Again = runParallel(Engines, Stream, Threads);
     if (Again.WallSeconds < Result.WallSeconds)
       Result.WallSeconds = Again.WallSeconds;
   }
 
   std::printf("scanned %zu bytes with %zu automaton/automata on %u "
               "thread(s)\n",
-              Stream->size(), Engines.size(), Threads);
+              Stream.size(), Engines.size(), Threads);
   std::printf("matching time: %.6f s (%.2f MB/s aggregate)\n",
               Result.WallSeconds,
-              static_cast<double>(Stream->size()) * Engines.size() /
+              static_cast<double>(Stream.size()) * Engines.size() /
                   (Result.WallSeconds * 1e6));
   std::printf("total matches: %lu\n",
               static_cast<unsigned long>(Result.TotalMatches));
   for (size_t I = 0; I < Recorders.size(); ++I) {
-    std::printf("  %s: %lu matches\n", Paths[I + 1].c_str(),
+    std::printf("  %s: %lu matches\n", EngineNames[I].c_str(),
                 static_cast<unsigned long>(Recorders[I].total()));
     if (Verbose)
       for (const auto &[Rule, End] : Recorders[I].matches())

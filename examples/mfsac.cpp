@@ -16,13 +16,15 @@
 //===----------------------------------------------------------------------===//
 
 #include "anml/Anml.h"
+#include "artifact/Writer.h"
 #include "compiler/Pipeline.h"
 #include "obs/Metrics.h"
 #include "workload/Clustering.h"
 
+#include "CliInput.h"
+
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <string>
 #include <vector>
 
@@ -34,6 +36,10 @@ static void usage(const char *Prog) {
                "[-i] rules.txt\n"
                "  -M factor   merging factor (default 0 = merge all)\n"
                "  -o outdir   directory for the .anml outputs (default .)\n"
+               "  --emit-artifact path  also write the compiled MFSAs as one\n"
+               "              mmap-able binary artifact (crash-safe atomic "
+               "replace;\n"
+               "              docs/artifact-format.md)\n"
                "  --no-anml   skip ANML emission (compression study only)\n"
                "  --cluster   group rules by similarity, not file order\n"
                "  -i          case-insensitive matching\n"
@@ -50,13 +56,16 @@ static void usage(const char *Prog) {
                "MFSA_VALIDATE\n"
                "              and the Debug-build default)\n"
                "  --metrics   dump per-stage compile telemetry (text; "
-               "--metrics=json for JSON)\n",
+               "--metrics=json for JSON)\n"
+               "exit codes: 0 ok, 1 error, 2 usage, 3 missing/unreadable "
+               "input, 4 empty input\n",
                Prog);
 }
 
 int main(int argc, char **argv) {
   uint32_t MergingFactor = 0;
   std::string OutDir = ".";
+  std::string ArtifactPath;
   std::string RulesPath;
   bool EmitAnml = true;
   bool Cluster = false;
@@ -74,6 +83,8 @@ int main(int argc, char **argv) {
       MergingFactor = static_cast<uint32_t>(std::atoi(argv[++I]));
     else if (!std::strcmp(argv[I], "-o") && I + 1 < argc)
       OutDir = argv[++I];
+    else if (!std::strcmp(argv[I], "--emit-artifact") && I + 1 < argc)
+      ArtifactPath = argv[++I];
     else if (!std::strcmp(argv[I], "--no-anml"))
       EmitAnml = false;
     else if (!std::strcmp(argv[I], "--cluster"))
@@ -102,25 +113,12 @@ int main(int argc, char **argv) {
   }
   if (RulesPath.empty()) {
     usage(argv[0]);
-    return 2;
+    return cli::kExitUsage;
   }
 
-  std::ifstream RulesFile(RulesPath);
-  if (!RulesFile) {
-    std::fprintf(stderr, "error: cannot open %s\n", RulesPath.c_str());
-    return 1;
-  }
   std::vector<std::string> Rules;
-  std::string Line;
-  while (std::getline(RulesFile, Line)) {
-    if (Line.empty() || Line[0] == '#')
-      continue;
-    Rules.push_back(Line);
-  }
-  if (Rules.empty()) {
-    std::fprintf(stderr, "error: no rules in %s\n", RulesPath.c_str());
-    return 1;
-  }
+  if (int Rc = cli::readRulesFile(RulesPath, Rules))
+    return Rc;
 
   if (Isolate && Cluster) {
     // Clustering regroups by position in the original rule list; mixing it
@@ -236,6 +234,24 @@ int main(int argc, char **argv) {
     }
     std::printf("wrote %zu DOT file(s) to %s\n", Artifacts->Mfsas.size(),
                 OutDir.c_str());
+  }
+  if (!ArtifactPath.empty()) {
+    artifact::ArtifactWriteOptions WriteOptions;
+    WriteOptions.CaseInsensitive = CaseInsensitive;
+    WriteOptions.SplitCcByAtoms = Options.SplitCcByAtoms;
+    WriteOptions.MergingFactor = MergingFactor;
+    // Rules (the full original list) is what GlobalIds index, also under
+    // --isolate where some rules were quarantined out of the MFSAs.
+    Result<uint64_t> Written = artifact::writeArtifactFile(
+        ArtifactPath, Artifacts->Mfsas, Rules, WriteOptions);
+    if (!Written.ok()) {
+      std::fprintf(stderr, "error: cannot write artifact %s: %s\n",
+                   ArtifactPath.c_str(), Written.diag().render().c_str());
+      return cli::kExitRuntime;
+    }
+    std::printf("wrote artifact %s (%lu bytes, %zu MFSA(s))\n",
+                ArtifactPath.c_str(), static_cast<unsigned long>(*Written),
+                Artifacts->Mfsas.size());
   }
   return 0;
 }

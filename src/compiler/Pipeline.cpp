@@ -28,6 +28,7 @@
 #include "fsa/AlphabetPartition.h"
 #include "fsa/Passes.h"
 #include "obs/Metrics.h"
+#include "support/FaultInject.h"
 
 #include <algorithm>
 #include <cstdlib>
@@ -53,52 +54,21 @@ const char *mfsa::stageName(CompileStage Stage) {
 
 namespace {
 
-/// Parsed MFSA_FAULT_STAGE="<stage>:<rule>" (test-only deterministic fault
-/// injection; see Pipeline.h). Re-read on every compileRuleset call so tests
-/// can toggle it between compilations.
-struct FaultSpec {
-  bool Active = false;
-  CompileStage Stage = CompileStage::FrontEnd;
-  uint32_t Rule = 0;
-};
-
-FaultSpec readFaultSpec() {
-  FaultSpec Spec;
-  const char *Env = std::getenv("MFSA_FAULT_STAGE");
-  if (!Env || !*Env)
-    return Spec;
-  const std::string Text(Env);
-  const size_t Colon = Text.find(':');
-  if (Colon == std::string::npos)
-    return Spec;
-  const std::string Stage = Text.substr(0, Colon);
-  if (Stage == "parse")
-    Spec.Stage = CompileStage::FrontEnd;
-  else if (Stage == "build")
-    Spec.Stage = CompileStage::AstToFsa;
-  else if (Stage == "opt")
-    Spec.Stage = CompileStage::SingleOpt;
-  else if (Stage == "merge")
-    Spec.Stage = CompileStage::Merging;
-  else
-    return Spec;
-  uint64_t Rule = 0;
-  for (size_t I = Colon + 1; I < Text.size(); ++I) {
-    if (Text[I] < '0' || Text[I] > '9')
-      return Spec;
-    Rule = Rule * 10 + static_cast<uint64_t>(Text[I] - '0');
-    if (Rule > UINT32_MAX)
-      return Spec;
+/// Maps a pipeline stage to its MFSA_FAULT_STAGE injection point (stage 5
+/// has no injection point; the hook predates it and nothing needs one).
+FaultPoint toFaultPoint(CompileStage Stage) {
+  switch (Stage) {
+  case CompileStage::FrontEnd:
+    return FaultPoint::Parse;
+  case CompileStage::AstToFsa:
+    return FaultPoint::Build;
+  case CompileStage::SingleOpt:
+    return FaultPoint::Opt;
+  case CompileStage::Merging:
+  case CompileStage::BackEnd:
+    return FaultPoint::Merge;
   }
-  if (Colon + 1 == Text.size())
-    return Spec;
-  Spec.Rule = static_cast<uint32_t>(Rule);
-  Spec.Active = true;
-  return Spec;
-}
-
-Diag injectedFault() {
-  return Diag("injected fault (MFSA_FAULT_STAGE)", static_cast<size_t>(-1));
+  return FaultPoint::Parse;
 }
 
 /// MFSA_VALIDATE environment override: 1 = force on, 0 = force off,
@@ -212,7 +182,7 @@ mfsa::compileRuleset(const std::vector<std::string> &Patterns,
       Options.Validate, Patterns.size(), Options.ValidateAutoMaxRules);
 
   auto Injected = [&](CompileStage S, uint32_t OriginalId) {
-    return Fault.Active && Fault.Stage == S && Fault.Rule == OriginalId;
+    return Fault.at(toFaultPoint(S), OriginalId);
   };
 
   // Quarantines under Isolate; under Strict stores the batch-failing

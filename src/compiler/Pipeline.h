@@ -286,7 +286,8 @@ struct CompileArtifacts {
 /// variable MFSA_FAULT_STAGE="<stage>:<rule>" with stage one of
 /// parse|build|opt|merge makes that original rule index fail at that stage
 /// as if it were malformed, so the isolation paths are exercisable without
-/// crafting pathological REs.
+/// crafting pathological REs. The same hook covers the artifact path with
+/// the serialize|load stages (support/FaultInject.h has the full catalog).
 Result<CompileArtifacts> compileRuleset(const std::vector<std::string> &Patterns,
                                         const CompileOptions &Options = {});
 

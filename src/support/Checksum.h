@@ -1,0 +1,35 @@
+//===- Checksum.h - CRC32C integrity checksums ------------------*- C++ -*-===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Declares crc32c(), the integrity checksum guarding the MFSA artifact
+/// format (src/artifact/). CRC32C (Castagnoli, reflected polynomial
+/// 0x82F63B78) is the iSCSI/ext4/RocksDB checksum: strong enough to catch
+/// every single-bit flip and short burst error a storage or transport layer
+/// can introduce, and cheap enough to verify on every load. The
+/// implementation is a portable slice-by-one table walk — artifact loads
+/// checksum megabytes, not gigabytes, so the simple loop keeps the support
+/// layer free of ISA-specific code (the SSE4.2 CRC32 instruction would go
+/// through support/SimdDispatch.h if load bandwidth ever matters).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MFSA_SUPPORT_CHECKSUM_H
+#define MFSA_SUPPORT_CHECKSUM_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mfsa {
+
+/// CRC32C of \p Bytes bytes at \p Data. \p Seed chains multi-buffer
+/// checksums: pass the previous call's result to continue a running CRC
+/// (0 starts a fresh one).
+uint32_t crc32c(const void *Data, size_t Bytes, uint32_t Seed = 0);
+
+} // namespace mfsa
+
+#endif // MFSA_SUPPORT_CHECKSUM_H

@@ -61,6 +61,14 @@ public:
     return S;
   }
 
+  /// Reconstructs a set from its four raw words (artifact deserialization;
+  /// inverse of words()).
+  static SymbolSet fromWords(const std::array<uint64_t, NumWords> &W) {
+    SymbolSet S;
+    S.Words = W;
+    return S;
+  }
+
   /// Creates a set from every byte of \p Chars.
   static SymbolSet of(const std::string &Chars) {
     SymbolSet S;
@@ -165,6 +173,9 @@ public:
   /// Renders the set as a human-readable label: a bare escaped character for
   /// singletons, or a bracketed class with ranges (e.g. `[a-f0-9]`).
   std::string toString() const;
+
+  /// Raw word access for flat serialization (artifact label pool).
+  const std::array<uint64_t, NumWords> &words() const { return Words; }
 
 private:
   std::array<uint64_t, NumWords> Words;
