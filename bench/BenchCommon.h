@@ -210,6 +210,14 @@ public:
                                       jsonEscape(Unit) + "\"");
   }
 
+  /// Attaches one planner decision trace (EnginePlan::explainJson()) under
+  /// the report's top-level "plans" object, keyed by \p Key. \p RawJson must
+  /// be a complete JSON value; it is embedded verbatim. The object is
+  /// omitted when no bench calls this, keeping older reports byte-stable.
+  void plan(const std::string &Key, const std::string &RawJson) {
+    Plans.emplace_back(Key, RawJson);
+  }
+
   std::string path() const {
     const char *Dir = std::getenv("MFSA_BENCH_JSON_DIR");
     std::string Base = (Dir && *Dir) ? std::string(Dir) + "/" : std::string();
@@ -249,8 +257,16 @@ public:
       std::fprintf(F, "%s\n    {\"name\": \"%s\", \"value\": %s}",
                    I ? "," : "", jsonEscape(Results[I].first).c_str(),
                    Results[I].second.c_str());
-    std::fprintf(F, "\n  ],\n  \"metrics\": %s\n}\n",
-                 Registry.toJson().c_str());
+    std::fprintf(F, "\n  ],\n");
+    if (!Plans.empty()) {
+      std::fprintf(F, "  \"plans\": {");
+      for (size_t I = 0; I < Plans.size(); ++I)
+        std::fprintf(F, "%s\n    \"%s\": %s", I ? "," : "",
+                     jsonEscape(Plans[I].first).c_str(),
+                     Plans[I].second.c_str());
+      std::fprintf(F, "\n  },\n");
+    }
+    std::fprintf(F, "  \"metrics\": %s\n}\n", Registry.toJson().c_str());
     std::fclose(F);
     std::printf("\nwrote %s\n", path().c_str());
   }
@@ -261,6 +277,7 @@ private:
   std::string PaperRef;
   std::vector<std::pair<std::string, std::string>> Config;
   std::vector<std::pair<std::string, std::string>> Results;
+  std::vector<std::pair<std::string, std::string>> Plans;
   obs::MetricsRegistry Registry;
 };
 

@@ -23,6 +23,8 @@
 #ifndef MFSA_EXAMPLES_CLIINPUT_H
 #define MFSA_EXAMPLES_CLIINPUT_H
 
+#include "analysis/Planner.h"
+
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -100,6 +102,19 @@ inline int readRulesFile(const std::string &Path,
     return kExitEmptyInput;
   }
   return kExitOk;
+}
+
+/// Parses an `--engine <name>` value shared by imfant_run, mfsac, and the
+/// benches. Returns kExitOk with \p Out set, or prints the one canonical
+/// "error: ..." line and returns kExitUsage.
+inline int parseEngineFlag(const char *Value, Engine &Out) {
+  if (Value && engineFromName(Value, Out))
+    return kExitOk;
+  std::fprintf(stderr,
+               "error: unknown engine '%s' (expected "
+               "auto|dense|sparse|dfa|stride2|prefilter)\n",
+               Value ? Value : "");
+  return kExitUsage;
 }
 
 } // namespace mfsa::cli

@@ -20,7 +20,9 @@
 #include "artifact/Reader.h"
 #include "engine/Imfant.h"
 #include "engine/Parallel.h"
+#include "engine/PlannedEngine.h"
 #include "obs/Metrics.h"
+#include "support/Timer.h"
 
 #include "CliInput.h"
 
@@ -47,6 +49,11 @@ static void usage(const char *Prog) {
                "  --spot-check  also prove sampled artifact rules' languages\n"
                "              against a fresh compile of the embedded "
                "patterns\n"
+               "  --engine e  execution engine: auto|dense|sparse|dfa|\n"
+               "              stride2|prefilter (default dense; auto asks\n"
+               "              the static cost planner)\n"
+               "  --explain-plan  with --engine auto, print the planner's\n"
+               "              JSON decision trace before running\n"
                "  --metrics   dump scan instrumentation after the run "
                "(text; --metrics=json for JSON; counters need a build "
                "with MFSA_METRICS=1 or asserts)\n"
@@ -64,6 +71,8 @@ int main(int argc, char **argv) {
   bool Metrics = false;
   bool MetricsJson = false;
   bool SpotCheck = false;
+  bool ExplainPlan = false;
+  Engine EngineChoice = Engine::ImfantDense;
   std::string ArtifactPath;
   std::string FallbackRulesPath;
   std::vector<std::string> Paths;
@@ -81,6 +90,11 @@ int main(int argc, char **argv) {
       FallbackRulesPath = argv[++I];
     else if (!std::strcmp(argv[I], "--spot-check"))
       SpotCheck = true;
+    else if (!std::strcmp(argv[I], "--engine") && I + 1 < argc) {
+      if (int Rc = cli::parseEngineFlag(argv[++I], EngineChoice))
+        return Rc;
+    } else if (!std::strcmp(argv[I], "--explain-plan"))
+      ExplainPlan = true;
     else if (!std::strcmp(argv[I], "--metrics"))
       Metrics = true;
     else if (!std::strcmp(argv[I], "--metrics=json"))
@@ -107,8 +121,11 @@ int main(int argc, char **argv) {
   // not --metrics later dumps them.
   obs::MetricsRegistry Registry;
 
-  std::vector<ImfantEngine> Engines;
-  std::vector<std::string> EngineNames;
+  // Both input paths produce merged MFSAs (plus, when the artifact embeds
+  // them, the original patterns) so every engine choice shares one setup.
+  std::vector<Mfsa> Mfsas;
+  std::vector<std::string> MfsaNames;
+  std::vector<std::string> RulePatterns;
   if (!ArtifactPath.empty()) {
     std::vector<std::string> FallbackRules;
     if (!FallbackRulesPath.empty())
@@ -129,10 +146,10 @@ int main(int argc, char **argv) {
                    "warning: artifact rejected, recompiled %zu fallback "
                    "rule(s): %s\n",
                    FallbackRules.size(), Recovered->FallbackReason.c_str());
-    for (size_t I = 0; I < Recovered->Mfsas.size(); ++I) {
-      Engines.emplace_back(Recovered->Mfsas[I]);
-      EngineNames.push_back(ArtifactPath + "[" + std::to_string(I) + "]");
-    }
+    RulePatterns = std::move(Recovered->Patterns);
+    Mfsas = std::move(Recovered->Mfsas);
+    for (size_t I = 0; I < Mfsas.size(); ++I)
+      MfsaNames.push_back(ArtifactPath + "[" + std::to_string(I) + "]");
   } else {
     for (size_t I = 1; I < Paths.size(); ++I) {
       std::string Doc;
@@ -144,9 +161,69 @@ int main(int argc, char **argv) {
                      Z.diag().render().c_str());
         return cli::kExitRuntime;
       }
-      Engines.emplace_back(*Z);
-      EngineNames.push_back(Paths[I]);
+      Mfsas.push_back(std::move(*Z));
+      MfsaNames.push_back(Paths[I]);
     }
+  }
+
+  // Resolve --engine auto through the static cost planner, then run any
+  // non-dense choice through the uniform PlannedEngineSet driver (group-
+  // sequential, single-threaded). The dense default keeps the historical
+  // multithreaded runParallel path below.
+  if (EngineChoice != Engine::ImfantDense) {
+    EnginePlan Plan;
+    if (EngineChoice == Engine::Auto) {
+      PlannerOptions PO;
+      PO.AllowPrefilter = !RulePatterns.empty();
+      Plan = planMfsas(Mfsas, RulePatterns, 0, PO);
+      if (ExplainPlan)
+        std::printf("%s\n", Plan.explainJson().c_str());
+      if (Metrics)
+        Plan.recordTo(Registry);
+      EngineChoice = Plan.Choice;
+    }
+    Result<PlannedEngineSet> Set =
+        PlannedEngineSet::create(EngineChoice, Mfsas, RulePatterns);
+    if (!Set.ok()) {
+      std::fprintf(stderr,
+                   "warning: %s engine unavailable (%s); falling back to "
+                   "dense\n",
+                   engineName(EngineChoice), Set.diag().render().c_str());
+      EngineChoice = Engine::ImfantDense;
+    } else {
+      MatchRecorder Recorder(Verbose ? MatchRecorder::Mode::Collect
+                                     : MatchRecorder::Mode::CountOnly);
+      Timer Clock;
+      Set->run(Stream, Recorder);
+      double Best = Clock.elapsedNs() * 1e-9;
+      for (unsigned Rep = 1; Rep < Reps; ++Rep) {
+        MatchRecorder Again(MatchRecorder::Mode::CountOnly);
+        Clock.reset();
+        Set->run(Stream, Again);
+        Best = std::min(Best, Clock.elapsedNs() * 1e-9);
+      }
+      std::printf("scanned %zu bytes with the %s engine (%zu group(s))\n",
+                  Stream.size(), engineName(EngineChoice), Set->numGroups());
+      std::printf("matching time: %.6f s (%.2f MB/s)\n", Best,
+                  static_cast<double>(Stream.size()) / (Best * 1e6));
+      std::printf("total matches: %lu\n",
+                  static_cast<unsigned long>(Recorder.total()));
+      if (Verbose)
+        for (const auto &[Rule, End] : Recorder.matches())
+          std::printf("    rule %u @ %lu\n", Rule,
+                      static_cast<unsigned long>(End));
+      if (Metrics)
+        std::printf("%s", MetricsJson ? Registry.toJson().c_str()
+                                      : Registry.toText().c_str());
+      return 0;
+    }
+  }
+
+  std::vector<ImfantEngine> Engines;
+  std::vector<std::string> EngineNames;
+  for (size_t I = 0; I < Mfsas.size(); ++I) {
+    Engines.emplace_back(Mfsas[I]);
+    EngineNames.push_back(MfsaNames[I]);
   }
 
   if (Metrics)

@@ -25,6 +25,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -55,6 +56,15 @@ static void usage(const char *Prog) {
                "  --no-validate  force translation validation off (overrides "
                "MFSA_VALIDATE\n"
                "              and the Debug-build default)\n"
+               "  --plan      run the static cost planner over the compiled\n"
+               "              ruleset (trial merges at K=1, 50, all) and "
+               "print\n"
+               "              the chosen engine/merging factor\n"
+               "  --explain-plan  like --plan, plus the full JSON decision "
+               "trace\n"
+               "  --engine e  pin the planned engine: auto|dense|sparse|dfa|\n"
+               "              stride2|prefilter (default auto = let the\n"
+               "              planner choose)\n"
                "  --metrics   dump per-stage compile telemetry (text; "
                "--metrics=json for JSON)\n"
                "exit codes: 0 ok, 1 error, 2 usage, 3 missing/unreadable "
@@ -77,6 +87,9 @@ int main(int argc, char **argv) {
   bool NoValidate = false;
   bool Metrics = false;
   bool MetricsJson = false;
+  bool Plan = false;
+  bool ExplainPlan = false;
+  Engine EngineChoice = Engine::Auto;
 
   for (int I = 1; I < argc; ++I) {
     if (!std::strcmp(argv[I], "-M") && I + 1 < argc)
@@ -105,7 +118,14 @@ int main(int argc, char **argv) {
       Metrics = true;
     else if (!std::strcmp(argv[I], "--metrics=json"))
       Metrics = MetricsJson = true;
-    else if (argv[I][0] == '-') {
+    else if (!std::strcmp(argv[I], "--plan"))
+      Plan = true;
+    else if (!std::strcmp(argv[I], "--explain-plan"))
+      Plan = ExplainPlan = true;
+    else if (!std::strcmp(argv[I], "--engine") && I + 1 < argc) {
+      if (int Rc = cli::parseEngineFlag(argv[++I], EngineChoice))
+        return Rc;
+    } else if (argv[I][0] == '-') {
       usage(argv[0]);
       return 2;
     } else
@@ -205,9 +225,34 @@ int main(int argc, char **argv) {
                 static_cast<unsigned long>(V.Skipped), V.WallMs);
   }
 
+  // Static cost planning (analysis/Planner.h): trial-merge the optimized
+  // FSAs at each candidate factor and pick (engine, K, stride). Runs over
+  // the pipeline's stage-3 outputs so quarantined rules are already gone.
+  std::optional<EnginePlan> RulesetPlan;
+  if (Plan) {
+    PlannerOptions PO;
+    PO.Force = EngineChoice;
+    PO.Merge = Options.Merge;
+    RulesetPlan = planRuleset(Artifacts->OptimizedFsas,
+                              Artifacts->CompiledRuleIds, Rules, PO);
+    const CandidatePlan *Chosen = RulesetPlan->chosen();
+    std::printf("plan: engine %s at M=%s (stride %u, est %.2f ns/byte, "
+                "planned in %.2f ms)\n",
+                engineName(RulesetPlan->Choice),
+                RulesetPlan->MergingFactor == 0
+                    ? "all"
+                    : std::to_string(RulesetPlan->MergingFactor).c_str(),
+                RulesetPlan->Stride, Chosen ? Chosen->BestNsPerByte : 0.0,
+                RulesetPlan->PlanWallMs);
+    if (ExplainPlan)
+      std::printf("%s\n", RulesetPlan->explainJson().c_str());
+  }
+
   if (Metrics) {
     obs::MetricsRegistry Registry;
     Artifacts->Telemetry.recordTo(Registry);
+    if (RulesetPlan)
+      RulesetPlan->recordTo(Registry);
     std::printf("%s", MetricsJson ? Registry.toJson().c_str()
                                   : Registry.toText().c_str());
   }

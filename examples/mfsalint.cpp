@@ -42,6 +42,13 @@ static void usage(const char *Prog) {
                "                      0 = heuristic oracle only)\n"
                "  -M factor           merging factor for the post-merge pass\n"
                "                      (default 0 = merge all)\n"
+               "  --cost              also run the cost-model passes over each\n"
+               "                      merged MFSA (lint.cost.*: activation-\n"
+               "                      width hotspots, DFA blowup, prefilter-\n"
+               "                      defeating rules); implies merging\n"
+               "  --cost-width-rules N  width-hotspot warning threshold in\n"
+               "                      simultaneously-active rules (default "
+               "32)\n"
                "  -i                  case-insensitive matching\n",
                Prog);
 }
@@ -50,6 +57,7 @@ int main(int argc, char **argv) {
   std::string RulesPath;
   bool Json = false;
   bool Merge = true;
+  bool Cost = false;
   uint32_t MergingFactor = 0;
   LintOptions Options;
 
@@ -66,6 +74,10 @@ int main(int argc, char **argv) {
       Options.ExactCheckMaxStates = static_cast<uint32_t>(std::atoi(argv[++I]));
     else if (!std::strcmp(argv[I], "-M") && I + 1 < argc)
       MergingFactor = static_cast<uint32_t>(std::atoi(argv[++I]));
+    else if (!std::strcmp(argv[I], "--cost"))
+      Cost = Merge = true;
+    else if (!std::strcmp(argv[I], "--cost-width-rules") && I + 1 < argc)
+      Options.CostWidthWarnRules = static_cast<uint32_t>(std::atoi(argv[++I]));
     else if (!std::strcmp(argv[I], "-i"))
       Options.Parse.CaseInsensitive = true;
     else if (argv[I][0] == '-') {
@@ -116,8 +128,11 @@ int main(int argc, char **argv) {
                    "ruleset compilation failed: " +
                        Artifacts.diag().render());
     else
-      for (const Mfsa &Z : Artifacts->Mfsas)
+      for (const Mfsa &Z : Artifacts->Mfsas) {
         lintMfsa(Z, Options, Diags);
+        if (Cost)
+          lintCost(Z, Rules, Options, Diags);
+      }
   }
 
   if (Json) {

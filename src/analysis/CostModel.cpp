@@ -1,0 +1,311 @@
+//===- CostModel.cpp - static cost & activation-width analyzer ------------===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CostModel.h"
+
+#include "fsa/Determinize.h"
+#include "fsa/LiteralAnalysis.h"
+#include "obs/Metrics.h"
+#include "regex/Parser.h"
+#include "support/SymbolSet.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+namespace mfsa {
+
+namespace {
+
+/// True iff every bit of \p A is also set in \p B (widths must match).
+bool isSubsetOf(const DynamicBitset &A, const DynamicBitset &B) {
+  const std::vector<uint64_t> &AW = A.words();
+  const std::vector<uint64_t> &BW = B.words();
+  for (size_t I = 0, E = AW.size(); I != E; ++I)
+    if (AW[I] & ~BW[I])
+      return false;
+  return true;
+}
+
+/// A \ B over the fixed-width symbol alphabet.
+SymbolSet symbolDifference(const SymbolSet &A, const SymbolSet &B) {
+  std::array<uint64_t, SymbolSet::NumWords> W = A.words();
+  const std::array<uint64_t, SymbolSet::NumWords> &BW = B.words();
+  for (unsigned I = 0; I < SymbolSet::NumWords; ++I)
+    W[I] &= ~BW[I];
+  return SymbolSet::fromWords(W);
+}
+
+/// The coarsest partition of the union of \p Labels such that every label
+/// is a union of atoms. Same construction as fsa/AlphabetPartition.h, but
+/// over Mfsa transition labels (no residual atom: bytes outside every label
+/// kill the frontier, which the width search models as the empty start
+/// macrostate it already explored).
+std::vector<SymbolSet> atomsOfLabels(const std::vector<SymbolSet> &Labels) {
+  std::vector<SymbolSet> Atoms;
+  for (const SymbolSet &L : Labels) {
+    if (L.empty())
+      continue;
+    std::vector<SymbolSet> Next;
+    SymbolSet Rest = L;
+    for (const SymbolSet &A : Atoms) {
+      SymbolSet Common = A & L;
+      if (Common.empty()) {
+        Next.push_back(A);
+        continue;
+      }
+      SymbolSet OnlyA = symbolDifference(A, Common);
+      if (!OnlyA.empty())
+        Next.push_back(OnlyA);
+      Next.push_back(Common);
+      Rest = symbolDifference(Rest, Common);
+    }
+    if (!Rest.empty())
+      Next.push_back(Rest);
+    Atoms = std::move(Next);
+  }
+  return Atoms;
+}
+
+} // namespace
+
+WidthBound boundActivationWidth(const Mfsa &Z, const WidthOptions &Options) {
+  Timer Clock;
+  WidthBound Bound;
+  const uint32_t NumStates = Z.numStates();
+  const uint32_t NumRules = Z.numRules();
+  if (NumStates == 0 || Z.numTransitions() == 0) {
+    Bound.Exact = true;
+    Bound.WallMs = Clock.elapsedMs();
+    return Bound;
+  }
+
+  // Deterministic alphabet atoms over the distinct transition labels, so
+  // the branching factor is the number of symbol classes, not 256.
+  std::vector<SymbolSet> Distinct;
+  {
+    std::unordered_set<SymbolSet, SymbolSetHash> Seen;
+    for (const MfsaTransition &T : Z.transitions())
+      if (Seen.insert(T.Label).second)
+        Distinct.push_back(T.Label);
+  }
+  const std::vector<SymbolSet> Atoms = atomsOfLabels(Distinct);
+  const uint32_t NumAtoms = static_cast<uint32_t>(Atoms.size());
+
+  // Per-atom successor edges and initial-state injection sets. A label that
+  // intersects an atom contains it (atoms refine labels), so intersection
+  // is the membership test. Injection over-approximates the engine: every
+  // rule's initial state injects at every offset, anchored or not.
+  std::vector<std::vector<std::pair<StateId, StateId>>> Edges(NumAtoms);
+  std::vector<DynamicBitset> Inject(NumAtoms, DynamicBitset(NumStates));
+  DynamicBitset IsInitial(NumStates);
+  for (uint32_t R = 0; R < NumRules; ++R)
+    IsInitial.set(Z.rule(R).Initial);
+  for (const MfsaTransition &T : Z.transitions())
+    for (uint32_t A = 0; A < NumAtoms; ++A) {
+      if (!T.Label.intersects(Atoms[A]))
+        continue;
+      Edges[A].emplace_back(T.From, T.To);
+      if (IsInitial.test(T.From))
+        Inject[A].set(T.To);
+    }
+
+  // Per-state possible-rule sets: J(q) is always ⊆ the union of bel over
+  // q's incoming arcs, because J only ever propagates through ∩ bel.
+  std::vector<DynamicBitset> PossRules(NumStates, DynamicBitset(NumRules));
+  for (const MfsaTransition &T : Z.transitions())
+    PossRules[T.To] |= T.Bel;
+
+  // Antichain-pruned reachability over ⊆-maximal frontiers, seeded with the
+  // empty pre-scan frontier (see the soundness argument in CostModel.h).
+  std::vector<DynamicBitset> Antichain;
+  std::deque<DynamicBitset> Worklist;
+  Worklist.emplace_back(NumStates); // ∅
+  DynamicBitset RuleUnion(NumRules);
+  bool Budgeted = false;
+
+  while (!Worklist.empty()) {
+    if (Options.MaxMacrostates &&
+        Bound.MacrostatesExplored >= Options.MaxMacrostates) {
+      Budgeted = true;
+      break;
+    }
+    DynamicBitset S = std::move(Worklist.front());
+    Worklist.pop_front();
+    ++Bound.MacrostatesExplored;
+
+    uint32_t Width = static_cast<uint32_t>(S.count());
+    Bound.MaxActiveStates = std::max(Bound.MaxActiveStates, Width);
+    if (Width) {
+      RuleUnion.clear();
+      S.forEach([&](unsigned Q) { RuleUnion |= PossRules[Q]; });
+      Bound.MaxActiveRules = std::max(
+          Bound.MaxActiveRules, static_cast<uint32_t>(RuleUnion.count()));
+    }
+
+    for (uint32_t A = 0; A < NumAtoms; ++A) {
+      DynamicBitset Succ = Inject[A];
+      for (const auto &[From, To] : Edges[A])
+        if (S.test(From))
+          Succ.set(To);
+
+      bool Dominated = false;
+      for (const DynamicBitset &T : Antichain)
+        if (isSubsetOf(Succ, T)) {
+          Dominated = true;
+          break;
+        }
+      if (Dominated)
+        continue;
+      Antichain.erase(std::remove_if(Antichain.begin(), Antichain.end(),
+                                     [&](const DynamicBitset &T) {
+                                       return isSubsetOf(T, Succ);
+                                     }),
+                      Antichain.end());
+      Antichain.push_back(Succ);
+      Bound.AntichainPeak = std::max(Bound.AntichainPeak,
+                                     static_cast<uint64_t>(Antichain.size()));
+      Worklist.push_back(std::move(Succ));
+    }
+  }
+
+  if (Budgeted) {
+    // Budget exhausted: substitute the trivial (still sound) bound.
+    Bound.MaxActiveStates = NumStates;
+    Bound.MaxActiveRules = NumRules;
+    Bound.Exact = false;
+  } else {
+    Bound.Exact = true;
+  }
+  Bound.WallMs = Clock.elapsedMs();
+  return Bound;
+}
+
+DfaEstimate probeDfaBlowup(const Mfsa &Z, const DfaProbeOptions &Options) {
+  Timer Clock;
+  DfaEstimate Est;
+  std::vector<Nfa> Fsas;
+  std::vector<uint32_t> GlobalIds;
+  Fsas.reserve(Z.numRules());
+  GlobalIds.reserve(Z.numRules());
+  for (RuleId R = 0; R < Z.numRules(); ++R) {
+    Fsas.push_back(Z.extractRule(R));
+    GlobalIds.push_back(Z.rule(R).GlobalId);
+  }
+
+  DeterminizeOptions DetOpts;
+  DetOpts.MaxStates = Options.MaxStates;
+  Result<Dfa> Probe = determinize(Fsas, GlobalIds, DetOpts);
+  if (Probe) {
+    Est.Completed = true;
+    Est.DfaStates = Probe->NumStates;
+    Est.NumAtoms = Probe->NumAtoms;
+    Est.Stride2Entries = static_cast<uint64_t>(Est.DfaStates) * Est.NumAtoms *
+                         Est.NumAtoms;
+    Est.Stride2Feasible =
+        Est.NumAtoms > 0 && Est.Stride2Entries <= Options.MaxStride2Entries;
+  } else {
+    // The proven blowup-before-budget fact: the real DFA has at least
+    // MaxStates states.
+    Est.Completed = false;
+    Est.DfaStates = Options.MaxStates;
+    Est.Stride2Feasible = false;
+  }
+  Est.WallMs = Clock.elapsedMs();
+  return Est;
+}
+
+LiteralProfile profileLiterals(const Mfsa &Z,
+                               const std::vector<std::string> &Patterns,
+                               uint32_t MinLiteralLength) {
+  LiteralProfile Profile;
+  Profile.TotalRules = Z.numRules();
+  if (Patterns.empty() || Z.numRules() == 0)
+    return Profile;
+
+  Profile.RulePrefilterable.assign(Z.numRules(), 0);
+  double LiteralLengthSum = 0.0;
+  bool FirstByteSeen[256] = {};
+  for (RuleId R = 0; R < Z.numRules(); ++R) {
+    const uint32_t GlobalId = Z.rule(R).GlobalId;
+    if (GlobalId >= Patterns.size())
+      continue;
+    Result<Regex> Re = parseRegex(Patterns[GlobalId]);
+    if (!Re)
+      continue;
+    PrefilterInfo Info =
+        analyzeForPrefilter(*Re, Z.extractRule(R), MinLiteralLength);
+    if (!Info.Prefilterable)
+      continue;
+    Profile.RulePrefilterable[R] = 1;
+    ++Profile.PrefilterableRules;
+    LiteralLengthSum += static_cast<double>(Info.Literal.size());
+    FirstByteSeen[static_cast<unsigned char>(Info.Literal[0])] = true;
+  }
+
+  Profile.PrefilterableFraction =
+      static_cast<double>(Profile.PrefilterableRules) /
+      static_cast<double>(Profile.TotalRules);
+  if (Profile.PrefilterableRules)
+    Profile.AvgLiteralLength =
+        LiteralLengthSum / static_cast<double>(Profile.PrefilterableRules);
+  for (bool Seen : FirstByteSeen)
+    Profile.DistinctFirstBytes += Seen ? 1 : 0;
+  Profile.RootSkipViable =
+      Profile.DistinctFirstBytes >= 1 && Profile.DistinctFirstBytes <= 8;
+  return Profile;
+}
+
+MfsaShape computeShape(const Mfsa &Z) {
+  MfsaShape Shape;
+  Shape.NumStates = Z.numStates();
+  Shape.NumRules = Z.numRules();
+  Shape.NumTransitions = Z.numTransitions();
+  Shape.BelWords = (Z.numRules() + 63) / 64;
+  uint64_t LabelBytes = 0;
+  for (const MfsaTransition &T : Z.transitions())
+    LabelBytes += T.Label.count();
+  Shape.AvgTableRow = static_cast<double>(LabelBytes) / 256.0;
+  if (Shape.NumStates)
+    Shape.AvgOutDegree = static_cast<double>(Shape.NumTransitions) /
+                         static_cast<double>(Shape.NumStates);
+  return Shape;
+}
+
+void CostReport::recordTo(obs::MetricsRegistry &Registry) const {
+  Registry.gauge("analysis.cost.width_states_bound")
+      .set(static_cast<int64_t>(Width.MaxActiveStates));
+  Registry.gauge("analysis.cost.width_rules_bound")
+      .set(static_cast<int64_t>(Width.MaxActiveRules));
+  Registry.gauge("analysis.cost.width_exact").set(Width.Exact ? 1 : 0);
+  Registry.counter("analysis.cost.width_macrostates")
+      .add(Width.MacrostatesExplored);
+  Registry.gauge("analysis.cost.width_wall_ms")
+      .set(static_cast<int64_t>(Width.WallMs));
+  Registry.gauge("analysis.cost.dfa_probe_states")
+      .set(static_cast<int64_t>(Dfa.DfaStates));
+  Registry.gauge("analysis.cost.dfa_probe_completed").set(Dfa.Completed ? 1
+                                                                        : 0);
+  Registry.gauge("analysis.cost.prefilterable_rules")
+      .set(static_cast<int64_t>(Literals.PrefilterableRules));
+  Registry.gauge("analysis.cost.distinct_first_bytes")
+      .set(static_cast<int64_t>(Literals.DistinctFirstBytes));
+}
+
+CostReport analyzeCost(const Mfsa &Z, const std::vector<std::string> &Patterns,
+                       const CostOptions &Options) {
+  CostReport Report;
+  Report.Shape = computeShape(Z);
+  Report.Width = boundActivationWidth(Z, Options.Width);
+  Report.Dfa = probeDfaBlowup(Z, Options.Probe);
+  Report.Literals = profileLiterals(Z, Patterns, Options.MinLiteralLength);
+  return Report;
+}
+
+} // namespace mfsa

@@ -33,6 +33,7 @@
 
 #include "analysis/Lint.h"
 
+#include "analysis/CostModel.h"
 #include "analysis/Inclusion.h"
 #include "fsa/Builder.h"
 #include "fsa/Passes.h"
@@ -676,5 +677,84 @@ void mfsa::lintMfsa(const Mfsa &Z, const LintOptions &Options,
                        std::to_string(First) + ")",
                    SourceSpan::forElement(First),
                    "re-run compaction or report a merge bug");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// lintCost: cost-model analysis (analysis/CostModel.h)
+//===----------------------------------------------------------------------===//
+
+void mfsa::lintCost(const Mfsa &Z, const std::vector<std::string> &Patterns,
+                    const LintOptions &Options, DiagnosticEngine &Diags) {
+  const uint32_t R = Z.numRules();
+  if (R == 0)
+    return;
+
+  // Width pass. The bound is sound either way; the method tag records
+  // whether the antichain search finished ("exact") or fell back to the
+  // trivial all-rules bound after exhausting its budget ("heuristic").
+  WidthOptions WO;
+  WO.MaxMacrostates = Options.CostWidthMaxMacrostates;
+  const WidthBound W = boundActivationWidth(Z, WO);
+  if (W.MaxActiveRules >= Options.CostWidthWarnRules) {
+    Finding F;
+    F.Sev = Severity::Warning;
+    F.CheckId = "lint.cost.width-hotspot";
+    F.Message = "activation width bound: up to " +
+                std::to_string(W.MaxActiveRules) + " of " + std::to_string(R) +
+                " rules simultaneously active (" +
+                std::to_string(W.MaxActiveStates) +
+                " states); every engine step pays the full belonging union";
+    F.FixHint = "split hot rules into their own merge group or lower the "
+                "merging factor";
+    F.Method = W.Exact ? "exact" : "heuristic";
+    Diags.report(std::move(F));
+  }
+
+  // Blowup pass. A probe that hits its cap has *constructed* that many
+  // subset states, so the finding is a demonstration, not an estimate.
+  DfaProbeOptions PO;
+  PO.MaxStates = Options.CostDfaProbeMaxStates;
+  const DfaEstimate D = probeDfaBlowup(Z, PO);
+  if (!D.Completed) {
+    Finding F;
+    F.Sev = Severity::Warning;
+    F.CheckId = "lint.cost.dfa-blowup";
+    F.Message = "subset construction exceeded the probe budget of " +
+                std::to_string(PO.MaxStates) +
+                " states; DFA and strided engines would blow up on this "
+                "ruleset";
+    F.FixHint = "keep this ruleset on the iMFAnt or prefilter paths";
+    F.Method = "exact";
+    Diags.report(std::move(F));
+  }
+
+  // Prefilter pass: in a literal-heavy ruleset, each literal-free rule
+  // forces the residual full-scan path on the whole input. Only meaningful
+  // when the original patterns are available.
+  if (!Patterns.empty()) {
+    const LiteralProfile L =
+        profileLiterals(Z, Patterns, Options.CostMinLiteralLength);
+    if (L.TotalRules >= 4 && L.PrefilterableFraction >= 0.5 &&
+        L.PrefilterableRules < L.TotalRules) {
+      for (RuleId I = 0; I < R; ++I) {
+        if (I < L.RulePrefilterable.size() && L.RulePrefilterable[I])
+          continue;
+        Finding F;
+        F.Sev = Severity::Note;
+        F.CheckId = "lint.cost.prefilter-defeated";
+        F.Message = "rule has no required literal of length >= " +
+                    std::to_string(Options.CostMinLiteralLength) +
+                    " in a literal-heavy ruleset (" +
+                    std::to_string(L.PrefilterableRules) + "/" +
+                    std::to_string(L.TotalRules) +
+                    " prefilterable); it forces the residual full scan";
+        F.Span = SourceSpan::forRule(Z.rule(I).GlobalId);
+        F.FixHint = "anchor the rule on a distinctive literal, or exclude "
+                    "it from the prefiltered group";
+        F.Method = "exact";
+        Diags.report(std::move(F));
+      }
+    }
   }
 }

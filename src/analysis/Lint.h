@@ -62,6 +62,30 @@
 ///   lint.merge.unreachable-state  a merged state no rule can reach (dead
 ///                                 weight in the transition table) (warning)
 ///
+/// Cost-model passes over an Mfsa (analysis/CostModel.h; run by `mfsalint
+/// --cost`, which compiles the surviving rules and merges them first):
+///
+///   lint.cost.width-hotspot       the sound activation-width bound proves
+///                                 at least CostWidthWarnRules rules can be
+///                                 simultaneously active — the dense engine
+///                                 pays the full belonging-union on every
+///                                 step; tagged "exact" when the antichain
+///                                 search finished inside its macrostate
+///                                 budget, "heuristic" when it fell back to
+///                                 the trivial all-rules bound (warning)
+///   lint.cost.dfa-blowup          budgeted subset-construction probing of a
+///                                 rule exceeded the probe's state cap, so
+///                                 DFA/strided compilation of this ruleset
+///                                 would blow up before its budget; "exact"
+///                                 — the blowup is demonstrated, not
+///                                 estimated (warning)
+///   lint.cost.prefilter-defeated  the ruleset is literal-heavy (at least
+///                                 half the rules carry an extractable
+///                                 required literal) but this rule has none,
+///                                 so choosing the Hyperscan-style prefilter
+///                                 path forces a full residual scan on its
+///                                 behalf; "exact" (note)
+///
 /// All passes append to a DiagnosticEngine (Diagnostics.h) in deterministic
 /// order so `--format=json` output is golden-testable.
 ///
@@ -113,6 +137,19 @@ struct LintOptions {
   /// Master switches for the pairwise passes (quadratic in ruleset size).
   bool CheckDuplicates = true;
   bool CheckSubsumption = true;
+
+  /// Cost-model pass knobs (lintCost; `mfsalint --cost`).
+  /// Warn when the sound simultaneous-active-rules bound reaches this many
+  /// rules.
+  uint32_t CostWidthWarnRules = 32;
+  /// Macrostate budget for the antichain width search; exhausting it
+  /// degrades the finding's method tag to "heuristic" (the trivial
+  /// all-rules bound is still sound).
+  uint64_t CostWidthMaxMacrostates = 1u << 12;
+  /// State cap for the subset-construction blowup probe.
+  uint32_t CostDfaProbeMaxStates = 1u << 14;
+  /// Minimum extractable-literal length for the prefilterability profile.
+  uint32_t CostMinLiteralLength = 3;
 };
 
 /// Per-ruleset lint summary.
@@ -133,6 +170,14 @@ LintSummary lintRuleset(const std::vector<std::string> &Patterns,
 /// ruleset the MFSA was compiled from.
 void lintMfsa(const Mfsa &Z, const LintOptions &Options,
               DiagnosticEngine &Diags);
+
+/// Cost-model analysis over one MFSA (see the lint.cost.* catalog above).
+/// \p Patterns is the original ruleset indexed by the rules' GlobalIds and
+/// is needed only by the prefilter pass — pass an empty vector to skip it.
+/// Findings are appended in pass order (width, blowup, then per-rule
+/// prefilter notes by GlobalId), keeping JSON output golden-testable.
+void lintCost(const Mfsa &Z, const std::vector<std::string> &Patterns,
+              const LintOptions &Options, DiagnosticEngine &Diags);
 
 } // namespace mfsa
 

@@ -569,5 +569,15 @@ mfsa::compileRuleset(const std::vector<std::string> &Patterns,
 
   Tel.QuarantinedRules = Artifacts.Quarantined.size();
   Artifacts.CompiledRuleIds = std::move(Alive);
+
+  // Post-pipeline: static cost analysis over the stage-4 MFSAs. The plan is
+  // computed at this compile's own merging factor; `mfsac --plan` runs the
+  // K-sweep over OptimizedFsas separately.
+  if (Options.EmitPlan) {
+    PlannerOptions PO = Options.Planner;
+    PO.Force = Options.Engine;
+    Artifacts.Plan =
+        planMfsas(Artifacts.Mfsas, Patterns, Options.MergingFactor, PO);
+  }
   return Artifacts;
 }

@@ -36,6 +36,7 @@
 #ifndef MFSA_COMPILER_PIPELINE_H
 #define MFSA_COMPILER_PIPELINE_H
 
+#include "analysis/Planner.h"
 #include "analysis/TranslationValidate.h"
 #include "fsa/Builder.h"
 #include "mfsa/Merge.h"
@@ -43,6 +44,7 @@
 #include "support/Result.h"
 #include "support/Timer.h"
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -195,6 +197,23 @@ struct CompileOptions {
   /// common sub-classes during merging. Costs transitions, wins states;
   /// measured by bench/abl_partial_cc.
   bool SplitCcByAtoms = false;
+
+  /// Which execution engine the caller intends to run the compiled MFSAs
+  /// on. The pipeline itself always produces the same artifacts; the value
+  /// is carried so downstream consumers (imfant_run, benches) and the
+  /// planner agree on one source of truth. Engine::Auto defers the choice
+  /// to the static cost analyzer (analysis/Planner.h).
+  mfsa::Engine Engine = mfsa::Engine::Auto;
+
+  /// Run the static cost analyzer over the stage-4 MFSAs and store the
+  /// resulting EnginePlan in CompileArtifacts::Plan. The plan is computed at
+  /// the compile's own MergingFactor (no K-sweep; `mfsac --plan` does the
+  /// sweep over OptimizedFsas instead). Exposed as `mfsac --plan`.
+  bool EmitPlan = false;
+
+  /// Analyzer/coefficient knobs used when EmitPlan is set (or when the
+  /// caller resolves Engine::Auto itself).
+  PlannerOptions Planner;
 };
 
 /// Aggregate measurements for one pipeline stage: wall time plus the rule
@@ -275,6 +294,10 @@ struct CompileArtifacts {
   StageTimes Times;
   MergeReport Merging;
   CompileTelemetry Telemetry;
+
+  /// Engine plan over the stage-4 MFSAs, present iff
+  /// CompileOptions::EmitPlan was set.
+  std::optional<EnginePlan> Plan;
 };
 
 /// Compiles \p Patterns end to end. Under FailurePolicy::Strict (default)

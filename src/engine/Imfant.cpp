@@ -207,6 +207,7 @@ void ImfantEngine::Scanner::feedLoop(std::string_view Chunk,
 
   uint64_t ActiveRuleSum = 0;
   uint32_t ActiveRuleMax = 0;
+  uint32_t FrontierMax = 0;
   uint64_t TransitionsEvaluated = 0;
   std::vector<uint64_t> UnionJ;
   if (Stats)
@@ -328,6 +329,8 @@ void ImfantEngine::Scanner::feedLoop(std::string_view Chunk,
           static_cast<uint32_t>(K.CountWords(UnionJ.data(), W));
       ActiveRuleSum += ActiveRules;
       ActiveRuleMax = std::max(ActiveRuleMax, ActiveRules);
+      FrontierMax =
+          std::max(FrontierMax, static_cast<uint32_t>(NextTouched.size()));
     }
 
 #if MFSA_METRICS_ENABLED
@@ -371,6 +374,7 @@ void ImfantEngine::Scanner::feedLoop(std::string_view Chunk,
     Stats->Steps += Chunk.size();
     Stats->TransitionsEvaluated += TransitionsEvaluated;
     Stats->MaxActiveRules = std::max(Stats->MaxActiveRules, ActiveRuleMax);
+    Stats->MaxFrontier = std::max(Stats->MaxFrontier, FrontierMax);
     // Fold this chunk's mean into the running mean by weight.
     if (Stats->Steps > 0) {
       double PriorWeight =

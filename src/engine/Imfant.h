@@ -86,6 +86,7 @@ struct RunStats {
   uint64_t Steps = 0;           ///< Input symbols consumed.
   double AvgActiveRules = 0.0;  ///< Mean |∪ J(q)| over steps.
   uint32_t MaxActiveRules = 0;  ///< Peak |∪ J(q)| over steps.
+  uint32_t MaxFrontier = 0;     ///< Peak simultaneously-active states.
   uint64_t TransitionsEvaluated = 0; ///< Total per-symbol table entries seen.
 };
 

@@ -9,10 +9,16 @@
 //     check with a positioned finding and without crashing.
 //   - Lint: every catalog rule fires on its seeded fixture; the JSON report
 //     over a fixture ruleset is golden.
+//   - Lint cost model: the lint.cost.* checks (analysis/CostModel.h) fire on
+//     crafted width-heavy / blowup-prone / literal-heavy rulesets with the
+//     right exact-vs-heuristic method tags, and their JSON is golden.
+//   - Planner: engine-name round trip and forced-engine pinning.
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/CostModel.h"
 #include "analysis/Lint.h"
+#include "analysis/Planner.h"
 #include "analysis/Verifier.h"
 #include "compiler/Pipeline.h"
 #include "mfsa/Merge.h"
@@ -432,6 +438,135 @@ TEST(Lint, JsonReportIsGolden) {
       "\"rule\":2,\"method\":\"exact\","
       "\"hint\":\"remove one of the two rules\"}"
       "],\"errors\":0,\"warnings\":2}");
+}
+
+//===----------------------------------------------------------------------===//
+// Lint: cost model (lint.cost.*, analysis/CostModel.h)
+//===----------------------------------------------------------------------===//
+
+TEST(LintCost, WidthHotspotFiresWithExactTag) {
+  // All three rules are simultaneously active on "ab..." prefixes; with the
+  // warn threshold lowered below that, the check must fire, and the
+  // completed antichain search must tag the bound exact.
+  std::vector<std::string> Patterns = {"a[ab]*b", "ab*", "[ab]{2,4}"};
+  Mfsa Z = mergePatterns(Patterns);
+  LintOptions Options;
+  Options.CostWidthWarnRules = 2;
+  DiagnosticEngine Diags;
+  lintCost(Z, Patterns, Options, Diags);
+  const Finding &F = findCheck(Diags, "lint.cost.width-hotspot");
+  EXPECT_EQ(F.Sev, Severity::Warning);
+  EXPECT_EQ(F.Method, "exact");
+  EXPECT_NE(F.Message.find("simultaneously active"), std::string::npos)
+      << F.Message;
+}
+
+TEST(LintCost, WidthHotspotHeuristicTagWhenBudgetExhausted) {
+  // A one-macrostate budget cannot finish the reachability search, so the
+  // analyzer falls back to the trivial (still sound) all-rules bound and
+  // must say so via the method tag.
+  Mfsa Z = mergePatterns({"a[ab]*b", "ab*", "[ab]{2,4}"});
+  LintOptions Options;
+  Options.CostWidthWarnRules = 2;
+  Options.CostWidthMaxMacrostates = 1;
+  DiagnosticEngine Diags;
+  lintCost(Z, {}, Options, Diags);
+  const Finding &F = findCheck(Diags, "lint.cost.width-hotspot");
+  EXPECT_EQ(F.Method, "heuristic");
+}
+
+TEST(LintCost, DfaBlowupIsDemonstratedNotEstimated) {
+  // Unanchored a[ab]{14}b needs ~2^14 subset states; a 64-state probe cap
+  // is exceeded by construction, which makes the finding exact.
+  Mfsa Z = mergePatterns({"a[ab]{14}b", "ab"});
+  LintOptions Options;
+  Options.CostDfaProbeMaxStates = 64;
+  DiagnosticEngine Diags;
+  lintCost(Z, {}, Options, Diags);
+  const Finding &F = findCheck(Diags, "lint.cost.dfa-blowup");
+  EXPECT_EQ(F.Sev, Severity::Warning);
+  EXPECT_EQ(F.Method, "exact");
+}
+
+TEST(LintCost, NoBlowupFindingWhenProbeCompletes) {
+  Mfsa Z = mergePatterns({"ab", "cd"});
+  DiagnosticEngine Diags;
+  lintCost(Z, {}, LintOptions(), Diags);
+  EXPECT_FALSE(hasCheck(Diags, "lint.cost.dfa-blowup")) << Diags.renderText();
+}
+
+TEST(LintCost, PrefilterDefeatedNotesTheResidualRule) {
+  // Three long-literal rules make the ruleset literal-heavy; the lone
+  // literal-free rule forces the residual full scan and gets the note.
+  std::vector<std::string> Patterns = {"foobar", "bazqux", "plugh42",
+                                       "[ab]+"};
+  Mfsa Z = mergePatterns(Patterns);
+  DiagnosticEngine Diags;
+  lintCost(Z, Patterns, LintOptions(), Diags);
+  const Finding &F = findCheck(Diags, "lint.cost.prefilter-defeated");
+  EXPECT_EQ(F.Sev, Severity::Note);
+  EXPECT_EQ(F.Span.Rule, 3u);
+  EXPECT_EQ(F.Method, "exact");
+}
+
+TEST(LintCost, JsonReportIsGolden) {
+  // The exact JSON for the prefilter fixture: field order, method tag, and
+  // message text are contractual (docs/static-analysis.md).
+  std::vector<std::string> Patterns = {"foobar", "bazqux", "plugh42",
+                                       "[ab]+"};
+  Mfsa Z = mergePatterns(Patterns);
+  DiagnosticEngine Diags;
+  lintCost(Z, Patterns, LintOptions(), Diags);
+  EXPECT_EQ(
+      Diags.renderJson(),
+      "{\"findings\":["
+      "{\"severity\":\"note\",\"check\":\"lint.cost.prefilter-defeated\","
+      "\"message\":\"rule has no required literal of length >= 3 in a "
+      "literal-heavy ruleset (3/4 prefilterable); it forces the residual "
+      "full scan\",\"rule\":3,\"method\":\"exact\","
+      "\"hint\":\"anchor the rule on a distinctive literal, or exclude it "
+      "from the prefiltered group\"}"
+      "],\"errors\":0,\"warnings\":0}");
+}
+
+//===----------------------------------------------------------------------===//
+// Planner (analysis/Planner.h)
+//===----------------------------------------------------------------------===//
+
+TEST(Planner, EngineNamesRoundTrip) {
+  for (Engine E : {Engine::Auto, Engine::ImfantDense, Engine::ImfantSparse,
+                   Engine::Dfa, Engine::StridedDfa, Engine::Prefilter}) {
+    Engine Parsed;
+    ASSERT_TRUE(engineFromName(engineName(E), Parsed)) << engineName(E);
+    EXPECT_EQ(Parsed, E);
+  }
+  Engine Parsed;
+  EXPECT_FALSE(engineFromName("hyperscan", Parsed));
+}
+
+TEST(Planner, ForcedEnginePinsChoiceButKeepsTrace) {
+  std::vector<std::string> Patterns = {"foobar", "bazqux", "[ab]+c"};
+  std::vector<Mfsa> Mfsas;
+  Mfsas.push_back(mergePatterns(Patterns));
+  PlannerOptions Options;
+  Options.Force = Engine::ImfantSparse;
+  EnginePlan Plan = planMfsas(Mfsas, Patterns, 0, Options);
+  EXPECT_EQ(Plan.Choice, Engine::ImfantSparse);
+  ASSERT_NE(Plan.chosen(), nullptr);
+  // The trace still evaluates every engine so --explain-plan can show what
+  // Auto would have picked.
+  EXPECT_EQ(Plan.chosen()->Engines.size(), 5u);
+  EXPECT_NE(Plan.explainJson().find("\"candidates\""), std::string::npos);
+}
+
+TEST(Planner, WidthBoundDominatesTrivialCases) {
+  // One-rule automaton: the bound can never exceed one active rule.
+  std::vector<std::string> Patterns = {"abc"};
+  Mfsa Z = mergePatterns(Patterns);
+  const WidthBound W = boundActivationWidth(Z);
+  EXPECT_TRUE(W.Exact);
+  EXPECT_EQ(W.MaxActiveRules, 1u);
+  EXPECT_GE(W.MaxActiveStates, 1u);
 }
 
 } // namespace

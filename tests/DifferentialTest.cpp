@@ -15,11 +15,20 @@
 // cross-checks the rest — a silent skip of *all* engines is impossible since
 // the iMFAnt pair and the oracle always run.
 //
+// The static cost analyzer rides along on every case: the Engine::Auto plan
+// is built and run like a sixth engine (same oracle assertion), and the
+// analyzer's activation-width bound is asserted to dominate the dense
+// engine's observed peak active rules and frontier on every input at every
+// SIMD level — an end-to-end soundness check of boundActivationWidth.
+//
 //===----------------------------------------------------------------------===//
 
+#include "analysis/CostModel.h"
+#include "analysis/Planner.h"
 #include "engine/DfaEngine.h"
 #include "engine/Imfant.h"
 #include "engine/MultiStride.h"
+#include "engine/PlannedEngine.h"
 #include "engine/Prefilter.h"
 #include "engine/SparseImfant.h"
 #include "fsa/Determinize.h"
@@ -68,11 +77,25 @@ void checkRuleset(uint64_t Seed, const std::vector<std::string> &Patterns,
     Fsas.push_back(compileOptimized(Patterns[I]));
     Ids.push_back(static_cast<uint32_t>(I));
   }
-  Mfsa Merged = mergeFsas(Fsas, Ids);
+  std::vector<Mfsa> MergedVec;
+  MergedVec.push_back(mergeFsas(Fsas, Ids));
+  const Mfsa &Merged = MergedVec.front();
   ASSERT_EQ(Merged.verify(), "") << formatPatterns(Patterns);
 
   ImfantEngine Imfant(Merged);
   SparseImfantEngine Sparse(Merged);
+
+  // Static analyzer cross-checks (analysis/CostModel.h): the sound
+  // activation-width bound must dominate what the dense engine actually
+  // observes on every input at every SIMD level, and the Auto-planned
+  // engine must agree with the oracle like every fixed engine.
+  const WidthBound Width = boundActivationWidth(Merged);
+  EnginePlan Plan = planMfsas(MergedVec, Patterns, 0);
+  Result<PlannedEngineSet> Planned =
+      PlannedEngineSet::create(Plan.Choice, MergedVec, Patterns);
+  ASSERT_TRUE(Planned.ok()) << "planned engine " << engineName(Plan.Choice)
+                            << ": " << Planned.diag().render() << " "
+                            << formatPatterns(Patterns);
 
   Result<Dfa> UnionDfa = determinize(Fsas, Ids);
   std::optional<StridedDfa> Stride2;
@@ -96,8 +119,14 @@ void checkRuleset(uint64_t Seed, const std::vector<std::string> &Patterns,
 
       {
         MatchRecorder Recorder(MatchRecorder::Mode::Collect);
-        Imfant.run(Input, Recorder);
+        RunStats Stats;
+        Imfant.run(Input, Recorder, &Stats);
         EXPECT_EQ(recorderEnds(Recorder), Expected) << "engine=imfant " << Tag;
+        // Soundness of the static width bound against the observed run.
+        EXPECT_GE(Width.MaxActiveRules, Stats.MaxActiveRules)
+            << "width rules bound " << Tag;
+        EXPECT_GE(Width.MaxActiveStates, Stats.MaxFrontier)
+            << "width states bound " << Tag;
       }
       {
         MatchRecorder Recorder(MatchRecorder::Mode::Collect);
@@ -122,6 +151,12 @@ void checkRuleset(uint64_t Seed, const std::vector<std::string> &Patterns,
         Prefilter->run(Input, Recorder);
         EXPECT_EQ(recorderEnds(Recorder), Expected) << "engine=prefilter "
                                                     << Tag;
+      }
+      {
+        MatchRecorder Recorder(MatchRecorder::Mode::Collect);
+        Planned->run(Input, Recorder);
+        EXPECT_EQ(recorderEnds(Recorder), Expected)
+            << "engine=auto(" << engineName(Plan.Choice) << ") " << Tag;
       }
     }
   }

@@ -12,13 +12,19 @@ or 2, see docs/observability.md):
   - metrics: the registry export with counters (non-negative integers),
     gauges (integers), and histograms whose counts arrays are consistent
     (len(counts) == len(bounds) + 1, sum(counts) == count);
-  - every metric named *_ns or *_ms is a non-negative wall-clock reading.
+  - every metric named *_ns or *_ms is a non-negative wall-clock reading;
+  - plans (optional, v2): planner decision traces keyed by dataset, each an
+    EnginePlan::explainJson() document with engine / merging_factor /
+    stride / candidates, every candidate carrying per-engine estimates
+    with feasibility verdicts.
 
 `--require NAME` (repeatable) additionally asserts that a metric with that
 name exists somewhere across the checked files — CI uses it to prove the
 instrumented build actually reported occupancy, transitions/byte, and
-per-stage compile times. Pure stdlib; exit 0 = all files pass, 1 = any
-violation.
+per-stage compile times. `--require-plans` asserts at least one checked
+file embeds a non-empty plans object (the planner-ablation job uses it so
+a bench that silently stops tracing fails loudly). Pure stdlib; exit 0 =
+all files pass, 1 = any violation.
 """
 
 import argparse
@@ -65,7 +71,53 @@ def check_timing(path, name, value):
     return 0
 
 
-def check_file(path, seen_metrics):
+ENGINE_NAMES = {"auto", "dense", "sparse", "dfa", "stride2", "prefilter"}
+
+
+def check_plan(path, key, plan):
+    """One EnginePlan::explainJson() document under the 'plans' object."""
+    errors = 0
+    if not isinstance(plan, dict):
+        return fail(path, f"plan {key} is not an object")
+    for field in ("engine", "merging_factor", "stride", "plan_wall_ms",
+                  "candidates"):
+        if field not in plan:
+            errors += fail(path, f"plan {key} lacks '{field}'")
+    if errors:
+        return errors
+    if plan["engine"] not in ENGINE_NAMES - {"auto"}:
+        errors += fail(
+            path, f"plan {key}: chosen engine {plan['engine']!r} is not a "
+            "concrete engine")
+    if not isinstance(plan["merging_factor"], int) or plan["merging_factor"] < 0:
+        errors += fail(path, f"plan {key}: bad merging_factor")
+    if plan["stride"] not in (1, 2):
+        errors += fail(path, f"plan {key}: stride {plan['stride']} not 1 or 2")
+    if not isinstance(plan["candidates"], list) or not plan["candidates"]:
+        return errors + fail(path, f"plan {key}: empty candidates list")
+    for cand in plan["candidates"]:
+        for field in ("merging_factor", "num_groups", "analyzed_groups",
+                      "width", "dfa", "table", "literals", "engines", "best",
+                      "best_ns_per_byte"):
+            if field not in cand:
+                errors += fail(
+                    path, f"plan {key}: candidate lacks '{field}'")
+        for est in cand.get("engines", []):
+            if sorted(est) != ["engine", "feasible", "ns_per_byte", "why"]:
+                errors += fail(
+                    path, f"plan {key}: malformed engine estimate: {est}")
+            elif est["engine"] not in ENGINE_NAMES - {"auto"}:
+                errors += fail(
+                    path,
+                    f"plan {key}: unknown engine {est['engine']!r}")
+            elif est["feasible"] and est["ns_per_byte"] < 0:
+                errors += fail(
+                    path, f"plan {key}: negative estimate for "
+                    f"{est['engine']}")
+    return errors
+
+
+def check_file(path, seen_metrics, plan_files):
     try:
         with open(path, encoding="utf-8") as handle:
             doc = json.load(handle)
@@ -107,6 +159,15 @@ def check_file(path, seen_metrics):
                 errors += fail(
                     path, f"result {row['name']} value is not numeric")
 
+    if "plans" in doc:
+        if not isinstance(doc["plans"], dict):
+            errors += fail(path, "plans is not an object")
+        else:
+            for key, plan in doc["plans"].items():
+                errors += check_plan(path, key, plan)
+            if doc["plans"]:
+                plan_files.add(path)
+
     metrics = doc["metrics"]
     seen = set()
     for section in ("counters", "gauges", "histograms"):
@@ -133,7 +194,7 @@ def check_file(path, seen_metrics):
     seen_metrics.update(seen)
     if not errors:
         print(f"{path}: ok ({len(doc['results'])} results, "
-              f"{len(seen)} metrics)")
+              f"{len(seen)} metrics, {len(doc.get('plans', {}))} plans)")
     return errors
 
 
@@ -147,13 +208,23 @@ def main():
         metavar="NAME",
         help="assert this metric name is present in some file (repeatable)",
     )
+    parser.add_argument(
+        "--require-plans",
+        action="store_true",
+        help="assert at least one checked file embeds planner traces",
+    )
     args = parser.parse_args()
     seen_metrics = set()
-    errors = sum(check_file(path, seen_metrics) for path in args.files)
+    plan_files = set()
+    errors = sum(
+        check_file(path, seen_metrics, plan_files) for path in args.files)
     for name in args.require:
         if name not in seen_metrics:
             errors += fail("<required>", f"metric '{name}' not reported by "
                            "any checked file")
+    if args.require_plans and not plan_files:
+        errors += fail("<required>", "no checked file embeds a non-empty "
+                       "'plans' object")
     return 1 if errors else 0
 
 
