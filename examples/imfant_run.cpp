@@ -39,7 +39,16 @@ static void usage(const char *Prog) {
                "usage: %s [-t threads] [-r reps] [-v] stream.bin "
                "mfsa.anml [...]\n"
                "       %s [options] --load-artifact rules.mfsa stream.bin\n"
-               "  -t threads  worker threads (default 1)\n"
+               "  -t threads  worker threads, one automaton each (default "
+               "1)\n"
+               "  --input-threads n  split the ONE input stream into n "
+               "chunks\n"
+               "              scanned in parallel with frontier-set "
+               "boundary\n"
+               "              stitching (byte-identical output; with "
+               "--engine\n"
+               "              auto the planner may decline and scan "
+               "sequentially)\n"
                "  -r reps     timed repetitions, best-of (default 1)\n"
                "  -v          print every (rule, offset) match pair\n"
                "  --load-artifact path  load compiled MFSAs from a binary\n"
@@ -77,9 +86,12 @@ int main(int argc, char **argv) {
   std::string FallbackRulesPath;
   std::vector<std::string> Paths;
 
+  unsigned InputThreads = 1;
   for (int I = 1; I < argc; ++I) {
     if (!std::strcmp(argv[I], "-t") && I + 1 < argc)
       Threads = static_cast<unsigned>(std::atoi(argv[++I]));
+    else if (!std::strcmp(argv[I], "--input-threads") && I + 1 < argc)
+      InputThreads = static_cast<unsigned>(std::max(1, std::atoi(argv[++I])));
     else if (!std::strcmp(argv[I], "-r") && I + 1 < argc)
       Reps = std::max(1, std::atoi(argv[++I]));
     else if (!std::strcmp(argv[I], "-v"))
@@ -167,20 +179,39 @@ int main(int argc, char **argv) {
   }
 
   // Resolve --engine auto through the static cost planner, then run any
-  // non-dense choice through the uniform PlannedEngineSet driver (group-
-  // sequential, single-threaded). The dense default keeps the historical
-  // multithreaded runParallel path below.
-  if (EngineChoice != Engine::ImfantDense) {
+  // non-dense choice — or any --input-threads request — through the uniform
+  // PlannedEngineSet driver (group-sequential). The plain dense default
+  // keeps the historical multithreaded runParallel path below.
+  bool InputParallel = InputThreads > 1;
+  if (EngineChoice != Engine::ImfantDense || InputParallel) {
     EnginePlan Plan;
     if (EngineChoice == Engine::Auto) {
       PlannerOptions PO;
       PO.AllowPrefilter = !RulePatterns.empty();
+      PO.InputThreads = InputThreads;
       Plan = planMfsas(Mfsas, RulePatterns, 0, PO);
       if (ExplainPlan)
         std::printf("%s\n", Plan.explainJson().c_str());
       if (Metrics)
         Plan.recordTo(Registry);
       EngineChoice = Plan.Choice;
+      if (InputParallel && !Plan.ParallelInput) {
+        std::fprintf(stderr,
+                     "note: planner declined input-parallel scan (%s); "
+                     "scanning sequentially\n",
+                     Plan.ParallelInputWhy.c_str());
+        InputParallel = false;
+      }
+    }
+    // Explicitly forced engines skip the planner; the sparse/prefilter
+    // fallback inside runInputParallel would be silent, so say it here.
+    if (InputParallel && (EngineChoice == Engine::ImfantSparse ||
+                          EngineChoice == Engine::Prefilter)) {
+      std::fprintf(stderr,
+                   "note: %s engine has no input-parallel executor; "
+                   "scanning sequentially\n",
+                   engineName(EngineChoice));
+      InputParallel = false;
     }
     Result<PlannedEngineSet> Set =
         PlannedEngineSet::create(EngineChoice, Mfsas, RulePatterns);
@@ -191,19 +222,40 @@ int main(int argc, char **argv) {
                    engineName(EngineChoice), Set.diag().render().c_str());
       EngineChoice = Engine::ImfantDense;
     } else {
+      InputParallelOptions ParOpts;
+      ParOpts.Threads = InputThreads;
+      ParOpts.UseThreadPool = true;
       MatchRecorder Recorder(Verbose ? MatchRecorder::Mode::Collect
                                      : MatchRecorder::Mode::CountOnly);
+      InputParallelStats ParStats;
       Timer Clock;
-      Set->run(Stream, Recorder);
+      if (InputParallel)
+        Set->runInputParallel(Stream, Recorder, ParOpts, &ParStats);
+      else
+        Set->run(Stream, Recorder);
       double Best = Clock.elapsedNs() * 1e-9;
       for (unsigned Rep = 1; Rep < Reps; ++Rep) {
         MatchRecorder Again(MatchRecorder::Mode::CountOnly);
         Clock.reset();
-        Set->run(Stream, Again);
+        if (InputParallel)
+          Set->runInputParallel(Stream, Again, ParOpts);
+        else
+          Set->run(Stream, Again);
         Best = std::min(Best, Clock.elapsedNs() * 1e-9);
       }
       std::printf("scanned %zu bytes with the %s engine (%zu group(s))\n",
                   Stream.size(), engineName(EngineChoice), Set->numGroups());
+      if (InputParallel) {
+        std::printf("input-parallel: %lu chunk(s), %lu table, %lu dead, "
+                    "%lu re-scanned, %lu overlap byte(s)\n",
+                    static_cast<unsigned long>(ParStats.Chunks),
+                    static_cast<unsigned long>(ParStats.SpecTableChunks),
+                    static_cast<unsigned long>(ParStats.SpecDeadChunks),
+                    static_cast<unsigned long>(ParStats.RescanFallbackChunks),
+                    static_cast<unsigned long>(ParStats.OverlapBytes));
+        if (Metrics)
+          recordInputParallelStats(ParStats, Registry);
+      }
       std::printf("matching time: %.6f s (%.2f MB/s)\n", Best,
                   static_cast<double>(Stream.size()) / (Best * 1e6));
       std::printf("total matches: %lu\n",

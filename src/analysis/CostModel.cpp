@@ -80,6 +80,7 @@ WidthBound boundActivationWidth(const Mfsa &Z, const WidthOptions &Options) {
   WidthBound Bound;
   const uint32_t NumStates = Z.numStates();
   const uint32_t NumRules = Z.numRules();
+  Bound.ReachableStates = DynamicBitset(NumStates);
   if (NumStates == 0 || Z.numTransitions() == 0) {
     Bound.Exact = true;
     Bound.WallMs = Clock.elapsedMs();
@@ -168,6 +169,9 @@ WidthBound boundActivationWidth(const Mfsa &Z, const WidthOptions &Options) {
                                        return isSubsetOf(T, Succ);
                                      }),
                       Antichain.end());
+      // Every reachable frontier is ⊆ some kept (pushed) one, so the union
+      // over pushed frontiers covers every state that can ever be active.
+      Bound.ReachableStates |= Succ;
       Antichain.push_back(Succ);
       Bound.AntichainPeak = std::max(Bound.AntichainPeak,
                                      static_cast<uint64_t>(Antichain.size()));
@@ -179,6 +183,8 @@ WidthBound boundActivationWidth(const Mfsa &Z, const WidthOptions &Options) {
     // Budget exhausted: substitute the trivial (still sound) bound.
     Bound.MaxActiveStates = NumStates;
     Bound.MaxActiveRules = NumRules;
+    for (uint32_t S = 0; S < NumStates; ++S)
+      Bound.ReachableStates.set(S);
     Bound.Exact = false;
   } else {
     Bound.Exact = true;

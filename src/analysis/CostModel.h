@@ -81,6 +81,13 @@ struct WidthBound {
   uint64_t MacrostatesExplored = 0;
   uint64_t AntichainPeak = 0;
   double WallMs = 0.0;
+  /// Union of every reachable macrostate (numStates bits): a sound
+  /// over-approximation of the states that can ever be active mid-stream.
+  /// The input-parallel executor (engine/InputParallel.h) seeds its
+  /// speculative chunk frontiers from exactly this set, and the planner
+  /// prices the speculation fan-out by its population. When the search was
+  /// budgeted, every bit is set (trivially sound).
+  DynamicBitset ReachableStates;
 };
 
 /// Computes a sound activation-width bound for \p Z (see file comment).

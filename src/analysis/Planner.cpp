@@ -253,6 +253,64 @@ void choose(EnginePlan &Plan, const PlannerOptions &Options) {
   Plan.Stride = Plan.Choice == Engine::StridedDfa ? 2 : 1;
 }
 
+/// Decides the plan's input-parallel dimension (EnginePlan::InputThreads /
+/// ParallelInput) for the already-chosen engine. The speculation fan-out —
+/// how many start states a non-leading chunk must consider — is priced
+/// from the static width facts: the DFA family's fan-out collapses via the
+/// state map, while the dense engine's is the population of the width
+/// bound's reachable-state union, which is only a trustworthy (bounded)
+/// figure when the antichain search completed exactly.
+void decideParallelInput(EnginePlan &Plan, const PlannerOptions &Options) {
+  Plan.InputThreads = std::max(1u, Options.InputThreads);
+  Plan.ParallelInput = false;
+  if (Plan.InputThreads <= 1) {
+    Plan.ParallelInputWhy = "single input thread requested";
+    return;
+  }
+  switch (Plan.Choice) {
+  case Engine::Dfa:
+  case Engine::StridedDfa:
+    // Per-start state maps collapse regardless of ruleset shape, and the
+    // executor's class-count guard bounds the worst case at run time.
+    Plan.ParallelInput = true;
+    Plan.ParallelInputWhy = "dfa state-map speculation with class collapse";
+    return;
+  case Engine::ImfantDense: {
+    uint32_t FanOut = 0;
+    bool Exact = true;
+    if (const CandidatePlan *Cand = Plan.chosen())
+      for (const CostReport &G : Cand->Groups) {
+        Exact = Exact && G.Width.Exact;
+        FanOut = std::max(FanOut, G.Width.ReachableStates.count());
+      }
+    if (!Exact) {
+      Plan.ParallelInputWhy =
+          "width bound budgeted: speculation fan-out unbounded";
+      return;
+    }
+    // Beyond this the per-start outcome tables are priced out and the
+    // union death probe is the only speculation left — too weak a bet to
+    // recommend statically (the executor still accepts if forced).
+    constexpr uint32_t MaxPlannedFanOut = 64;
+    if (FanOut > MaxPlannedFanOut) {
+      Plan.ParallelInputWhy = "speculation fan-out " + std::to_string(FanOut) +
+                              " start states exceeds " +
+                              std::to_string(MaxPlannedFanOut);
+      return;
+    }
+    Plan.ParallelInput = true;
+    Plan.ParallelInputWhy = "speculation fan-out " + std::to_string(FanOut) +
+                            " start states within bound";
+    return;
+  }
+  case Engine::Auto:
+  case Engine::ImfantSparse:
+  case Engine::Prefilter:
+    Plan.ParallelInputWhy = "engine has no input-parallel executor";
+    return;
+  }
+}
+
 void jsonEscapeTo(std::string &Out, std::string_view S) {
   for (char Ch : S) {
     unsigned char U = static_cast<unsigned char>(Ch);
@@ -294,7 +352,13 @@ std::string EnginePlan::explainJson() const {
   J += std::to_string(Stride);
   J += ",\n  \"plan_wall_ms\": ";
   appendNumber(J, PlanWallMs);
-  J += ",\n  \"candidates\": [";
+  J += ",\n  \"parallel_input\": {\"threads\": ";
+  J += std::to_string(InputThreads);
+  J += ", \"enabled\": ";
+  J += ParallelInput ? "true" : "false";
+  J += ", \"why\": \"";
+  jsonEscapeTo(J, ParallelInputWhy);
+  J += "\"},\n  \"candidates\": [";
   for (size_t I = 0; I < Candidates.size(); ++I) {
     const CandidatePlan &Cand = Candidates[I];
     J += I ? ",\n    {" : "\n    {";
@@ -374,6 +438,9 @@ void EnginePlan::recordTo(obs::MetricsRegistry &Registry) const {
       .set(static_cast<int64_t>(MergingFactor));
   Registry.gauge("analysis.cost.plan_wall_ms")
       .set(static_cast<int64_t>(PlanWallMs));
+  // 0 = declined/disabled; otherwise the recommended chunk count.
+  Registry.gauge("analysis.cost.parallel_input")
+      .set(ParallelInput ? static_cast<int64_t>(InputThreads) : 0);
   if (const CandidatePlan *Cand = chosen()) {
     // Publish the widest group's report: the bottleneck the plan hinges on.
     const CostReport *Widest = nullptr;
@@ -393,6 +460,7 @@ EnginePlan planMfsas(const std::vector<Mfsa> &Mfsas,
   Plan.Candidates.push_back(
       evaluateGroups(Mfsas, MergingFactor, Patterns, Options));
   choose(Plan, Options);
+  decideParallelInput(Plan, Options);
   Plan.PlanWallMs = Clock.elapsedMs();
   return Plan;
 }
@@ -422,6 +490,7 @@ EnginePlan planRuleset(const std::vector<Nfa> &OptimizedFsas,
     Plan.Candidates.push_back(evaluateGroups(Groups, M, Patterns, Options));
   }
   choose(Plan, Options);
+  decideParallelInput(Plan, Options);
   Plan.PlanWallMs = Clock.elapsedMs();
   return Plan;
 }

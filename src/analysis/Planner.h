@@ -122,6 +122,17 @@ struct EnginePlan {
   Engine Choice = Engine::ImfantDense;
   uint32_t MergingFactor = 0;
   uint32_t Stride = 1; ///< 2 iff Choice == StridedDfa.
+  /// Input-parallel dimension (engine/InputParallel.h): the chunk count the
+  /// caller asked to split each input into (PlannerOptions::InputThreads),
+  /// and whether the planner actually recommends it for the chosen engine.
+  /// Enabled only when the engine has an input-parallel executor (dense
+  /// iMFAnt, DFA, stride-2 DFA) and — for the dense engine — the static
+  /// width bound is exact, so the speculation fan-out (the population of
+  /// WidthBound::ReachableStates) is a priced, bounded quantity rather than
+  /// a guess. ParallelInputWhy records the reason either way.
+  unsigned InputThreads = 1;
+  bool ParallelInput = false;
+  std::string ParallelInputWhy;
   std::vector<CandidatePlan> Candidates; ///< One per merging factor tried.
   double PlanWallMs = 0.0;
 
@@ -170,6 +181,11 @@ struct PlannerOptions {
   /// Prefilter needs the source patterns at engine-construction time;
   /// callers without them (ANML-only loads) disable the candidate.
   bool AllowPrefilter = true;
+  /// Requested input-parallel chunk count (imfant_run --input-threads).
+  /// 1 disables the dimension; above 1 the planner decides per plan
+  /// whether the chosen engine can speculate profitably (see
+  /// EnginePlan::ParallelInput).
+  unsigned InputThreads = 1;
 };
 
 /// Plans engine + stride for an already-merged ruleset (fixed merging

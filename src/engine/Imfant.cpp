@@ -143,6 +143,19 @@ void ImfantEngine::setMetrics(obs::MetricsRegistry *Registry) {
   Registry->gauge("imfant.rules").set(NumRules);
 }
 
+std::vector<uint64_t> ImfantEngine::possibleRulesByState() const {
+  std::vector<uint64_t> Out(static_cast<size_t>(NumStates) * Words, 0);
+  // Entries repeat each transition once per enabled symbol; the union is
+  // idempotent, so no dedup pass is needed.
+  for (const TableEntry &Entry : Entries) {
+    uint64_t *Dst = &Out[static_cast<size_t>(Entry.To) * Words];
+    const uint64_t *Bel = &BelPool[static_cast<size_t>(Entry.BelIdx) * Words];
+    for (uint32_t I = 0; I < Words; ++I)
+      Dst[I] |= Bel[I];
+  }
+  return Out;
+}
+
 size_t ImfantEngine::footprintBytes() const {
   return Entries.size() * sizeof(TableEntry) + Offsets.size() * 4 +
          (BelPool.size() + InitialRules.size() + FinalRules.size() +
@@ -173,11 +186,61 @@ ImfantEngine::Scanner::Scanner(const ImfantEngine &Engine)
   NextTouched.reserve(64);
 }
 
+void ImfantEngine::Scanner::startAt(uint64_t Offset) {
+  assert(!Finished && AbsoluteOffset == 0 && CurTouched.empty() &&
+         "startAt() on a scanner that already consumed input");
+  AbsoluteOffset = Offset;
+}
+
+void ImfantEngine::Scanner::setInjection(bool Enabled) {
+  InjectionEnabled = Enabled;
+}
+
+void ImfantEngine::Scanner::seedActivation(const ActivationSet &Config) {
+  assert(Config.empty() || Config.Words == Engine.Words);
+  const uint32_t W = Engine.Words;
+  for (size_t I = 0; I < Config.States.size(); ++I) {
+    const StateId S = Config.States[I];
+    assert(S < Engine.NumStates && "activation state out of range");
+    const uint64_t *Src = Config.block(I);
+    bool Any = false;
+    uint64_t *Dst = &CurJ[static_cast<size_t>(S) * W];
+    for (uint32_t Wd = 0; Wd < W; ++Wd) {
+      Dst[Wd] |= Src[Wd];
+      Any = Any || Src[Wd] != 0;
+    }
+    if (Any && !CurActive[S]) {
+      CurActive[S] = 1;
+      CurTouched.push_back(S);
+    }
+  }
+}
+
+ActivationSet ImfantEngine::Scanner::captureActivation() const {
+  ActivationSet Out;
+  const uint32_t W = Engine.Words;
+  Out.Words = W;
+  for (StateId S : CurTouched) {
+    const uint64_t *J = &CurJ[static_cast<size_t>(S) * W];
+    bool Any = false;
+    for (uint32_t Wd = 0; Wd < W; ++Wd)
+      Any = Any || J[Wd] != 0;
+    if (!Any)
+      continue;
+    Out.States.push_back(S);
+    Out.RuleBlocks.insert(Out.RuleBlocks.end(), J, J + W);
+  }
+  return Out;
+}
+
 void ImfantEngine::Scanner::feed(std::string_view Chunk,
                                  MatchRecorder &Recorder, RunStats *Stats) {
   assert(!Finished && "feed() after finish()");
+  if (!InjectionEnabled && CurTouched.empty())
+    return; // A dead frontier with injection off can never revive.
 #if MFSA_METRICS_ENABLED
   const uint64_t MatchesBefore = Recorder.total();
+  const uint64_t OffsetBefore = AbsoluteOffset;
 #endif
   if (Engine.Words == 1)
     feedLoop<true>(Chunk, Recorder, Stats);
@@ -185,7 +248,8 @@ void ImfantEngine::Scanner::feed(std::string_view Chunk,
     feedLoop<false>(Chunk, Recorder, Stats);
 #if MFSA_METRICS_ENABLED
   if (Engine.Metrics.Bytes) {
-    Engine.Metrics.Bytes->add(Chunk.size());
+    // The injection-off early exit can consume less than the whole chunk.
+    Engine.Metrics.Bytes->add(AbsoluteOffset - OffsetBefore);
     Engine.Metrics.Matches->add(Recorder.total() - MatchesBefore);
   }
 #endif
@@ -203,7 +267,9 @@ void ImfantEngine::Scanner::feedLoop(std::string_view Chunk,
   const uint32_t W = SingleWord ? 1u : E.Words;
   assert(W == E.Words && "dispatch mismatch");
   const simd::KernelTable &K = simd::ops();
+  const bool Inject = InjectionEnabled;
   uint64_t *A = ActivationScratch.data();
+  size_t Consumed = Chunk.size();
 
   uint64_t ActiveRuleSum = 0;
   uint32_t ActiveRuleMax = 0;
@@ -243,7 +309,7 @@ void ImfantEngine::Scanner::feedLoop(std::string_view Chunk,
     for (uint32_t EIdx = Begin; EIdx < End; ++EIdx) {
       const TableEntry &Entry = E.Entries[EIdx];
       const bool FromActive = CurActive[Entry.From];
-      const bool FromInitial = E.InitialAny[Entry.From];
+      const bool FromInitial = Inject && E.InitialAny[Entry.From];
       // iNFAnt enables a transition when it starts in an active or initial
       // state; everything else is skipped outright.
       if (!FromActive && !FromInitial)
@@ -363,6 +429,14 @@ void ImfantEngine::Scanner::feedLoop(std::string_view Chunk,
     for (uint32_t I : MatchedDirtyWords)
       MatchedThisStep[I] = 0;
     MatchedDirtyWords.clear();
+
+    // Pure-propagation mode: once the frontier dies nothing revives it, so
+    // stop consuming (PendingAtEnd is necessarily empty — no arrivals
+    // happened this step). offset() reports the death position.
+    if (!Inject && CurTouched.empty()) {
+      Consumed = Pos + 1;
+      break;
+    }
   }
 
 #if MFSA_METRICS_ENABLED
@@ -371,14 +445,13 @@ void ImfantEngine::Scanner::feedLoop(std::string_view Chunk,
 #endif
 
   if (Stats) {
-    Stats->Steps += Chunk.size();
+    Stats->Steps += Consumed;
     Stats->TransitionsEvaluated += TransitionsEvaluated;
     Stats->MaxActiveRules = std::max(Stats->MaxActiveRules, ActiveRuleMax);
     Stats->MaxFrontier = std::max(Stats->MaxFrontier, FrontierMax);
     // Fold this chunk's mean into the running mean by weight.
     if (Stats->Steps > 0) {
-      double PriorWeight =
-          static_cast<double>(Stats->Steps - Chunk.size());
+      double PriorWeight = static_cast<double>(Stats->Steps - Consumed);
       Stats->AvgActiveRules =
           (Stats->AvgActiveRules * PriorWeight +
            static_cast<double>(ActiveRuleSum)) /

@@ -81,6 +81,21 @@ private:
   std::vector<std::pair<uint32_t, uint64_t>> Matches;
 };
 
+/// A sparse snapshot of a Scanner's activation configuration: the active
+/// states paired with their rule bitsets, stored as one flat array of
+/// Words-wide blocks. The input-parallel executor (engine/InputParallel.h)
+/// uses these to hand the boundary frontier of one chunk to the scan of the
+/// next and to seed speculative chunk scans from possible-rule masks.
+struct ActivationSet {
+  std::vector<StateId> States;
+  std::vector<uint64_t> RuleBlocks; ///< States.size() × Words words.
+  uint32_t Words = 0;
+
+  bool empty() const { return States.empty(); }
+  size_t size() const { return States.size(); }
+  const uint64_t *block(size_t I) const { return &RuleBlocks[I * Words]; }
+};
+
 /// Per-run traversal statistics backing Table II (active-rule pressure).
 struct RunStats {
   uint64_t Steps = 0;           ///< Input symbols consumed.
@@ -132,6 +147,31 @@ public:
     /// Absolute offset consumed so far.
     uint64_t offset() const { return AbsoluteOffset; }
 
+    /// Repositions the stream's absolute offset before the first feed():
+    /// an input-parallel chunk scan starting at byte B must see non-zero
+    /// offsets so `^`-anchored injection stays suppressed (the anchor gate
+    /// keys off offset 0). Only valid on a scanner that has consumed
+    /// nothing.
+    void startAt(uint64_t Offset);
+
+    /// Enables/disables rule injection (Eq. 4). With injection off the
+    /// scanner is a pure propagator of the seeded configuration — no new
+    /// match attempt begins — and feed() returns early once the frontier
+    /// dies, since nothing can revive it; offset() then reports the death
+    /// position rather than the full fed length.
+    void setInjection(bool Enabled);
+
+    /// Merges \p Config into the current activation configuration.
+    void seedActivation(const ActivationSet &Config);
+
+    /// Snapshots the live activation configuration (states carrying at
+    /// least one active rule).
+    ActivationSet captureActivation() const;
+
+    /// True when no state is active. With injection disabled this is
+    /// permanent: propagation can only shrink the frontier.
+    bool frontierEmpty() const { return CurTouched.empty(); }
+
   private:
     /// The scan loop, compiled twice: SingleWord folds the per-rule-bitset
     /// loops to scalar ops for MFSAs of up to 64 rules — which covers every
@@ -143,6 +183,7 @@ public:
     const ImfantEngine &Engine;
     uint64_t AbsoluteOffset = 0;
     bool Finished = false;
+    bool InjectionEnabled = true;
 
     // Double-buffered state vector plus per-step scratch (see Imfant.cpp).
     std::vector<uint8_t> CurActive, NextActive;
@@ -161,6 +202,20 @@ public:
 
   uint32_t numStates() const { return NumStates; }
   uint32_t numRules() const { return NumRules; }
+  /// 64-bit words per rule bitset (ActivationSet::Words for this engine).
+  uint32_t ruleWords() const { return Words; }
+  /// Local rule id -> dataset global rule id (the ids onMatch reports).
+  const std::vector<uint32_t> &globalIds() const { return GlobalIds; }
+
+  /// Per-state possible-rule masks: numStates() flat ruleWords()-wide
+  /// blocks, each the union of bel over the state's incoming transitions.
+  /// Any reachable activation J(q) is a subset of state q's mask — both
+  /// propagation (Eq. 6's ∩ bel) and injection (Eq. 4's init ∩ bel) filter
+  /// through an incoming transition's belonging set — so the input-parallel
+  /// executor can seed speculative frontiers from these masks and later
+  /// intersect recorded speculative outcomes with the true carried
+  /// activation.
+  std::vector<uint64_t> possibleRulesByState() const;
 
   /// Points scan instrumentation at \p Registry (nullptr detaches). The
   /// engine resolves its `imfant.*` metric handles here, once, so the scan

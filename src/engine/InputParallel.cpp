@@ -1,0 +1,775 @@
+//===- InputParallel.cpp - input-parallel single-stream scanning -------------===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/InputParallel.h"
+
+#include "obs/Metrics.h"
+#include "support/SimdDispatch.h"
+#include "support/ThreadPool.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <map>
+#include <numeric>
+
+using namespace mfsa;
+
+namespace {
+
+using Match = std::pair<uint32_t, uint64_t>; ///< (global rule, end offset).
+
+/// Sorts \p Matches into sequential emission order — nondecreasing end
+/// offset, rule id within an offset — drops duplicate (rule, end) pairs
+/// (the iso scan and the boundary carry can realize the same match), and
+/// forwards the survivors.
+void forwardSortedUnique(std::vector<Match> &Matches,
+                         MatchRecorder &Recorder) {
+  std::sort(Matches.begin(), Matches.end(),
+            [](const Match &A, const Match &B) {
+              return A.second != B.second ? A.second < B.second
+                                          : A.first < B.first;
+            });
+  Matches.erase(std::unique(Matches.begin(), Matches.end()), Matches.end());
+  for (const Match &M : Matches)
+    Recorder.onMatch(M.first, M.second);
+}
+
+/// Pointwise union of two activation configurations (either may be empty).
+ActivationSet unionActivations(const ActivationSet &A,
+                               const ActivationSet &B) {
+  if (A.empty())
+    return B;
+  if (B.empty())
+    return A;
+  assert(A.Words == B.Words);
+  const uint32_t W = A.Words;
+  std::map<StateId, std::vector<uint64_t>> Acc;
+  auto Fold = [&](const ActivationSet &Src) {
+    for (size_t I = 0; I < Src.size(); ++I) {
+      std::vector<uint64_t> &Blk = Acc[Src.States[I]];
+      if (Blk.empty())
+        Blk.assign(W, 0);
+      const uint64_t *From = Src.block(I);
+      for (uint32_t Wd = 0; Wd < W; ++Wd)
+        Blk[Wd] |= From[Wd];
+    }
+  };
+  Fold(A);
+  Fold(B);
+  ActivationSet Out;
+  Out.Words = W;
+  for (const auto &[S, Blk] : Acc) {
+    Out.States.push_back(S);
+    Out.RuleBlocks.insert(Out.RuleBlocks.end(), Blk.begin(), Blk.end());
+  }
+  return Out;
+}
+
+/// Runs \p Body(I) for I in [0, N): serially by default (each call timed
+/// in isolation for the modeled critical path), or on a pool of
+/// \p Threads workers. Bodies write only their own result slot, so the
+/// pooled variant needs no locking.
+template <class Fn>
+void forEachChunk(bool UseThreadPool, unsigned Threads, size_t N, Fn &&Body) {
+  if (UseThreadPool && N > 1 && Threads > 1) {
+    ThreadPool Pool(std::min<unsigned>(Threads, static_cast<unsigned>(N)));
+    for (size_t I = 0; I < N; ++I)
+      Pool.submit([I, &Body] { Body(I); });
+    Pool.wait();
+  } else {
+    for (size_t I = 0; I < N; ++I)
+      Body(I);
+  }
+}
+
+} // namespace
+
+double InputParallelStats::modeledWallSeconds() const {
+  double Slowest = 0.0;
+  for (double S : ChunkPhase1Seconds)
+    Slowest = std::max(Slowest, S);
+  return Slowest + JoinSeconds;
+}
+
+void mfsa::recordInputParallelStats(const InputParallelStats &Stats,
+                                    obs::MetricsRegistry &Registry) {
+  Registry.counter("parallel.input.runs").add(1);
+  Registry.counter("parallel.input.chunks").add(Stats.Chunks);
+  Registry.counter("parallel.input.spec_dead_chunks")
+      .add(Stats.SpecDeadChunks);
+  Registry.counter("parallel.input.spec_table_chunks")
+      .add(Stats.SpecTableChunks);
+  Registry.counter("parallel.input.rescan_fallback_chunks")
+      .add(Stats.RescanFallbackChunks);
+  Registry.counter("parallel.input.overlap_bytes").add(Stats.OverlapBytes);
+  Registry.counter("parallel.input.spec_start_runs").add(Stats.SpecStartRuns);
+  Registry.counter("parallel.input.iso_matches").add(Stats.IsoMatches);
+  Registry.counter("parallel.input.carry_matches").add(Stats.CarryMatches);
+  Registry.gauge("parallel.input.threads")
+      .set(static_cast<int64_t>(Stats.Threads));
+  Registry.gauge("parallel.input.max_spec_frontier")
+      .set(static_cast<int64_t>(Stats.MaxSpecFrontier));
+  Registry.gauge("parallel.input.max_alive_classes")
+      .set(static_cast<int64_t>(Stats.MaxAliveClasses));
+  Registry.gauge("parallel.input.join_us")
+      .set(static_cast<int64_t>(Stats.JoinSeconds * 1e6));
+}
+
+//===----------------------------------------------------------------------===//
+// Construction
+//===----------------------------------------------------------------------===//
+
+InputParallelRun::InputParallelRun(const ImfantEngine &Engine,
+                                   InputParallelOptions Options)
+    : Kind(Backend::Imfant), Opts(std::move(Options)), Imfant(&Engine) {
+  const uint32_t W = Engine.ruleWords();
+  const std::vector<uint64_t> Poss = Engine.possibleRulesByState();
+  // The width bound's reachable-state set (when supplied and computed over
+  // the same Mfsa) soundly prunes states that no mid-stream frontier can
+  // contain; a budgeted bound has every bit set, so the pruning degrades
+  // gracefully to "every state with a nonempty possible-rule mask".
+  const WidthBound *Width = Opts.Width;
+  const bool UseReach =
+      Width && Width->ReachableStates.size() == Engine.numStates();
+  SpecSeed.Words = W;
+  for (StateId S = 0; S < Engine.numStates(); ++S) {
+    const uint64_t *Blk = &Poss[static_cast<size_t>(S) * W];
+    bool Any = false;
+    for (uint32_t Wd = 0; Wd < W; ++Wd)
+      Any = Any || Blk[Wd] != 0;
+    if (!Any || (UseReach && !Width->ReachableStates.test(S)))
+      continue;
+    SpecSeed.States.push_back(S);
+    SpecSeed.RuleBlocks.insert(SpecSeed.RuleBlocks.end(), Blk, Blk + W);
+  }
+  for (uint32_t R = 0; R < Engine.numRules(); ++R)
+    GlobalToLocal.emplace(Engine.globalIds()[R], R);
+}
+
+InputParallelRun::InputParallelRun(const Dfa &Automaton,
+                                   InputParallelOptions Options)
+    : Kind(Backend::Dfa), Opts(std::move(Options)), Automaton(&Automaton) {}
+
+InputParallelRun::InputParallelRun(const StridedDfa &Automaton,
+                                   InputParallelOptions Options)
+    : Kind(Backend::Stride2), Opts(std::move(Options)), Strided(&Automaton) {}
+
+std::vector<uint64_t> InputParallelRun::chunkBoundaries(size_t Len) const {
+  std::vector<uint64_t> Bounds;
+  if (!Opts.CutOverride.empty()) {
+    Bounds.push_back(0);
+    for (uint64_t Cut : Opts.CutOverride)
+      Bounds.push_back(std::min<uint64_t>(Cut, Len));
+    std::sort(Bounds.begin(), Bounds.end());
+    Bounds.push_back(Len);
+    return Bounds;
+  }
+  size_t Chunks = std::max<unsigned>(1, Opts.Threads);
+  if (Opts.MinChunkBytes)
+    Chunks = std::min<size_t>(
+        Chunks, std::max<size_t>(1, Len / Opts.MinChunkBytes));
+  Bounds.reserve(Chunks + 1);
+  Bounds.push_back(0);
+  for (size_t I = 1; I < Chunks; ++I)
+    Bounds.push_back(Len * I / Chunks);
+  Bounds.push_back(Len);
+  return Bounds;
+}
+
+//===----------------------------------------------------------------------===//
+// iMFAnt backend
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Everything phase 1 computes for one iMFAnt chunk.
+struct ImfChunkWork {
+  /// How the join resolves this chunk's incoming boundary frontier.
+  enum class Mode : uint8_t {
+    Leading, ///< Chunk 0 (or an empty chunk): no speculation needed.
+    Dead,    ///< Probe died: the carry re-scan is bounded by DeathBytes.
+    Table,   ///< Per-start outcome tables recorded: join is a lookup.
+    Rescan   ///< Fan-out too large: join re-scans the carry sequentially.
+  };
+  Mode M = Mode::Leading;
+  size_t DeathBytes = 0;
+
+  std::vector<Match> IsoMatches; ///< Global ids, absolute offsets.
+  ActivationSet IsoExit;
+
+  /// Mode::Table per-start outcomes, parallel to the executor's SpecSeed
+  /// order. Matches carry LOCAL rule ids so the join can intersect them
+  /// with the true carried activation bitset (exact per rule: J-bits
+  /// propagate independently through ∩ bel).
+  struct StartOutcome {
+    std::vector<Match> LocalMatches;
+    ActivationSet Exit;
+  };
+  std::vector<StartOutcome> Outcomes;
+
+  uint32_t MaxSpecFrontier = 0;
+};
+
+constexpr size_t UnlimitedCap = std::numeric_limits<size_t>::max();
+
+} // namespace
+
+void InputParallelRun::runImfant(std::string_view Input,
+                                 const std::vector<uint64_t> &Bounds,
+                                 MatchRecorder &Recorder,
+                                 InputParallelStats *Stats) const {
+  const ImfantEngine &Engine = *Imfant;
+  const size_t NumChunks = Bounds.size() - 1;
+  const uint64_t StreamEnd = Input.size();
+  std::vector<ImfChunkWork> Work(NumChunks);
+
+  // Phase 1 — per chunk, independent (parallel under UseThreadPool):
+  // the iso scan, the union-frontier death probe, and (when the fan-out
+  // allows) the per-start outcome tables.
+  forEachChunk(Opts.UseThreadPool, Opts.Threads, NumChunks, [&](size_t I) {
+    Timer Clock;
+    ImfChunkWork &W = Work[I];
+    const uint64_t Base = Bounds[I];
+    const std::string_view Chunk =
+        Input.substr(Base, Bounds[I + 1] - Base);
+    // `$`-pending flush and AcceptAtEnd both belong to the chunk that
+    // consumes the stream's final byte — NOT to a trailing empty chunk.
+    const bool FlushesEnd = !Chunk.empty() && Base + Chunk.size() == StreamEnd;
+
+    {
+      // Iso scan: injection on, empty start, absolute offsets. Exact for
+      // every match attempt that begins inside this chunk.
+      MatchRecorder Iso(MatchRecorder::Mode::Collect);
+      Iso.Cap = UnlimitedCap;
+      ImfantEngine::Scanner Scan(Engine);
+      Scan.startAt(Base);
+      Scan.feed(Chunk, Iso);
+      if (FlushesEnd)
+        Scan.finish(Iso);
+      W.IsoExit = Scan.captureActivation();
+      W.IsoMatches = Iso.matches();
+    }
+
+    if (I == 0 || Chunk.empty()) {
+      W.M = ImfChunkWork::Mode::Leading;
+    } else {
+      // Death probe: propagate the union frontier (injection off) through
+      // the overlap window. Any real carry is pointwise ⊆ this seed, and
+      // the propagation step is monotone, so probe death at offset D
+      // bounds every possible carry re-scan by D bytes.
+      ImfantEngine::Scanner Probe(Engine);
+      Probe.startAt(Base);
+      Probe.setInjection(false);
+      Probe.seedActivation(SpecSeed);
+      MatchRecorder Devnull(MatchRecorder::Mode::CountOnly);
+      const size_t Window =
+          Opts.MaxSpecWindowBytes
+              ? std::min(Chunk.size(), Opts.MaxSpecWindowBytes)
+              : Chunk.size();
+      Probe.feed(Chunk.substr(0, Window), Devnull);
+      if (Probe.frontierEmpty()) {
+        W.M = ImfChunkWork::Mode::Dead;
+        W.DeathBytes = static_cast<size_t>(Probe.offset() - Base);
+      } else if (SpecSeed.size() <= Opts.MaxSpecStartStates) {
+        // Record one outcome per speculative start state: the join masks
+        // these against the real carried activation. Each costs a full
+        // chunk propagation, hence the fan-out cap.
+        W.M = ImfChunkWork::Mode::Table;
+        W.Outcomes.resize(SpecSeed.size());
+        ActivationSet Singleton;
+        Singleton.Words = SpecSeed.Words;
+        for (size_t Q = 0; Q < SpecSeed.size(); ++Q) {
+          Singleton.States.assign(1, SpecSeed.States[Q]);
+          Singleton.RuleBlocks.assign(SpecSeed.block(Q),
+                                      SpecSeed.block(Q) + SpecSeed.Words);
+          ImfantEngine::Scanner Scan(Engine);
+          Scan.startAt(Base);
+          Scan.setInjection(false);
+          Scan.seedActivation(Singleton);
+          MatchRecorder Out(MatchRecorder::Mode::Collect);
+          Out.Cap = UnlimitedCap;
+          RunStats SpecStats;
+          Scan.feed(Chunk, Out, Stats ? &SpecStats : nullptr);
+          if (FlushesEnd)
+            Scan.finish(Out);
+          ImfChunkWork::StartOutcome &O = W.Outcomes[Q];
+          O.Exit = Scan.captureActivation();
+          O.LocalMatches.reserve(Out.matches().size());
+          for (const Match &M : Out.matches())
+            O.LocalMatches.emplace_back(GlobalToLocal.at(M.first), M.second);
+          W.MaxSpecFrontier =
+              std::max(W.MaxSpecFrontier, SpecStats.MaxFrontier);
+        }
+      } else {
+        W.M = ImfChunkWork::Mode::Rescan;
+      }
+    }
+    if (Stats)
+      Stats->ChunkPhase1Seconds[I] = Clock.elapsedMs() / 1e3;
+  });
+
+  // Phase 2 — sequential join: thread the real boundary frontier through
+  // the chunks, resolving each boundary by the mode phase 1 established.
+  Timer JoinClock;
+  const uint32_t W = Engine.ruleWords();
+  {
+    std::vector<Match> Lead = std::move(Work[0].IsoMatches);
+    if (Stats)
+      Stats->IsoMatches += Lead.size();
+    forwardSortedUnique(Lead, Recorder);
+  }
+  ActivationSet Carry = std::move(Work[0].IsoExit);
+
+  for (size_t I = 1; I < NumChunks; ++I) {
+    ImfChunkWork &Wk = Work[I];
+    const uint64_t Base = Bounds[I];
+    const std::string_view Chunk = Input.substr(Base, Bounds[I + 1] - Base);
+    const bool FlushesEnd = !Chunk.empty() && Base + Chunk.size() == StreamEnd;
+
+    ImfChunkWork::Mode M = Wk.M;
+    if (M == ImfChunkWork::Mode::Table) {
+      // Defensive: a carried state outside the speculative seed has no
+      // table (unreachable while the possible-rule masks are sound).
+      for (StateId S : Carry.States)
+        if (!std::binary_search(SpecSeed.States.begin(),
+                                SpecSeed.States.end(), S)) {
+          M = ImfChunkWork::Mode::Rescan;
+          break;
+        }
+    }
+
+    std::vector<Match> CarryMatches;
+    ActivationSet CarryExit;
+    switch (M) {
+    case ImfChunkWork::Mode::Leading:
+      CarryExit = std::move(Carry); // Zero-length chunk: frontier unchanged.
+      break;
+    case ImfChunkWork::Mode::Dead:
+    case ImfChunkWork::Mode::Rescan: {
+      if (!Carry.empty()) {
+        // Boundary re-scan: propagate the real carry (injection off). The
+        // scanner stops at frontier death on its own, so a Dead chunk
+        // consumes at most DeathBytes — the overlap window.
+        ImfantEngine::Scanner Scan(Engine);
+        Scan.startAt(Base);
+        Scan.setInjection(false);
+        Scan.seedActivation(Carry);
+        MatchRecorder Out(MatchRecorder::Mode::Collect);
+        Out.Cap = UnlimitedCap;
+        RunStats CarryStats;
+        Scan.feed(Chunk, Out, Stats ? &CarryStats : nullptr);
+        if (FlushesEnd)
+          Scan.finish(Out);
+        CarryExit = Scan.captureActivation();
+        CarryMatches = Out.matches();
+        if (Stats) {
+          Stats->OverlapBytes += Scan.offset() - Base;
+          Stats->MaxSpecFrontier =
+              std::max(Stats->MaxSpecFrontier, CarryStats.MaxFrontier);
+        }
+        assert((M != ImfChunkWork::Mode::Dead || Scan.frontierEmpty()) &&
+               "probe death must dominate the real carry");
+      }
+      break;
+    }
+    case ImfChunkWork::Mode::Table: {
+      // Masked table lookup: a speculative outcome recorded under the
+      // possible-rule mask restricts exactly to the carried J bits.
+      ActivationSet Acc;
+      for (size_t C = 0; C < Carry.size(); ++C) {
+        const StateId S = Carry.States[C];
+        const uint64_t *J = Carry.block(C);
+        const size_t Q = static_cast<size_t>(
+            std::lower_bound(SpecSeed.States.begin(), SpecSeed.States.end(),
+                             S) -
+            SpecSeed.States.begin());
+        const ImfChunkWork::StartOutcome &O = Wk.Outcomes[Q];
+        for (const Match &LM : O.LocalMatches)
+          if (J[LM.first / 64] & (1ULL << (LM.first % 64)))
+            CarryMatches.emplace_back(Engine.globalIds()[LM.first],
+                                      LM.second);
+        ActivationSet Masked;
+        Masked.Words = W;
+        for (size_t E = 0; E < O.Exit.size(); ++E) {
+          const uint64_t *Blk = O.Exit.block(E);
+          std::vector<uint64_t> MaskedBlk(W);
+          bool Any = false;
+          for (uint32_t Wd = 0; Wd < W; ++Wd) {
+            MaskedBlk[Wd] = Blk[Wd] & J[Wd];
+            Any = Any || MaskedBlk[Wd] != 0;
+          }
+          if (!Any)
+            continue;
+          Masked.States.push_back(O.Exit.States[E]);
+          Masked.RuleBlocks.insert(Masked.RuleBlocks.end(),
+                                   MaskedBlk.begin(), MaskedBlk.end());
+        }
+        Acc = unionActivations(Acc, Masked);
+      }
+      CarryExit = std::move(Acc);
+      break;
+    }
+    }
+
+    if (Stats) {
+      Stats->IsoMatches += Wk.IsoMatches.size();
+      Stats->CarryMatches += CarryMatches.size();
+      Stats->MaxSpecFrontier =
+          std::max(Stats->MaxSpecFrontier, Wk.MaxSpecFrontier);
+      Stats->SpecStartRuns +=
+          Wk.M == ImfChunkWork::Mode::Table ? Wk.Outcomes.size() : 0;
+      switch (M) {
+      case ImfChunkWork::Mode::Leading:
+        break;
+      case ImfChunkWork::Mode::Dead:
+        ++Stats->SpecDeadChunks;
+        break;
+      case ImfChunkWork::Mode::Table:
+        ++Stats->SpecTableChunks;
+        break;
+      case ImfChunkWork::Mode::Rescan:
+        ++Stats->RescanFallbackChunks;
+        break;
+      }
+    }
+
+    // Per-chunk (rule, end) dedup across the iso scan and the carry —
+    // the sequential engine's per-step dedup, reconstructed at the join.
+    std::vector<Match> Joined = std::move(Wk.IsoMatches);
+    Joined.insert(Joined.end(), CarryMatches.begin(), CarryMatches.end());
+    forwardSortedUnique(Joined, Recorder);
+
+    Carry = unionActivations(Wk.IsoExit, CarryExit);
+  }
+  if (Stats)
+    Stats->JoinSeconds = JoinClock.elapsedMs() / 1e3;
+}
+
+//===----------------------------------------------------------------------===//
+// DFA-family backend
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Single-byte stepping over a scanning Dfa with DfaEngine's exact accept
+/// semantics (Accept probed after every byte; AcceptAtEnd only after the
+/// stream's final byte, via emitAtEnd).
+struct DfaPolicy {
+  const Dfa &D;
+  const simd::KernelTable &K;
+
+  uint32_t numStates() const { return D.NumStates; }
+  size_t stepLen(uint64_t, size_t) const { return 1; }
+
+  template <class EmitT>
+  uint32_t step(uint32_t State, std::string_view Chunk, size_t Pos,
+                uint64_t Base, EmitT &&Emit) const {
+    const uint32_t Next =
+        D.Next[static_cast<size_t>(State) * D.NumAtoms +
+               D.AtomOfByte[static_cast<unsigned char>(Chunk[Pos])]];
+    const DynamicBitset &Accept = D.Accept[Next];
+    if (K.AnyWords(Accept.words().data(), Accept.words().size()))
+      Accept.forEach([&](unsigned Rule) {
+        Emit(D.GlobalIds[Rule], Base + Pos + 1);
+      });
+    return Next;
+  }
+
+  template <class EmitT>
+  void emitAtEnd(uint32_t State, uint64_t EndOffset, EmitT &&Emit) const {
+    const DynamicBitset &AtEnd = D.AcceptAtEnd[State];
+    if (K.AnyWords(AtEnd.words().data(), AtEnd.words().size()))
+      AtEnd.forEach(
+          [&](unsigned Rule) { Emit(D.GlobalIds[Rule], EndOffset); });
+  }
+};
+
+/// Stride-2 stepping aligned to ABSOLUTE pair parity: pairs start at even
+/// stream offsets, so a chunk whose base (or tail) splits a pair takes
+/// single Mid half-steps at the ragged edges — Mid is the stride-1 table,
+/// so the output stays byte-identical to the sequential strided engine
+/// under arbitrary adversarial cuts.
+struct StridedPolicy {
+  const StridedDfa &D;
+  const simd::KernelTable &K;
+
+  uint32_t numStates() const { return D.NumStates; }
+  size_t stepLen(uint64_t AbsPos, size_t Remaining) const {
+    return (AbsPos % 2 == 0 && Remaining >= 2) ? 2 : 1;
+  }
+
+  template <class EmitT>
+  void probeAccept(uint32_t State, uint64_t EndOffset, EmitT &&Emit) const {
+    const DynamicBitset &Accept = D.Accept[State];
+    if (K.AnyWords(Accept.words().data(), Accept.words().size()))
+      Accept.forEach(
+          [&](unsigned Rule) { Emit(D.GlobalIds[Rule], EndOffset); });
+  }
+
+  template <class EmitT>
+  uint32_t step(uint32_t State, std::string_view Chunk, size_t Pos,
+                uint64_t Base, EmitT &&Emit) const {
+    const uint32_t A = D.NumAtoms;
+    const uint32_t A1 =
+        D.AtomOfByte[static_cast<unsigned char>(Chunk[Pos])];
+    const uint64_t Abs = Base + Pos;
+    if (Abs % 2 == 0 && Pos + 1 < Chunk.size()) {
+      // Full stride: mid-stride accept (odd offset) only when the flag
+      // says the half-step state accepts at all.
+      if (D.MidAcceptAny[static_cast<size_t>(State) * A + A1])
+        probeAccept(D.Mid[static_cast<size_t>(State) * A + A1], Abs + 1,
+                    Emit);
+      const uint32_t A2 =
+          D.AtomOfByte[static_cast<unsigned char>(Chunk[Pos + 1])];
+      const uint32_t Next =
+          D.Next2[(static_cast<size_t>(State) * A + A1) * A + A2];
+      probeAccept(Next, Abs + 2, Emit);
+      return Next;
+    }
+    const uint32_t Next = D.Mid[static_cast<size_t>(State) * A + A1];
+    probeAccept(Next, Abs + 1, Emit);
+    return Next;
+  }
+
+  template <class EmitT>
+  void emitAtEnd(uint32_t State, uint64_t EndOffset, EmitT &&Emit) const {
+    const DynamicBitset &AtEnd = D.AcceptAtEnd[State];
+    if (K.AnyWords(AtEnd.words().data(), AtEnd.words().size()))
+      AtEnd.forEach(
+          [&](unsigned Rule) { Emit(D.GlobalIds[Rule], EndOffset); });
+  }
+};
+
+/// Sequential scan of one chunk from a known state; AcceptAtEnd fires only
+/// when the chunk consumes the stream's final byte.
+template <class Policy, class EmitT>
+uint32_t scanChunkFrom(const Policy &P, uint32_t State,
+                       std::string_view Chunk, uint64_t Base,
+                       uint64_t StreamEnd, EmitT &&Emit) {
+  size_t Pos = 0;
+  while (Pos < Chunk.size()) {
+    const size_t Len = P.stepLen(Base + Pos, Chunk.size() - Pos);
+    State = P.step(State, Chunk, Pos, Base, Emit);
+    Pos += Len;
+  }
+  if (!Chunk.empty() && Base + Chunk.size() == StreamEnd)
+    P.emitAtEnd(State, StreamEnd, Emit);
+  return State;
+}
+
+constexpr uint32_t NoClass = std::numeric_limits<uint32_t>::max();
+
+/// PaREM-style per-start outcome map for one chunk, with class collapse:
+/// classes that land on the same DFA state merge, the dead class keeping a
+/// pointer into its surviving parent's accept log so every start state's
+/// full match sequence stays reconstructible in order.
+struct ChunkStateMap {
+  struct Cls {
+    std::vector<Match> Log; ///< Time-ordered (global rule, end) accepts.
+    uint32_t MergedInto = NoClass;
+    size_t MergedAtParentSize = 0;
+    uint32_t Exit = 0; ///< Valid for never-merged (terminal) classes.
+  };
+  bool Ok = false; ///< False: collapse stalled; join re-scans sequentially.
+  std::vector<Cls> Classes; ///< Index == start state.
+  uint32_t MaxAlive = 0;
+};
+
+template <class Policy>
+void buildChunkStateMap(const Policy &P, std::string_view Chunk,
+                        uint64_t Base, uint64_t StreamEnd, uint32_t ClassCap,
+                        size_t GuardBytes, ChunkStateMap &M) {
+  const uint32_t N = P.numStates();
+  M.Classes.assign(N, {});
+  std::vector<uint32_t> Cur(N), Alive(N), NewAlive;
+  std::iota(Cur.begin(), Cur.end(), 0u);
+  std::iota(Alive.begin(), Alive.end(), 0u);
+  NewAlive.reserve(N);
+  // Epoch-marked ownership: Owner[S] is the class that reached S this
+  // step, valid only when OwnerEpoch[S] matches.
+  std::vector<uint32_t> Owner(N, 0);
+  std::vector<uint64_t> OwnerEpoch(N, 0);
+  uint64_t Epoch = 0;
+
+  size_t Pos = 0;
+  while (Pos < Chunk.size()) {
+    // Collapse-to-one fast path: a single surviving class is a known DFA
+    // state, so the rest of the chunk is the ordinary sequential scan —
+    // this is what makes the map's amortized cost approach the sequential
+    // engine's and the modeled speedup approach T (bench/fig_input_parallel).
+    if (Alive.size() == 1) {
+      const uint32_t C = Alive[0];
+      Cur[C] = scanChunkFrom(P, Cur[C], Chunk.substr(Pos), Base + Pos,
+                             StreamEnd, [&](uint32_t Rule, uint64_t End) {
+                               M.Classes[C].Log.emplace_back(Rule, End);
+                             });
+      M.Classes[C].Exit = Cur[C];
+      M.Ok = true;
+      return;
+    }
+    const size_t Len = P.stepLen(Base + Pos, Chunk.size() - Pos);
+    ++Epoch;
+    for (uint32_t C : Alive)
+      Cur[C] = P.step(Cur[C], Chunk, Pos, Base,
+                      [&](uint32_t Rule, uint64_t End) {
+                        M.Classes[C].Log.emplace_back(Rule, End);
+                      });
+    Pos += Len;
+
+    // Collapse classes that converged. Both a dying class and its parent
+    // logged this step's accepts before the merge, and the recorded parent
+    // size already includes them — the chain walk emits each exactly once.
+    NewAlive.clear();
+    for (uint32_t C : Alive) {
+      const uint32_t S = Cur[C];
+      if (OwnerEpoch[S] != Epoch) {
+        OwnerEpoch[S] = Epoch;
+        Owner[S] = C;
+        NewAlive.push_back(C);
+      } else {
+        const uint32_t Parent = Owner[S];
+        M.Classes[C].MergedInto = Parent;
+        M.Classes[C].MergedAtParentSize = M.Classes[Parent].Log.size();
+      }
+    }
+    Alive.swap(NewAlive);
+    M.MaxAlive = std::max(M.MaxAlive, static_cast<uint32_t>(Alive.size()));
+
+    // Collapse guard: past the overlap window a still-wide map costs more
+    // than the sequential re-scan it replaces. Alive only shrinks, so one
+    // live comparison suffices.
+    if (Pos >= GuardBytes && Alive.size() > ClassCap) {
+      M.Ok = false;
+      return;
+    }
+  }
+
+  if (!Chunk.empty() && Base + Chunk.size() == StreamEnd)
+    for (uint32_t C : Alive)
+      P.emitAtEnd(Cur[C], StreamEnd, [&](uint32_t Rule, uint64_t End) {
+        M.Classes[C].Log.emplace_back(Rule, End);
+      });
+  for (uint32_t C : Alive)
+    M.Classes[C].Exit = Cur[C];
+  M.Ok = true;
+}
+
+} // namespace
+
+void InputParallelRun::run(std::string_view Input, MatchRecorder &Recorder,
+                           InputParallelStats *Stats) const {
+  const std::vector<uint64_t> Bounds = chunkBoundaries(Input.size());
+  if (Stats) {
+    Stats->Threads = static_cast<unsigned>(Bounds.size() - 1);
+    Stats->Chunks = Bounds.size() - 1;
+    Stats->ChunkPhase1Seconds.assign(Bounds.size() - 1, 0.0);
+  }
+  switch (Kind) {
+  case Backend::Imfant:
+    runImfant(Input, Bounds, Recorder, Stats);
+    break;
+  case Backend::Dfa:
+    runDfaFamily(DfaPolicy{*Automaton, simd::ops()}, Input, Bounds, Recorder,
+                 Stats);
+    break;
+  case Backend::Stride2:
+    runDfaFamily(StridedPolicy{*Strided, simd::ops()}, Input, Bounds,
+                 Recorder, Stats);
+    break;
+  }
+}
+
+template <class Policy>
+void InputParallelRun::runDfaFamily(const Policy &P, std::string_view Input,
+                                    const std::vector<uint64_t> &Bounds,
+                                    MatchRecorder &Recorder,
+                                    InputParallelStats *Stats) const {
+  const size_t NumChunks = Bounds.size() - 1;
+  const uint64_t StreamEnd = Input.size();
+
+  // Phase 1: chunk 0 scans normally from the start state; chunks 1..T-1
+  // build per-start state maps (all results buffered — the user recorder
+  // is only touched by the sequential join).
+  std::vector<Match> LeadMatches;
+  uint32_t LeadExit = 0;
+  std::vector<ChunkStateMap> Maps(NumChunks);
+  forEachChunk(Opts.UseThreadPool, Opts.Threads, NumChunks, [&](size_t I) {
+    Timer Clock;
+    const uint64_t Base = Bounds[I];
+    const std::string_view Chunk = Input.substr(Base, Bounds[I + 1] - Base);
+    if (I == 0) {
+      LeadExit = scanChunkFrom(P, 0, Chunk, Base, StreamEnd,
+                               [&](uint32_t Rule, uint64_t End) {
+                                 LeadMatches.emplace_back(Rule, End);
+                               });
+    } else {
+      const size_t Guard =
+          Opts.MaxSpecWindowBytes
+              ? std::min(Chunk.size(), Opts.MaxSpecWindowBytes)
+              : Chunk.size();
+      buildChunkStateMap(P, Chunk, Base, StreamEnd, Opts.MaxMapClasses,
+                         std::min<size_t>(Guard, 4096), Maps[I]);
+    }
+    if (Stats)
+      Stats->ChunkPhase1Seconds[I] = Clock.elapsedMs() / 1e3;
+  });
+
+  // Phase 2: thread the single live DFA state through the maps, emitting
+  // each chunk's log chain — exactly the sequential match sequence.
+  Timer JoinClock;
+  for (const Match &M : LeadMatches)
+    Recorder.onMatch(M.first, M.second);
+  if (Stats)
+    Stats->IsoMatches += LeadMatches.size();
+  uint32_t State = LeadExit;
+  for (size_t I = 1; I < NumChunks; ++I) {
+    const ChunkStateMap &Map = Maps[I];
+    const uint64_t Base = Bounds[I];
+    const std::string_view Chunk = Input.substr(Base, Bounds[I + 1] - Base);
+    if (Map.Ok) {
+      uint32_t C = State;
+      size_t From = 0;
+      uint64_t Emitted = 0;
+      while (true) {
+        const ChunkStateMap::Cls &Cls = Map.Classes[C];
+        for (size_t L = From; L < Cls.Log.size(); ++L)
+          Recorder.onMatch(Cls.Log[L].first, Cls.Log[L].second);
+        Emitted += Cls.Log.size() - From;
+        if (Cls.MergedInto == NoClass) {
+          State = Cls.Exit;
+          break;
+        }
+        From = Cls.MergedAtParentSize;
+        C = Cls.MergedInto;
+      }
+      if (Stats) {
+        Stats->CarryMatches += Emitted;
+        Stats->MaxAliveClasses =
+            std::max(Stats->MaxAliveClasses, Map.MaxAlive);
+        ++Stats->SpecTableChunks;
+      }
+    } else {
+      // Collapse stalled: correct-but-serial re-scan of this chunk.
+      uint64_t Emitted = 0;
+      State = scanChunkFrom(P, State, Chunk, Base, StreamEnd,
+                            [&](uint32_t Rule, uint64_t End) {
+                              ++Emitted;
+                              Recorder.onMatch(Rule, End);
+                            });
+      if (Stats) {
+        Stats->CarryMatches += Emitted;
+        ++Stats->RescanFallbackChunks;
+        Stats->OverlapBytes += Chunk.size();
+        Stats->MaxAliveClasses =
+            std::max(Stats->MaxAliveClasses, Map.MaxAlive);
+      }
+    }
+  }
+  if (Stats)
+    Stats->JoinSeconds = JoinClock.elapsedMs() / 1e3;
+}

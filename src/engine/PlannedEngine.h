@@ -25,6 +25,7 @@
 #include "analysis/Planner.h"
 #include "engine/DfaEngine.h"
 #include "engine/Imfant.h"
+#include "engine/InputParallel.h"
 #include "engine/MultiStride.h"
 #include "engine/Prefilter.h"
 #include "engine/SparseImfant.h"
@@ -60,6 +61,17 @@ public:
 
   /// Scans \p Input group-sequentially with ImfantEngine's match semantics.
   void run(std::string_view Input, MatchRecorder &Recorder) const;
+
+  /// Input-parallel scan (engine/InputParallel.h): each group's input is
+  /// split into \p Options.Threads chunks with frontier-set boundary
+  /// stitching — byte-identical to run(). Engines without an input-parallel
+  /// executor (sparse iMFAnt, prefilter) fall back to the sequential run().
+  /// \p Stats, when non-null, accumulates chunk/speculation counters across
+  /// groups (per-chunk timings are the LAST group's, the one the modeled
+  /// wall should use when groups are timed individually).
+  void runInputParallel(std::string_view Input, MatchRecorder &Recorder,
+                        const InputParallelOptions &Options,
+                        InputParallelStats *Stats = nullptr) const;
 
   Engine engine() const { return Choice; }
   size_t numGroups() const;

@@ -21,12 +21,18 @@
 // engine's observed peak active rules and frontier on every input at every
 // SIMD level — an end-to-end soundness check of boundActivationWidth.
 //
+// A seventh leg runs the input-parallel executor (engine/InputParallel.h)
+// over the dense engine on every case, asserting both the oracle match set
+// and that the per-chunk speculative frontiers stay within the static
+// width bound — the soundness fact the executor's speculation relies on.
+//
 //===----------------------------------------------------------------------===//
 
 #include "analysis/CostModel.h"
 #include "analysis/Planner.h"
 #include "engine/DfaEngine.h"
 #include "engine/Imfant.h"
+#include "engine/InputParallel.h"
 #include "engine/MultiStride.h"
 #include "engine/PlannedEngine.h"
 #include "engine/Prefilter.h"
@@ -108,6 +114,15 @@ void checkRuleset(uint64_t Seed, const std::vector<std::string> &Patterns,
   Result<PrefilterEngine> Prefilter = PrefilterEngine::create(Patterns);
   ASSERT_TRUE(Prefilter.ok()) << formatPatterns(Patterns);
 
+  // Input-parallel leg: the chunked executor over the dense engine must
+  // reproduce the sequential match set, and its speculative per-chunk
+  // frontiers must stay inside the analyzer's static width bound.
+  InputParallelOptions ParOpts;
+  ParOpts.Threads = 3;
+  ParOpts.MinChunkBytes = 1;
+  ParOpts.Width = &Width;
+  InputParallelRun Par(Imfant, ParOpts);
+
   SimdLevelGuard Guard;
   for (const std::string &Input : Inputs) {
     RuleEnds Expected = oracleRuleEnds(Patterns, Input);
@@ -157,6 +172,15 @@ void checkRuleset(uint64_t Seed, const std::vector<std::string> &Patterns,
         Planned->run(Input, Recorder);
         EXPECT_EQ(recorderEnds(Recorder), Expected)
             << "engine=auto(" << engineName(Plan.Choice) << ") " << Tag;
+      }
+      {
+        MatchRecorder Recorder(MatchRecorder::Mode::Collect);
+        InputParallelStats ParStats;
+        Par.run(Input, Recorder, &ParStats);
+        EXPECT_EQ(recorderEnds(Recorder), Expected)
+            << "engine=input-parallel " << Tag;
+        EXPECT_GE(Width.MaxActiveStates, ParStats.MaxSpecFrontier)
+            << "spec frontier bound " << Tag;
       }
     }
   }

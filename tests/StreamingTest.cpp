@@ -158,6 +158,58 @@ TEST(Scanner, RandomChunkingsProperty) {
   }
 }
 
+namespace {
+
+/// Feeds \p Input split at \p Cuts — verbatim, INCLUDING zero-length
+/// chunks — so empty feeds must leave the carried activation state intact.
+Matches chunkedAtCuts(const ImfantEngine &Engine, const std::string &Input,
+                      const std::vector<uint64_t> &Cuts) {
+  MatchRecorder Recorder(MatchRecorder::Mode::Collect);
+  ImfantEngine::Scanner Scan(Engine);
+  for (std::string_view Chunk : chunksFromCuts(Input, Cuts))
+    Scan.feed(Chunk, Recorder);
+  Scan.finish(Recorder);
+  Matches Out = Recorder.matches();
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+} // namespace
+
+TEST(Scanner, AdversarialChunkingsEqualOneShot) {
+  // The shared adversarial chunker (TestHelpers.h) aims cut points at the
+  // places carried activation state can be dropped: match ends, mid-match,
+  // 1-byte chunks, and empty chunks from duplicate/terminal cuts.
+  Rng Random(812);
+  for (int Round = 0; Round < 6; ++Round) {
+    std::vector<std::string> Patterns;
+    unsigned Count = 2 + Random.nextBelow(3);
+    for (unsigned I = 0; I < Count; ++I)
+      Patterns.push_back(randomPattern(Random));
+    Patterns.push_back("^a[ab]*d$"); // anchors under adversarial cuts too
+    Mfsa Z = mergePatterns(Patterns);
+    ImfantEngine Engine(Z);
+    std::string Input = randomInput(Random, 60);
+    Matches Reference = oneShot(Engine, Input);
+    for (const std::vector<uint64_t> &Cuts :
+         adversarialCuts(Random, Input, oracleRuleEnds(Patterns, Input)))
+      EXPECT_EQ(chunkedAtCuts(Engine, Input, Cuts), Reference)
+          << "round " << Round << " " << formatPatterns(Patterns);
+  }
+}
+
+TEST(Scanner, MatchStraddlingThreeConsecutiveBoundaries) {
+  // One "abcd" occurrence split across four chunks ("xxa|b|c|dxx"): the
+  // partial-match activation must survive three consecutive handoffs.
+  Mfsa Z = mergePatterns({"abcd", "bc"});
+  ImfantEngine Engine(Z);
+  std::string Input = "xxabcdxx";
+  EXPECT_EQ(chunkedAtCuts(Engine, Input, {3, 4, 5}), oneShot(Engine, Input));
+  // The same cuts plus empty chunks at both stream edges.
+  EXPECT_EQ(chunkedAtCuts(Engine, Input, {0, 3, 4, 5, 8}),
+            oneShot(Engine, Input));
+}
+
 TEST(Scanner, StatsAccumulateAcrossFeeds) {
   Mfsa Z = mergePatterns({"aa", "ab"});
   ImfantEngine Engine(Z);

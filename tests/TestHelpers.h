@@ -23,6 +23,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
@@ -131,6 +133,91 @@ oracleRuleEnds(const std::vector<std::string> &Patterns,
       Ends[static_cast<uint32_t>(I)] = E;
   }
   return Ends;
+}
+
+/// Adversarial cut-point sets for chunked/input-parallel scanning: each
+/// entry is a list of interior cut offsets (unsorted, may repeat, may
+/// include 0 and Input.size() — i.e. empty chunks) designed to land
+/// boundaries exactly where stitching bugs hide:
+///
+///   1. at every oracle match END (a match completes at a boundary);
+///   2. one byte BEFORE and AFTER every match end (boundary mid-match);
+///   3. every byte (1-byte chunks; strided capped for long inputs);
+///   4. duplicated cuts plus cuts at 0 and len (empty chunks everywhere);
+///   5-6. seeded random cut sets.
+///
+/// Shared by the streaming Scanner tests (feed per chunk) and the
+/// input-parallel tests (InputParallelOptions::CutOverride), so both
+/// boundary-stitching mechanisms face identical adversaries.
+inline std::vector<std::vector<uint64_t>>
+adversarialCuts(Rng &Random, std::string_view Input,
+                const std::map<uint32_t, std::set<size_t>> &OracleEnds) {
+  const uint64_t Len = Input.size();
+  std::set<uint64_t> MatchEnds;
+  for (const auto &[Rule, Ends] : OracleEnds)
+    for (size_t E : Ends)
+      MatchEnds.insert(static_cast<uint64_t>(E));
+
+  std::vector<std::vector<uint64_t>> Variants;
+  auto Keep = [&](const std::set<uint64_t> &Cuts) {
+    std::vector<uint64_t> Out;
+    for (uint64_t C : Cuts)
+      if (C <= Len)
+        Out.push_back(C);
+    Variants.push_back(std::move(Out));
+  };
+
+  Keep(MatchEnds);
+  {
+    std::set<uint64_t> Straddle;
+    for (uint64_t E : MatchEnds) {
+      if (E > 0)
+        Straddle.insert(E - 1);
+      Straddle.insert(E + 1);
+    }
+    Keep(Straddle);
+  }
+  {
+    std::vector<uint64_t> Every;
+    const uint64_t Step = Len <= 256 ? 1 : Len / 256;
+    for (uint64_t C = 1; C < Len; C += Step)
+      Every.push_back(C);
+    Variants.push_back(std::move(Every));
+  }
+  {
+    std::vector<uint64_t> Empties = {0, 0, Len, Len};
+    if (Len > 1) {
+      Empties.push_back(Len / 2);
+      Empties.push_back(Len / 2);
+    }
+    Variants.push_back(std::move(Empties));
+  }
+  for (int V = 0; V < 2; ++V) {
+    std::vector<uint64_t> Cuts;
+    const size_t N = 1 + Random.nextBelow(6);
+    for (size_t I = 0; I < N; ++I)
+      Cuts.push_back(Random.nextBelow(Len + 1));
+    Variants.push_back(std::move(Cuts));
+  }
+  return Variants;
+}
+
+/// Splits \p Input at \p Cuts (sorted/clamped here), INCLUDING zero-length
+/// chunks from duplicate or terminal cuts — callers feeding a streaming
+/// Scanner must forward those empty feeds verbatim.
+inline std::vector<std::string_view>
+chunksFromCuts(std::string_view Input, std::vector<uint64_t> Cuts) {
+  for (uint64_t &C : Cuts)
+    C = std::min<uint64_t>(C, Input.size());
+  std::sort(Cuts.begin(), Cuts.end());
+  std::vector<std::string_view> Chunks;
+  uint64_t Prev = 0;
+  for (uint64_t C : Cuts) {
+    Chunks.push_back(Input.substr(Prev, C - Prev));
+    Prev = C;
+  }
+  Chunks.push_back(Input.substr(Prev));
+  return Chunks;
 }
 
 /// Formats a whole ruleset for failure messages.
