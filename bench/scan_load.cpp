@@ -1,0 +1,483 @@
+//===- scan_load.cpp - multi-tenant scan-service load generator -----------===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives the scan service with N tenants x M streams under adversarial
+/// chunk sizes and mid-run connect/disconnect churn, and checks the service
+/// against the offline oracle: every completed stream's (rule, end-offset)
+/// match set must be byte-identical to a one-shot offline scan of the same
+/// bytes. Emits BENCH_fig_service.json (client-side p50/p99 chunk latency,
+/// aggregate throughput, divergence and cache-reuse accounting) — the file
+/// CI's service-soak and perf-regression jobs gate on.
+///
+/// By default the server runs in-process on a temporary Unix-domain socket
+/// with its metrics wired into the report registry, so the JSON carries the
+/// full service.* catalog; --uds drives an externally launched scan_service
+/// instead (the soak job's mode) and fetches its metrics over GetStats.
+///
+/// Exit codes: 0 clean, 1 divergence or missing cache reuse, 2 usage,
+/// 3 connect/start failure.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "service/Client.h"
+#include "service/Server.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace mfsa;
+using namespace mfsa::bench;
+using namespace mfsa::service;
+
+namespace {
+
+struct LoadConfig {
+  unsigned Tenants = 3;
+  unsigned Streams = 2;
+  double Seconds = 3.0;
+  uint32_t Merge = 0;      ///< Merging factor M (0 = all rules in one MFSA).
+  unsigned AbandonEvery = 3; ///< Every Kth round disconnects mid-stream.
+  std::string Dataset = "BRO";
+  std::string ExternalUds;  ///< Non-empty: drive a server someone else ran.
+  std::string CacheDir;     ///< In-process server's artifact cache dir.
+};
+
+/// Chunk-size cycle covering the adversarial shapes: single bytes straddling
+/// every boundary, tiny primes, and page-plus sizes.
+constexpr size_t kChunkSizes[] = {1,  2,   3,    5,    7,    16,
+                                  64, 256, 1024, 4096, 65521, 65536};
+
+/// Per-tenant-thread accounting, merged after join.
+struct TenantStats {
+  std::vector<uint64_t> LatenciesUs;
+  uint64_t Bytes = 0;
+  uint64_t Chunks = 0;
+  uint64_t Rounds = 0;
+  uint64_t StreamsCompleted = 0;
+  uint64_t DivergentStreams = 0;
+  uint64_t ShedRetries = 0;
+  uint64_t HelloMemory = 0;   ///< Hellos served from the resident cache.
+  uint64_t HelloArtifact = 0; ///< Hellos served from the on-disk artifact.
+  uint64_t Errors = 0;
+  std::string FirstError;
+};
+
+void noteError(TenantStats &S, const std::string &Message) {
+  ++S.Errors;
+  if (S.FirstError.empty())
+    S.FirstError = Message;
+}
+
+/// One tenant: rounds of connect -> Hello -> scan M streams (round-robin,
+/// adversarial chunking) -> close, until the wall budget expires. Every
+/// AbandonEvery-th round drops the connection mid-stream instead, so the
+/// soak also exercises the server's orphaned-session cleanup under load.
+void tenantLoop(unsigned TenantId, const LoadConfig &Cfg,
+                const std::string &UdsPath,
+                const std::vector<std::string> &Rules,
+                const std::vector<std::string> &Streams,
+                const std::vector<std::vector<ClientMatch>> &Oracle,
+                TenantStats &Stats) {
+  Timer Wall;
+  for (uint64_t Round = 0;; ++Round) {
+    if (Round > 0 && Wall.elapsedSec() >= Cfg.Seconds)
+      break;
+    bool Abandon =
+        Cfg.AbandonEvery > 0 && (Round % Cfg.AbandonEvery) == Cfg.AbandonEvery - 1;
+
+    Result<ScanClient> Client = ScanClient::connectUds(UdsPath);
+    if (!Client.ok()) {
+      noteError(Stats, Client.diag().render());
+      return;
+    }
+    Result<HelloInfo> Hello =
+        Client->hello("tenant-" + std::to_string(TenantId), Rules, Cfg.Merge);
+    if (!Hello.ok()) {
+      noteError(Stats, Hello.diag().render());
+      return;
+    }
+    if (Hello->Source == CacheSource::Memory)
+      ++Stats.HelloMemory;
+    else if (Hello->Source == CacheSource::Artifact)
+      ++Stats.HelloArtifact;
+
+    struct StreamState {
+      uint64_t Id = 0;
+      size_t Pos = 0;       ///< Next unsent byte.
+      size_t ChunkIdx = 0;  ///< Cursor into kChunkSizes.
+      bool Done = false;
+      std::vector<ClientMatch> Matches;
+    };
+    std::vector<StreamState> Open(Streams.size());
+    for (size_t Slot = 0; Slot < Streams.size(); ++Slot) {
+      Open[Slot].Id = Slot + 1;
+      // Offset the chunk-size cycle per tenant/round/slot so boundaries
+      // land differently every time while content stays oracle-checked.
+      Open[Slot].ChunkIdx =
+          (TenantId * 131 + static_cast<size_t>(Round) * 17 + Slot * 7) %
+          std::size(kChunkSizes);
+      std::string Message;
+      Result<StatusCode> Opened = Client->openStream(Open[Slot].Id, &Message);
+      if (!Opened.ok() || *Opened != StatusCode::Ok) {
+        noteError(Stats, !Opened.ok() ? Opened.diag().render() : Message);
+        return;
+      }
+    }
+
+    bool AnyPending = true;
+    while (AnyPending) {
+      AnyPending = false;
+      for (size_t Slot = 0; Slot < Open.size(); ++Slot) {
+        StreamState &St = Open[Slot];
+        if (St.Done)
+          continue;
+        const std::string &Data = Streams[Slot];
+        // Abandon rounds stop half-way and drop the connection below.
+        size_t Limit = Abandon ? Data.size() / 2 : Data.size();
+        if (St.Pos >= Limit) {
+          St.Done = true;
+          continue;
+        }
+        AnyPending = true;
+        size_t Len =
+            std::min(kChunkSizes[St.ChunkIdx % std::size(kChunkSizes)],
+                     Limit - St.Pos);
+        ++St.ChunkIdx;
+        std::string_view Chunk(Data.data() + St.Pos, Len);
+        for (;;) {
+          Timer T;
+          Result<ChunkOutcome> Out = Client->sendChunk(St.Id, Chunk);
+          if (!Out.ok()) {
+            noteError(Stats, Out.diag().render());
+            return;
+          }
+          Stats.LatenciesUs.push_back(T.elapsedNs() / 1000);
+          if (Out->Status == StatusCode::Overloaded) {
+            // The shed chunk was not consumed; retry is the contract.
+            ++Stats.ShedRetries;
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            continue;
+          }
+          if (Out->Status != StatusCode::Ok) {
+            noteError(Stats, std::string("chunk rejected: ") +
+                                 statusName(Out->Status));
+            return;
+          }
+          St.Matches.insert(St.Matches.end(), Out->Matches.begin(),
+                            Out->Matches.end());
+          Stats.Bytes += Len;
+          ++Stats.Chunks;
+          break;
+        }
+        St.Pos += Len;
+      }
+    }
+
+    if (!Abandon) {
+      for (size_t Slot = 0; Slot < Open.size(); ++Slot) {
+        StreamState &St = Open[Slot];
+        Result<StreamEnd> End = Client->closeStream(St.Id);
+        if (!End.ok() || End->Status != StatusCode::Ok) {
+          noteError(Stats, !End.ok() ? End.diag().render()
+                                     : std::string("close rejected: ") +
+                                           statusName(End->Status));
+          return;
+        }
+        St.Matches.insert(St.Matches.end(), End->Matches.begin(),
+                          End->Matches.end());
+        // The differential check: sort both sides and demand equality.
+        std::sort(St.Matches.begin(), St.Matches.end());
+        if (St.Matches != Oracle[Slot] ||
+            End->TotalBytes != Streams[Slot].size()) {
+          ++Stats.DivergentStreams;
+          if (Stats.FirstError.empty())
+            Stats.FirstError =
+                "stream " + std::to_string(Slot) + ": service " +
+                std::to_string(St.Matches.size()) + " matches / " +
+                std::to_string(End->TotalBytes) + " bytes vs oracle " +
+                std::to_string(Oracle[Slot].size()) + " matches / " +
+                std::to_string(Streams[Slot].size()) + " bytes";
+        } else {
+          ++Stats.StreamsCompleted;
+        }
+      }
+    }
+    ++Stats.Rounds;
+    // Client destructor disconnects — on abandon rounds with streams open.
+  }
+}
+
+/// Pulls one counter out of a MetricsRegistry::toJson() dump; 0 if absent.
+uint64_t jsonCounter(const std::string &Json, const std::string &Name) {
+  std::string Needle = "\"" + Name + "\": ";
+  size_t Pos = Json.find(Needle);
+  if (Pos == std::string::npos)
+    return 0;
+  return std::strtoull(Json.c_str() + Pos + Needle.size(), nullptr, 10);
+}
+
+uint64_t percentile(std::vector<uint64_t> &Sorted, double P) {
+  if (Sorted.empty())
+    return 0;
+  size_t Idx = static_cast<size_t>(P * static_cast<double>(Sorted.size()));
+  if (Idx >= Sorted.size())
+    Idx = Sorted.size() - 1;
+  return Sorted[Idx];
+}
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--tenants N] [--streams M] [--seconds S] [--merge M]\n"
+      "          [--dataset ABBREV] [--abandon-every K] [--cache-dir DIR]\n"
+      "          [--uds PATH]\n"
+      "\n"
+      "Load-drives the scan service and differentially checks every\n"
+      "completed stream against the offline oracle. Without --uds a server\n"
+      "runs in-process; with it, an external scan_service is driven (the CI\n"
+      "soak mode). Stream size comes from MFSA_STREAM_BYTES.\n",
+      Argv0);
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  LoadConfig Cfg;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto NextValue = [&](const char *Flag) -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", Flag);
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    if (Arg == "--tenants")
+      Cfg.Tenants = static_cast<unsigned>(
+          std::strtoul(NextValue("--tenants"), nullptr, 10));
+    else if (Arg == "--streams")
+      Cfg.Streams = static_cast<unsigned>(
+          std::strtoul(NextValue("--streams"), nullptr, 10));
+    else if (Arg == "--seconds")
+      Cfg.Seconds = std::strtod(NextValue("--seconds"), nullptr);
+    else if (Arg == "--merge")
+      Cfg.Merge = static_cast<uint32_t>(
+          std::strtoul(NextValue("--merge"), nullptr, 10));
+    else if (Arg == "--dataset")
+      Cfg.Dataset = NextValue("--dataset");
+    else if (Arg == "--abandon-every")
+      Cfg.AbandonEvery = static_cast<unsigned>(
+          std::strtoul(NextValue("--abandon-every"), nullptr, 10));
+    else if (Arg == "--cache-dir")
+      Cfg.CacheDir = NextValue("--cache-dir");
+    else if (Arg == "--uds")
+      Cfg.ExternalUds = NextValue("--uds");
+    else {
+      std::fprintf(stderr, "error: unknown argument '%s'\n", Arg.c_str());
+      return usage(Argv[0]);
+    }
+  }
+  if (Cfg.Tenants == 0 || Cfg.Streams == 0)
+    return usage(Argv[0]);
+
+  const DatasetSpec *Spec = findDataset(Cfg.Dataset);
+  if (!Spec) {
+    std::fprintf(stderr, "error: unknown dataset '%s'\n",
+                 Cfg.Dataset.c_str());
+    return 2;
+  }
+
+  BenchReport Report("fig_service", "service-mode amortization of compiled "
+                                    "rulesets (docs/service.md)");
+  Report.config("tenants", Cfg.Tenants);
+  Report.config("streams_per_tenant", Cfg.Streams);
+  Report.config("seconds", static_cast<uint64_t>(Cfg.Seconds));
+  Report.config("merging_factor", Cfg.Merge);
+  Report.config("dataset", Spec->Abbrev);
+  Report.config("abandon_every", Cfg.AbandonEvery);
+  Report.config("mode", Cfg.ExternalUds.empty() ? "in-process" : "external");
+
+  std::printf("=== scan-service load/soak ===\n");
+  std::printf("config: %u tenants x %u streams, %.1fs, M=%s, dataset=%s, "
+              "%zu-byte streams, mode=%s\n\n",
+              Cfg.Tenants, Cfg.Streams, Cfg.Seconds,
+              mergingFactorName(Cfg.Merge).c_str(), Spec->Abbrev.c_str(),
+              streamBytes(), Cfg.ExternalUds.empty() ? "in-process"
+                                                     : Cfg.ExternalUds.c_str());
+
+  // The shared ruleset every tenant announces — cache reuse is the point.
+  std::vector<std::string> Rules = generateRuleset(*Spec);
+
+  // Offline oracle: same compile the server performs, one-shot scans.
+  CompileOptions OracleOpts;
+  OracleOpts.MergingFactor = Cfg.Merge;
+  OracleOpts.EmitAnml = false;
+  Result<CompileArtifacts> Oracle = compileRuleset(Rules, OracleOpts);
+  if (!Oracle.ok()) {
+    std::fprintf(stderr, "error: oracle compile failed: %s\n",
+                 Oracle.diag().render().c_str());
+    return 3;
+  }
+  std::vector<ImfantEngine> OracleEngines;
+  OracleEngines.reserve(Oracle->Mfsas.size());
+  for (const Mfsa &Z : Oracle->Mfsas)
+    OracleEngines.emplace_back(Z);
+
+  // Stream contents are keyed by slot only, so all tenants and all rounds
+  // re-scan identical bytes under different chunkings and the oracle is
+  // computed once per slot.
+  std::vector<std::string> Streams(Cfg.Streams);
+  std::vector<std::vector<ClientMatch>> OracleMatches(Cfg.Streams);
+  for (unsigned Slot = 0; Slot < Cfg.Streams; ++Slot) {
+    Streams[Slot] = generateStream(*Spec, Rules, streamBytes(), Slot);
+    MatchRecorder Rec(MatchRecorder::Mode::Collect);
+    for (const ImfantEngine &Engine : OracleEngines)
+      Engine.run(Streams[Slot], Rec);
+    for (const auto &[Rule, End] : Rec.matches())
+      OracleMatches[Slot].push_back(ClientMatch{Rule, End});
+    std::sort(OracleMatches[Slot].begin(), OracleMatches[Slot].end());
+  }
+
+  // Server: in-process on a temp socket unless --uds points elsewhere.
+  std::unique_ptr<ScanServer> Local;
+  std::string UdsPath = Cfg.ExternalUds;
+  if (UdsPath.empty()) {
+    UdsPath = "/tmp/mfsa_scan_load_" + std::to_string(::getpid()) + ".sock";
+    ServerOptions SrvOpts;
+    SrvOpts.UdsPath = UdsPath;
+    SrvOpts.Cache.CacheDir = Cfg.CacheDir;
+    SrvOpts.Metrics = &Report.registry();
+    Result<std::unique_ptr<ScanServer>> Started = ScanServer::start(SrvOpts);
+    if (!Started.ok()) {
+      std::fprintf(stderr, "error: server start failed: %s\n",
+                   Started.diag().render().c_str());
+      return 3;
+    }
+    Local = Started.take();
+  }
+
+  std::vector<TenantStats> Stats(Cfg.Tenants);
+  std::vector<std::thread> Threads;
+  Timer Wall;
+  for (unsigned T = 0; T < Cfg.Tenants; ++T)
+    Threads.emplace_back([&, T] {
+      tenantLoop(T, Cfg, UdsPath, Rules, Streams, OracleMatches, Stats[T]);
+    });
+  for (std::thread &Th : Threads)
+    Th.join();
+  double WallSec = Wall.elapsedSec();
+
+  // External mode: pull the server-side counters over the wire.
+  uint64_t CacheHits = 0, CacheMisses = 0;
+  if (Local) {
+    CacheHits = Report.registry().counter("service.cache.hits").value();
+    CacheMisses = Report.registry().counter("service.cache.misses").value();
+  } else {
+    Result<ScanClient> Client = ScanClient::connectUds(UdsPath);
+    if (Client.ok()) {
+      Result<std::string> Json = Client->stats();
+      if (Json.ok()) {
+        CacheHits = jsonCounter(*Json, "service.cache.hits");
+        CacheMisses = jsonCounter(*Json, "service.cache.misses");
+      }
+    }
+  }
+
+  // Merge per-tenant accounting.
+  std::vector<uint64_t> Latencies;
+  uint64_t Bytes = 0, Chunks = 0, Rounds = 0, Completed = 0, Divergent = 0,
+           Shed = 0, HelloMemory = 0, HelloArtifact = 0, Errors = 0;
+  std::string FirstError;
+  for (const TenantStats &S : Stats) {
+    Latencies.insert(Latencies.end(), S.LatenciesUs.begin(),
+                     S.LatenciesUs.end());
+    Bytes += S.Bytes;
+    Chunks += S.Chunks;
+    Rounds += S.Rounds;
+    Completed += S.StreamsCompleted;
+    Divergent += S.DivergentStreams;
+    Shed += S.ShedRetries;
+    HelloMemory += S.HelloMemory;
+    HelloArtifact += S.HelloArtifact;
+    Errors += S.Errors;
+    if (FirstError.empty())
+      FirstError = S.FirstError;
+  }
+  std::sort(Latencies.begin(), Latencies.end());
+  uint64_t P50 = percentile(Latencies, 0.50);
+  uint64_t P99 = percentile(Latencies, 0.99);
+  double MbPerSec =
+      WallSec > 0 ? static_cast<double>(Bytes) / (1e6 * WallSec) : 0;
+  uint64_t Lookups = CacheHits + CacheMisses;
+  double HitRatio =
+      Lookups ? static_cast<double>(CacheHits) / static_cast<double>(Lookups)
+              : 0;
+
+  std::printf("rounds %llu, chunks %llu, %.1f MB scanned in %.2fs "
+              "(%.1f MB/s aggregate)\n",
+              static_cast<unsigned long long>(Rounds),
+              static_cast<unsigned long long>(Chunks),
+              static_cast<double>(Bytes) / 1e6, WallSec, MbPerSec);
+  std::printf("chunk latency p50 %llu us, p99 %llu us over %zu chunks\n",
+              static_cast<unsigned long long>(P50),
+              static_cast<unsigned long long>(P99), Latencies.size());
+  std::printf("streams: %llu completed, %llu divergent; shed retries %llu\n",
+              static_cast<unsigned long long>(Completed),
+              static_cast<unsigned long long>(Divergent),
+              static_cast<unsigned long long>(Shed));
+  std::printf("ruleset cache: %llu hits / %llu lookups (%.0f%%), "
+              "hello sources: memory %llu, artifact %llu\n",
+              static_cast<unsigned long long>(CacheHits),
+              static_cast<unsigned long long>(Lookups), 100 * HitRatio,
+              static_cast<unsigned long long>(HelloMemory),
+              static_cast<unsigned long long>(HelloArtifact));
+
+  Report.result("service.aggregate_mb_s", MbPerSec, "MB/s");
+  Report.result("service.p50_chunk_latency_us", static_cast<double>(P50),
+                "us");
+  Report.result("service.p99_chunk_latency_us", static_cast<double>(P99),
+                "us");
+  Report.result("service.streams_completed", static_cast<double>(Completed),
+                "streams");
+  Report.result("service.divergent_streams", static_cast<double>(Divergent),
+                "streams");
+  Report.result("service.shed_retries", static_cast<double>(Shed),
+                "retries");
+  Report.result("service.cache_hit_ratio", HitRatio, "ratio");
+  Report.result("service.hello_memory_hits",
+                static_cast<double>(HelloMemory), "hellos");
+
+  Local.reset(); // Clean server shutdown before the verdict.
+
+  if (Errors || Divergent) {
+    std::fprintf(stderr, "FAIL: %llu errors, %llu divergent streams (%s)\n",
+                 static_cast<unsigned long long>(Errors),
+                 static_cast<unsigned long long>(Divergent),
+                 FirstError.c_str());
+    return 1;
+  }
+  // With >= 2 hellos total, the content-addressed cache must have been
+  // reused at least once — that IS the tentpole's amortization claim.
+  if (Rounds >= 2 && HelloMemory + HelloArtifact + CacheHits == 0) {
+    std::fprintf(stderr, "FAIL: no compiled-ruleset reuse across %llu "
+                         "hellos — cache is not amortizing\n",
+                 static_cast<unsigned long long>(Rounds));
+    return 1;
+  }
+  std::printf("OK: zero divergence, cache reuse proven\n");
+  return 0;
+}

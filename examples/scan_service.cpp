@@ -1,0 +1,133 @@
+//===- scan_service.cpp - the scan service daemon -------------------------===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The long-lived scan server: listens on a Unix-domain socket and/or
+/// loopback TCP, multiplexes tenants' input streams over shared compiled
+/// rulesets (src/service/), and shuts down cleanly on SIGINT/SIGTERM. The
+/// protocol and operational semantics are specified in docs/service.md.
+///
+/// Exit codes: 0 clean shutdown, 1 startup failure, 2 usage error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+#include "service/Server.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace mfsa;
+using namespace mfsa::service;
+
+namespace {
+
+// The signal handler only touches this pointer; requestStop() is
+// async-signal-safe (one self-pipe write).
+ScanServer *TheServer = nullptr;
+
+void onSignal(int) {
+  if (TheServer)
+    TheServer->requestStop();
+}
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--uds PATH] [--tcp [PORT]] [--cache-dir DIR]\n"
+      "          [--workers N] [--max-streams N] [--max-queued-bytes N]\n"
+      "          [--max-rules-bytes N] [--compile-deadline-ms MS]\n"
+      "          [--no-shutdown-frame] [--metrics]\n"
+      "\n"
+      "Serves the scan protocol (docs/service.md) until SIGINT/SIGTERM or a\n"
+      "client Shutdown frame. At least one of --uds / --tcp is required.\n"
+      "--cache-dir enables the on-disk compiled-ruleset artifact cache (the\n"
+      "directory must exist). --metrics dumps the metrics registry on exit.\n",
+      Argv0);
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ServerOptions Opts;
+  bool DumpMetrics = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto NextValue = [&](const char *Flag) -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", Flag);
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    if (Arg == "--uds") {
+      Opts.UdsPath = NextValue("--uds");
+    } else if (Arg == "--tcp") {
+      Opts.Tcp = true;
+      if (I + 1 < Argc && Argv[I + 1][0] != '-')
+        Opts.TcpPort = static_cast<uint16_t>(std::strtoul(Argv[++I], nullptr, 10));
+    } else if (Arg == "--cache-dir") {
+      Opts.Cache.CacheDir = NextValue("--cache-dir");
+    } else if (Arg == "--workers") {
+      Opts.Workers =
+          static_cast<unsigned>(std::strtoul(NextValue("--workers"), nullptr, 10));
+    } else if (Arg == "--max-streams") {
+      Opts.Budget.MaxStreams = static_cast<uint32_t>(
+          std::strtoul(NextValue("--max-streams"), nullptr, 10));
+    } else if (Arg == "--max-queued-bytes") {
+      Opts.Budget.MaxQueuedBytes =
+          std::strtoull(NextValue("--max-queued-bytes"), nullptr, 10);
+    } else if (Arg == "--max-rules-bytes") {
+      Opts.Budget.MaxRulesBytes =
+          std::strtoull(NextValue("--max-rules-bytes"), nullptr, 10);
+    } else if (Arg == "--compile-deadline-ms") {
+      Opts.Budget.CompileDeadlineMs =
+          std::strtod(NextValue("--compile-deadline-ms"), nullptr);
+    } else if (Arg == "--no-shutdown-frame") {
+      Opts.AllowShutdownFrame = false;
+    } else if (Arg == "--metrics") {
+      DumpMetrics = true;
+    } else {
+      std::fprintf(stderr, "error: unknown argument '%s'\n", Arg.c_str());
+      return usage(Argv[0]);
+    }
+  }
+  if (Opts.UdsPath.empty() && !Opts.Tcp)
+    return usage(Argv[0]);
+
+  Result<std::unique_ptr<ScanServer>> Server = ScanServer::start(Opts);
+  if (!Server.ok()) {
+    std::fprintf(stderr, "error: %s\n", Server.diag().render().c_str());
+    return 1;
+  }
+  TheServer = Server->get();
+
+  struct sigaction Action {};
+  Action.sa_handler = onSignal;
+  ::sigaction(SIGINT, &Action, nullptr);
+  ::sigaction(SIGTERM, &Action, nullptr);
+
+  std::printf("scan_service listening:");
+  if (!Opts.UdsPath.empty())
+    std::printf(" uds=%s", Opts.UdsPath.c_str());
+  if (Opts.Tcp)
+    std::printf(" tcp=127.0.0.1:%u", (*Server)->tcpPort());
+  std::printf("\n");
+  std::fflush(stdout);
+
+  (*Server)->waitStopped();
+  if (DumpMetrics)
+    std::printf("%s\n", (*Server)->metrics().toText().c_str());
+  TheServer = nullptr;
+  Server->reset(); // Joins every thread; after this nothing is live.
+  std::printf("clean shutdown\n");
+  return 0;
+}

@@ -1,0 +1,313 @@
+//===- Client.cpp - blocking scan-service client --------------------------===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace mfsa::service {
+
+namespace {
+
+std::string errnoString(const std::string &What) {
+  return What + ": " + std::strerror(errno);
+}
+
+} // namespace
+
+Result<ScanClient> ScanClient::connectUds(const std::string &Path) {
+  sockaddr_un Addr{};
+  if (Path.size() >= sizeof(Addr.sun_path))
+    return Result<ScanClient>::error("UDS path too long: " + Path);
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return Result<ScanClient>::error(errnoString("socket"));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    std::string Err = errnoString("connect " + Path);
+    ::close(Fd);
+    return Result<ScanClient>::error(std::move(Err));
+  }
+  return ScanClient(Fd);
+}
+
+Result<ScanClient> ScanClient::connectTcp(uint16_t Port) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return Result<ScanClient>::error(errnoString("socket"));
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    std::string Err =
+        errnoString("connect 127.0.0.1:" + std::to_string(Port));
+    ::close(Fd);
+    return Result<ScanClient>::error(std::move(Err));
+  }
+  return ScanClient(Fd);
+}
+
+ScanClient::ScanClient(ScanClient &&Other) noexcept : Fd(Other.Fd) {
+  Other.Fd = -1;
+}
+
+ScanClient &ScanClient::operator=(ScanClient &&Other) noexcept {
+  if (this != &Other) {
+    if (Fd >= 0)
+      ::close(Fd);
+    Fd = Other.Fd;
+    Other.Fd = -1;
+  }
+  return *this;
+}
+
+ScanClient::~ScanClient() {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+Result<std::pair<uint8_t, std::string>> ScanClient::readReply() {
+  uint8_t Type = 0;
+  std::string Body;
+  switch (readFrame(Fd, kDefaultMaxFrameBytes, Type, Body)) {
+  case ReadStatus::Frame:
+    return std::make_pair(Type, std::move(Body));
+  case ReadStatus::Eof:
+  case ReadStatus::Truncated:
+    return Result<std::pair<uint8_t, std::string>>::error(
+        "server closed the connection");
+  case ReadStatus::TooLarge:
+  case ReadStatus::BadLength:
+    return Result<std::pair<uint8_t, std::string>>::error(
+        "malformed frame from server");
+  case ReadStatus::IoError:
+    break;
+  }
+  return Result<std::pair<uint8_t, std::string>>::error(
+      errnoString("read"));
+}
+
+namespace {
+
+/// Decodes a Status body; false on malformed.
+bool decodeStatus(std::string_view Body, StatusCode &Code, uint64_t &Stream,
+                  std::string &Message) {
+  FrameCursor Cur(Body);
+  uint8_t Raw = 0;
+  if (!Cur.u8(Raw) || !Cur.u64(Stream) || !Cur.str(Message) || !Cur.atEnd())
+    return false;
+  Code = static_cast<StatusCode>(Raw);
+  return true;
+}
+
+/// Appends a Matches body's pairs; false on malformed or id mismatch.
+bool decodeMatches(std::string_view Body, uint64_t WantStream,
+                   std::vector<ClientMatch> &Out) {
+  FrameCursor Cur(Body);
+  uint64_t Stream = 0;
+  uint32_t Count = 0;
+  if (!Cur.u64(Stream) || !Cur.u32(Count) || Stream != WantStream)
+    return false;
+  for (uint32_t I = 0; I < Count; ++I) {
+    ClientMatch M;
+    if (!Cur.u32(M.Rule) || !Cur.u64(M.End))
+      return false;
+    Out.push_back(M);
+  }
+  return Cur.atEnd();
+}
+
+} // namespace
+
+Result<HelloInfo> ScanClient::hello(const std::string &Tenant,
+                                    const std::vector<std::string> &Rules,
+                                    uint32_t M) {
+  std::string Text;
+  for (const std::string &R : Rules) {
+    Text += R;
+    Text += '\n';
+  }
+  FrameWriter F;
+  F.u32(kProtocolVersion);
+  F.str(Tenant);
+  F.u32(M);
+  F.str(Text);
+  if (!writeFrame(Fd, MsgType::Hello, F.body()))
+    return Result<HelloInfo>::error(errnoString("send Hello"));
+
+  Result<std::pair<uint8_t, std::string>> Reply = readReply();
+  if (!Reply.ok())
+    return Reply.takeDiag();
+  auto [Type, Body] = Reply.take();
+  if (static_cast<MsgType>(Type) == MsgType::Status) {
+    StatusCode Code;
+    uint64_t Stream;
+    std::string Message;
+    if (!decodeStatus(Body, Code, Stream, Message))
+      return Result<HelloInfo>::error("malformed Status from server");
+    return Result<HelloInfo>::error(std::string(statusName(Code)) + ": " +
+                                    Message);
+  }
+  if (static_cast<MsgType>(Type) != MsgType::HelloOk)
+    return Result<HelloInfo>::error("unexpected reply to Hello (type " +
+                                    std::to_string(Type) + ")");
+  FrameCursor Cur(Body);
+  HelloInfo Info;
+  uint8_t Source = 0;
+  if (!Cur.str(Info.CacheKey) || !Cur.u8(Source) ||
+      !Cur.u32(Info.NumRules) || !Cur.u32(Info.NumGroups) || !Cur.atEnd())
+    return Result<HelloInfo>::error("malformed HelloOk from server");
+  Info.Source = static_cast<CacheSource>(Source);
+  return Info;
+}
+
+Result<StatusCode> ScanClient::openStream(uint64_t Id, std::string *Message) {
+  FrameWriter F;
+  F.u64(Id);
+  if (!writeFrame(Fd, MsgType::OpenStream, F.body()))
+    return Result<StatusCode>::error(errnoString("send OpenStream"));
+  Result<std::pair<uint8_t, std::string>> Reply = readReply();
+  if (!Reply.ok())
+    return Reply.takeDiag();
+  auto [Type, Body] = Reply.take();
+  if (static_cast<MsgType>(Type) == MsgType::StreamOpen)
+    return StatusCode::Ok;
+  if (static_cast<MsgType>(Type) == MsgType::Status) {
+    StatusCode Code;
+    uint64_t Stream;
+    std::string Text;
+    if (!decodeStatus(Body, Code, Stream, Text))
+      return Result<StatusCode>::error("malformed Status from server");
+    if (Message)
+      *Message = std::move(Text);
+    return Code;
+  }
+  return Result<StatusCode>::error("unexpected reply to OpenStream");
+}
+
+Result<ChunkOutcome> ScanClient::sendChunk(uint64_t Id,
+                                           std::string_view Data) {
+  FrameWriter F;
+  F.u64(Id);
+  F.raw(Data);
+  if (!writeFrame(Fd, MsgType::Chunk, F.body()))
+    return Result<ChunkOutcome>::error(errnoString("send Chunk"));
+
+  ChunkOutcome Out;
+  for (;;) {
+    Result<std::pair<uint8_t, std::string>> Reply = readReply();
+    if (!Reply.ok())
+      return Reply.takeDiag();
+    auto [Type, Body] = Reply.take();
+    switch (static_cast<MsgType>(Type)) {
+    case MsgType::Matches:
+      if (!decodeMatches(Body, Id, Out.Matches))
+        return Result<ChunkOutcome>::error("malformed Matches from server");
+      continue;
+    case MsgType::ChunkDone: {
+      FrameCursor Cur(Body);
+      uint64_t Stream = 0;
+      uint32_t Count = 0;
+      if (!Cur.u64(Stream) || !Cur.u64(Out.Offset) || !Cur.u32(Count) ||
+          !Cur.atEnd() || Stream != Id)
+        return Result<ChunkOutcome>::error("malformed ChunkDone");
+      return Out;
+    }
+    case MsgType::Status: {
+      uint64_t Stream;
+      if (!decodeStatus(Body, Out.Status, Stream, Out.Message))
+        return Result<ChunkOutcome>::error("malformed Status from server");
+      return Out;
+    }
+    default:
+      return Result<ChunkOutcome>::error("unexpected reply to Chunk (type " +
+                                         std::to_string(Type) + ")");
+    }
+  }
+}
+
+Result<StreamEnd> ScanClient::closeStream(uint64_t Id) {
+  FrameWriter F;
+  F.u64(Id);
+  if (!writeFrame(Fd, MsgType::CloseStream, F.body()))
+    return Result<StreamEnd>::error(errnoString("send CloseStream"));
+
+  StreamEnd Out;
+  for (;;) {
+    Result<std::pair<uint8_t, std::string>> Reply = readReply();
+    if (!Reply.ok())
+      return Reply.takeDiag();
+    auto [Type, Body] = Reply.take();
+    switch (static_cast<MsgType>(Type)) {
+    case MsgType::Matches:
+      if (!decodeMatches(Body, Id, Out.Matches))
+        return Result<StreamEnd>::error("malformed Matches from server");
+      continue;
+    case MsgType::StreamDone: {
+      FrameCursor Cur(Body);
+      uint64_t Stream = 0;
+      if (!Cur.u64(Stream) || !Cur.u64(Out.TotalBytes) ||
+          !Cur.u64(Out.TotalMatches) || !Cur.atEnd() || Stream != Id)
+        return Result<StreamEnd>::error("malformed StreamDone");
+      return Out;
+    }
+    case MsgType::Status: {
+      uint64_t Stream;
+      if (!decodeStatus(Body, Out.Status, Stream, Out.Message))
+        return Result<StreamEnd>::error("malformed Status from server");
+      return Out;
+    }
+    default:
+      return Result<StreamEnd>::error("unexpected reply to CloseStream");
+    }
+  }
+}
+
+Result<std::string> ScanClient::stats() {
+  FrameWriter F;
+  if (!writeFrame(Fd, MsgType::GetStats, F.body()))
+    return Result<std::string>::error(errnoString("send GetStats"));
+  Result<std::pair<uint8_t, std::string>> Reply = readReply();
+  if (!Reply.ok())
+    return Reply.takeDiag();
+  auto [Type, Body] = Reply.take();
+  if (static_cast<MsgType>(Type) != MsgType::Stats)
+    return Result<std::string>::error("unexpected reply to GetStats");
+  FrameCursor Cur(Body);
+  std::string Json;
+  if (!Cur.str(Json) || !Cur.atEnd())
+    return Result<std::string>::error("malformed Stats from server");
+  return Json;
+}
+
+Result<StatusCode> ScanClient::shutdownServer(std::string *Message) {
+  FrameWriter F;
+  if (!writeFrame(Fd, MsgType::Shutdown, F.body()))
+    return Result<StatusCode>::error(errnoString("send Shutdown"));
+  Result<std::pair<uint8_t, std::string>> Reply = readReply();
+  if (!Reply.ok())
+    return Reply.takeDiag();
+  auto [Type, Body] = Reply.take();
+  if (static_cast<MsgType>(Type) != MsgType::Status)
+    return Result<StatusCode>::error("unexpected reply to Shutdown");
+  StatusCode Code;
+  uint64_t Stream;
+  std::string Text;
+  if (!decodeStatus(Body, Code, Stream, Text))
+    return Result<StatusCode>::error("malformed Status from server");
+  if (Message)
+    *Message = std::move(Text);
+  return Code;
+}
+
+} // namespace mfsa::service

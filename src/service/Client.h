@@ -1,0 +1,126 @@
+//===- Client.h - blocking scan-service client ------------------*- C++ -*-===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ScanClient, the blocking reference client for the scan service: connect,
+/// Hello with a ruleset, open streams, feed chunks, close. One request is
+/// outstanding at a time per connection, so server replies can never
+/// interleave across this client's streams; concurrency across tenants is
+/// achieved by running one client per thread (see bench/scan_load.cpp).
+///
+/// The transport layer (vanished server, short writes) reports through
+/// Result; protocol-level rejections (Overloaded, TooManyStreams, ...) are
+/// *data*, returned in the outcome structs, because budget sheds are an
+/// expected part of normal operation that callers retry or count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MFSA_SERVICE_CLIENT_H
+#define MFSA_SERVICE_CLIENT_H
+
+#include "service/Protocol.h"
+#include "service/RulesetCache.h"
+#include "support/Result.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mfsa::service {
+
+/// One reported match: the global rule id and the absolute end offset —
+/// the same pair MatchRecorder collects offline, enabling byte-for-byte
+/// differential checks against imfant_run.
+struct ClientMatch {
+  uint32_t Rule = 0;
+  uint64_t End = 0;
+
+  bool operator==(const ClientMatch &O) const {
+    return Rule == O.Rule && End == O.End;
+  }
+  bool operator<(const ClientMatch &O) const {
+    return End != O.End ? End < O.End : Rule < O.Rule;
+  }
+};
+
+/// Server's answer to Hello.
+struct HelloInfo {
+  std::string CacheKey;    ///< Content-hash key of the compiled ruleset.
+  CacheSource Source = CacheSource::Compiled; ///< How the server got it.
+  uint32_t NumRules = 0;   ///< Surviving rules in the compiled set.
+  uint32_t NumGroups = 0;  ///< Merged MFSA groups (engines).
+};
+
+/// Outcome of one Chunk round trip. Status == Ok means the chunk was
+/// scanned; Overloaded means it was shed unconsumed (retry later); other
+/// codes are terminal for the stream.
+struct ChunkOutcome {
+  StatusCode Status = StatusCode::Ok;
+  std::vector<ClientMatch> Matches; ///< Matches ending in this chunk.
+  uint64_t Offset = 0;              ///< Absolute offset after the chunk.
+  std::string Message;              ///< Status text on non-Ok.
+};
+
+/// Outcome of CloseStream: the end-of-stream flush.
+struct StreamEnd {
+  StatusCode Status = StatusCode::Ok;
+  std::vector<ClientMatch> Matches; ///< `$`-anchored matches at the end.
+  uint64_t TotalBytes = 0;
+  uint64_t TotalMatches = 0;
+  std::string Message;
+};
+
+/// Blocking client over one connection (= one tenant). Move-only; closes
+/// the socket on destruction.
+class ScanClient {
+public:
+  static Result<ScanClient> connectUds(const std::string &Path);
+  static Result<ScanClient> connectTcp(uint16_t Port);
+
+  ScanClient(ScanClient &&Other) noexcept;
+  ScanClient &operator=(ScanClient &&Other) noexcept;
+  ScanClient(const ScanClient &) = delete;
+  ScanClient &operator=(const ScanClient &) = delete;
+  ~ScanClient();
+
+  /// Announces the tenant and its ruleset; the server compiles or reuses a
+  /// cached compilation. A Status reply (e.g. CompileFailed) is returned as
+  /// an error carrying the server's diagnostic.
+  Result<HelloInfo> hello(const std::string &Tenant,
+                          const std::vector<std::string> &Rules, uint32_t M);
+
+  /// Opens stream \p Id. \returns the Status the server answered —
+  /// StatusCode::Ok on success, the rejection code otherwise (with the
+  /// server's text in \p Message when non-null).
+  Result<StatusCode> openStream(uint64_t Id, std::string *Message = nullptr);
+
+  /// Feeds one chunk and waits for its result (Matches* + ChunkDone, or a
+  /// Status rejection).
+  Result<ChunkOutcome> sendChunk(uint64_t Id, std::string_view Data);
+
+  /// Ends stream \p Id, collecting the final flush.
+  Result<StreamEnd> closeStream(uint64_t Id);
+
+  /// Fetches the server's metrics JSON (MetricsRegistry::toJson form).
+  Result<std::string> stats();
+
+  /// Asks the server to stop (honored only when the server allows it).
+  Result<StatusCode> shutdownServer(std::string *Message = nullptr);
+
+  int fd() const { return Fd; } ///< For fault-injection tests.
+
+private:
+  explicit ScanClient(int Fd) : Fd(Fd) {}
+
+  /// Reads one frame; transport errors become diagnosed Results.
+  Result<std::pair<uint8_t, std::string>> readReply();
+
+  int Fd = -1;
+};
+
+} // namespace mfsa::service
+
+#endif // MFSA_SERVICE_CLIENT_H

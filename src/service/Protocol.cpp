@@ -1,0 +1,200 @@
+//===- Protocol.cpp - scan-service wire protocol -------------------------===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Protocol.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace mfsa::service {
+
+const char *statusName(StatusCode Code) {
+  switch (Code) {
+  case StatusCode::Ok:
+    return "ok";
+  case StatusCode::ProtocolError:
+    return "protocol-error";
+  case StatusCode::NeedHello:
+    return "need-hello";
+  case StatusCode::CompileFailed:
+    return "compile-failed";
+  case StatusCode::DuplicateStream:
+    return "duplicate-stream";
+  case StatusCode::UnknownStream:
+    return "unknown-stream";
+  case StatusCode::TooManyStreams:
+    return "too-many-streams";
+  case StatusCode::Overloaded:
+    return "overloaded";
+  case StatusCode::FrameTooLarge:
+    return "frame-too-large";
+  case StatusCode::ShuttingDown:
+    return "shutting-down";
+  case StatusCode::Internal:
+    return "internal";
+  }
+  return "unknown";
+}
+
+void FrameWriter::u32(uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Body.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void FrameWriter::u64(uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Body.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void FrameWriter::str(std::string_view S) {
+  u32(static_cast<uint32_t>(S.size()));
+  Body.append(S.data(), S.size());
+}
+
+bool FrameCursor::take(size_t N, const char *&P) {
+  if (Failed || Data.size() - Pos < N) {
+    Failed = true;
+    return false;
+  }
+  P = Data.data() + Pos;
+  Pos += N;
+  return true;
+}
+
+bool FrameCursor::u8(uint8_t &V) {
+  const char *P;
+  if (!take(1, P))
+    return false;
+  V = static_cast<uint8_t>(*P);
+  return true;
+}
+
+bool FrameCursor::u32(uint32_t &V) {
+  const char *P;
+  if (!take(4, P))
+    return false;
+  V = 0;
+  for (int I = 0; I < 4; ++I)
+    V |= static_cast<uint32_t>(static_cast<uint8_t>(P[I])) << (8 * I);
+  return true;
+}
+
+bool FrameCursor::u64(uint64_t &V) {
+  const char *P;
+  if (!take(8, P))
+    return false;
+  V = 0;
+  for (int I = 0; I < 8; ++I)
+    V |= static_cast<uint64_t>(static_cast<uint8_t>(P[I])) << (8 * I);
+  return true;
+}
+
+bool FrameCursor::str(std::string &V) {
+  uint32_t Len;
+  if (!u32(Len))
+    return false;
+  const char *P;
+  if (!take(Len, P))
+    return false;
+  V.assign(P, Len);
+  return true;
+}
+
+bool FrameCursor::rest(std::string_view &V) {
+  if (Failed)
+    return false;
+  V = Data.substr(Pos);
+  Pos = Data.size();
+  return true;
+}
+
+namespace {
+
+/// Reads exactly \p N bytes. \returns N on success, 0 on clean EOF before
+/// the first byte, the partial count on mid-read EOF, and SIZE_MAX on error.
+size_t readAll(int Fd, char *Buf, size_t N) {
+  size_t Got = 0;
+  while (Got < N) {
+    ssize_t Rc = ::read(Fd, Buf + Got, N - Got);
+    if (Rc > 0) {
+      Got += static_cast<size_t>(Rc);
+      continue;
+    }
+    if (Rc == 0)
+      return Got;
+    if (errno == EINTR)
+      continue;
+    return static_cast<size_t>(-1);
+  }
+  return Got;
+}
+
+} // namespace
+
+ReadStatus readFrame(int Fd, uint32_t MaxFrameBytes, uint8_t &Type,
+                     std::string &Body) {
+  char Prefix[4];
+  size_t Got = readAll(Fd, Prefix, sizeof(Prefix));
+  if (Got == 0)
+    return ReadStatus::Eof;
+  if (Got == static_cast<size_t>(-1))
+    return ReadStatus::IoError;
+  if (Got < sizeof(Prefix))
+    return ReadStatus::Truncated;
+  uint32_t Len = 0;
+  for (int I = 0; I < 4; ++I)
+    Len |= static_cast<uint32_t>(static_cast<uint8_t>(Prefix[I])) << (8 * I);
+  if (Len == 0)
+    return ReadStatus::BadLength;
+  if (Len > MaxFrameBytes)
+    return ReadStatus::TooLarge;
+  std::string Payload(Len, '\0');
+  Got = readAll(Fd, Payload.data(), Len);
+  if (Got == static_cast<size_t>(-1))
+    return ReadStatus::IoError;
+  if (Got < Len)
+    return ReadStatus::Truncated;
+  Type = static_cast<uint8_t>(Payload[0]);
+  Body.assign(Payload, 1, Len - 1);
+  return ReadStatus::Frame;
+}
+
+bool writeFrame(int Fd, MsgType Type, std::string_view Body) {
+  uint32_t Len = static_cast<uint32_t>(Body.size() + 1);
+  std::string Wire;
+  Wire.reserve(4 + Len);
+  for (int I = 0; I < 4; ++I)
+    Wire.push_back(static_cast<char>((Len >> (8 * I)) & 0xff));
+  Wire.push_back(static_cast<char>(Type));
+  Wire.append(Body.data(), Body.size());
+  size_t Sent = 0;
+  while (Sent < Wire.size()) {
+    ssize_t Rc = ::send(Fd, Wire.data() + Sent, Wire.size() - Sent,
+                        MSG_NOSIGNAL);
+    if (Rc < 0) {
+      if (errno == EINTR)
+        continue;
+      // Not a socket (tests may hand a pipe): fall back to write(2).
+      if (errno == ENOTSOCK) {
+        Rc = ::write(Fd, Wire.data() + Sent, Wire.size() - Sent);
+        if (Rc < 0) {
+          if (errno == EINTR)
+            continue;
+          return false;
+        }
+        Sent += static_cast<size_t>(Rc);
+        continue;
+      }
+      return false;
+    }
+    Sent += static_cast<size_t>(Rc);
+  }
+  return true;
+}
+
+} // namespace mfsa::service

@@ -1,0 +1,153 @@
+//===- Protocol.h - scan-service wire protocol ------------------*- C++ -*-===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The length-prefixed framing the scan service (service/Server.h) and its
+/// clients speak over TCP or a Unix-domain socket. One frame is
+///
+///   [u32 LE payload length N][u8 message type][N-1 body bytes]
+///
+/// where N counts the type byte plus the body, 1 <= N <= MaxFrameBytes.
+/// Multi-byte integers are little-endian; strings are a u32 length followed
+/// by raw bytes. The full message catalog and the status-code semantics are
+/// specified normatively in docs/service.md.
+///
+/// Every inbound byte is untrusted: bodies are decoded through a
+/// bounds-checked cursor that fails closed (a truncated or trailing-garbage
+/// body is a protocol error, never an out-of-bounds read), and the length
+/// prefix is validated against the frame ceiling *before* any allocation —
+/// an adversarial 4 GiB prefix costs the server four bytes of reading, not
+/// four gigabytes of memory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MFSA_SERVICE_PROTOCOL_H
+#define MFSA_SERVICE_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mfsa::service {
+
+/// Protocol revision carried in Hello; the server rejects others.
+inline constexpr uint32_t kProtocolVersion = 1;
+
+/// Default ceiling on one frame's payload (type byte + body). Connections
+/// announcing a larger length prefix are answered with
+/// StatusCode::FrameTooLarge and closed.
+inline constexpr uint32_t kDefaultMaxFrameBytes = 16u << 20;
+
+/// Wire message types. Client-to-server types live below 64, server-to-
+/// client types at or above it, so a direction mix-up is itself a protocol
+/// error rather than a silent misparse.
+enum class MsgType : uint8_t {
+  // Client -> server.
+  Hello = 1,       ///< version, tenant, merging factor M, ruleset text.
+  OpenStream = 2,  ///< u64 stream id, fresh per connection.
+  Chunk = 3,       ///< u64 stream id + raw payload bytes.
+  CloseStream = 4, ///< u64 stream id: flush $-anchored matches, finish.
+  GetStats = 5,    ///< empty; answered with Stats (metrics JSON).
+  Shutdown = 6,    ///< empty; asks the server to stop (when allowed).
+
+  // Server -> client.
+  HelloOk = 64,    ///< cache key, cache source, rule/group counts.
+  StreamOpen = 65, ///< u64 stream id ack.
+  Matches = 66,    ///< u64 stream id, u32 count, count x (u32 rule, u64 end).
+  ChunkDone = 67,  ///< u64 stream id, u64 absolute offset, u32 chunk matches.
+  StreamDone = 68, ///< u64 stream id, u64 total bytes, u64 total matches.
+  Stats = 69,      ///< string: MetricsRegistry JSON export.
+  Status = 70,     ///< u8 code, u64 stream id (0 = connection), string text.
+};
+
+/// Diagnosed status codes (Status frames). Overloaded is the only
+/// *retryable* code: the chunk was not consumed and may be resent once the
+/// tenant's queue drains; every other non-Ok code is terminal for the
+/// stream or connection it names.
+enum class StatusCode : uint8_t {
+  Ok = 0,
+  ProtocolError = 1,   ///< Malformed frame or body; connection closes.
+  NeedHello = 2,       ///< Stream/chunk traffic before a successful Hello.
+  CompileFailed = 3,   ///< Ruleset rejected (diagnostic in the text).
+  DuplicateStream = 4, ///< OpenStream id already open on this connection.
+  UnknownStream = 5,   ///< Chunk/CloseStream for an id never opened.
+  TooManyStreams = 6,  ///< Tenant's MaxStreams budget exhausted.
+  Overloaded = 7,      ///< Tenant's queued-bytes budget full; retry later.
+  FrameTooLarge = 8,   ///< Length prefix above the frame ceiling.
+  ShuttingDown = 9,    ///< Server is draining; no new work accepted.
+  Internal = 10,       ///< Server-side failure (diagnostic in the text).
+};
+
+/// Human-readable status-code name ("overloaded", ...).
+const char *statusName(StatusCode Code);
+
+/// Appends little-endian scalars / length-prefixed strings to a frame body
+/// under construction.
+class FrameWriter {
+public:
+  void u8(uint8_t V) { Body.push_back(static_cast<char>(V)); }
+  void u32(uint32_t V);
+  void u64(uint64_t V);
+  void str(std::string_view S);
+  /// Raw trailing bytes (a Chunk payload), no length prefix.
+  void raw(std::string_view S) { Body.append(S.data(), S.size()); }
+
+  const std::string &body() const { return Body; }
+
+private:
+  std::string Body;
+};
+
+/// Bounds-checked decoder over one received frame body. Every accessor
+/// returns false (and poisons the cursor) on underrun; after the last field
+/// callers assert atEnd() so trailing garbage is also rejected.
+class FrameCursor {
+public:
+  explicit FrameCursor(std::string_view Body) : Data(Body) {}
+
+  bool u8(uint8_t &V);
+  bool u32(uint32_t &V);
+  bool u64(uint64_t &V);
+  /// String with a u32 length prefix, capped at the remaining bytes.
+  bool str(std::string &V);
+  /// All remaining bytes (a Chunk payload); always succeeds unless poisoned.
+  bool rest(std::string_view &V);
+
+  bool ok() const { return !Failed; }
+  bool atEnd() const { return !Failed && Pos == Data.size(); }
+
+private:
+  bool take(size_t N, const char *&P);
+
+  std::string_view Data;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+/// Outcome of readFrame(): exactly one of these per call.
+enum class ReadStatus : uint8_t {
+  Frame,     ///< A whole frame was read into Type/Body.
+  Eof,       ///< Clean end of stream on a frame boundary.
+  Truncated, ///< Peer vanished mid-prefix or mid-frame.
+  TooLarge,  ///< Length prefix exceeded \p MaxFrameBytes (nothing consumed
+             ///< past the prefix; the connection must close).
+  BadLength, ///< Zero-length payload (no room for the type byte).
+  IoError,   ///< read(2) failed.
+};
+
+/// Blocking read of one frame from \p Fd. On ReadStatus::Frame, \p Type and
+/// \p Body carry the message. Never allocates more than \p MaxFrameBytes.
+ReadStatus readFrame(int Fd, uint32_t MaxFrameBytes, uint8_t &Type,
+                     std::string &Body);
+
+/// Blocking write of one frame (length prefix + type + \p Body) to \p Fd.
+/// Uses MSG_NOSIGNAL on sockets so a vanished peer surfaces as false, not
+/// SIGPIPE. \returns true when every byte was written.
+bool writeFrame(int Fd, MsgType Type, std::string_view Body);
+
+} // namespace mfsa::service
+
+#endif // MFSA_SERVICE_PROTOCOL_H

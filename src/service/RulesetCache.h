@@ -1,0 +1,135 @@
+//===- RulesetCache.h - content-addressed compiled-ruleset cache -*- C++ -*-===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scan service's compiled-ruleset cache: tenants announcing the same
+/// ruleset (same rule text, same merging factor) share one set of
+/// preprocessed ImfantEngine tables instead of recompiling per connection —
+/// the service-shaped form of the paper's amortization argument.
+///
+/// Keying is by content hash of (merging factor, rule text); the stored
+/// entry keeps the full rule text, and a lookup whose rules differ under an
+/// equal hash is diverted to a salted key, so a hash collision costs one
+/// extra compile, never a wrong ruleset.
+///
+/// Entries are handed out as shared_ptr<const CompiledRuleset> — RCU-style
+/// refcounted eviction: evicting drops the cache's reference only, and
+/// sessions mid-scan keep their tables alive until the last one unpins.
+/// Concurrent first requests for one key collapse onto a single compile
+/// (per-slot mutex), so a thundering herd of identical tenants costs one
+/// compilation.
+///
+/// When a cache directory is configured, compiled rulesets are persisted as
+/// PR 6 artifact images named <key>.mfsa (crash-safe write, corruption-
+/// hardened load), giving two extra properties: a server restart warm-starts
+/// from disk instead of recompiling, and multiple server processes sharing
+/// the directory mmap the same read-only images, sharing page-cache pages.
+/// A rejected on-disk image is never trusted: it counts
+/// `service.cache.artifact_rejected` and falls back to a fresh compile that
+/// overwrites it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MFSA_SERVICE_RULESETCACHE_H
+#define MFSA_SERVICE_RULESETCACHE_H
+
+#include "compiler/Pipeline.h"
+#include "engine/Imfant.h"
+#include "support/Result.h"
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mfsa::obs {
+class MetricsRegistry;
+} // namespace mfsa::obs
+
+namespace mfsa::service {
+
+/// Where an acquired ruleset came from.
+enum class CacheSource : uint8_t {
+  Compiled = 0, ///< Cache miss: compiled from the rule text.
+  Memory = 1,   ///< Resident entry reused (the amortization win).
+  Artifact = 2, ///< Loaded from the on-disk artifact image.
+};
+
+/// One compiled, engine-ready ruleset. Immutable after construction;
+/// ImfantEngine::run/Scanner are const over it, so any number of sessions
+/// across any number of threads share one instance.
+struct CompiledRuleset {
+  std::string Key;                 ///< Content-hash cache key (hex).
+  uint32_t MergingFactor = 0;      ///< The compile's M (0 = all).
+  std::vector<std::string> Rules;  ///< Source text, for collision checks.
+  std::vector<ImfantEngine> Engines; ///< One per merged MFSA group.
+  uint32_t NumRules = 0;           ///< Surviving (non-quarantined) rules.
+  std::string ArtifactPath;        ///< On-disk image, "" when memory-only.
+};
+
+/// Cache configuration.
+struct CacheOptions {
+  /// Directory for <key>.mfsa artifact images; "" disables disk backing.
+  /// Must exist and be writable (the cache never creates it).
+  std::string CacheDir;
+
+  /// Resident-entry ceiling; least-recently-used entries beyond it are
+  /// evicted (sessions holding them keep them alive — see file comment).
+  size_t Capacity = 8;
+
+  /// Compile settings for misses. The service parity contract (results
+  /// byte-identical to offline `imfant_run`) holds because this is the same
+  /// compileRuleset() the offline tools call.
+  CompileOptions Compile;
+};
+
+/// Thread-safe content-addressed cache of CompiledRulesets.
+class RulesetCache {
+public:
+  explicit RulesetCache(CacheOptions Options,
+                        obs::MetricsRegistry *Metrics = nullptr);
+
+  /// Returns the compiled form of \p Rules at merging factor \p M, reusing
+  /// a resident or on-disk copy when one exists. \p Source (when non-null)
+  /// reports which path served the request. Compile failures are negative-
+  /// cached per key, so a bad ruleset diagnoses instantly on repeat.
+  Result<std::shared_ptr<const CompiledRuleset>>
+  acquire(const std::vector<std::string> &Rules, uint32_t M,
+          CacheSource *Source = nullptr);
+
+  /// Resident entries right now (post-eviction).
+  size_t residentEntries() const;
+
+  /// Content key for (\p Rules, \p M): 32 hex chars, stable across runs and
+  /// processes — it names the on-disk artifact. Exposed for tests and
+  /// operational tooling (cache-directory hygiene).
+  static std::string contentKey(const std::vector<std::string> &Rules,
+                                uint32_t M);
+
+private:
+  struct Slot;
+
+  std::shared_ptr<const CompiledRuleset>
+  buildOrLoad(const std::string &Key, const std::vector<std::string> &Rules,
+              uint32_t M, CacheSource *Source, Diag &Error);
+  void touchLocked(const std::string &Key);
+  void evictOverCapacityLocked();
+
+  CacheOptions Options;
+  obs::MetricsRegistry *Metrics;
+
+  mutable std::mutex Mutex; ///< Guards Slots + LruOrder, never held while
+                            ///< compiling (per-slot mutexes serialize that).
+  std::map<std::string, std::shared_ptr<Slot>> Slots;
+  std::list<std::string> LruOrder; ///< Front = most recently used.
+};
+
+} // namespace mfsa::service
+
+#endif // MFSA_SERVICE_RULESETCACHE_H

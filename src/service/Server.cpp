@@ -1,0 +1,837 @@
+//===- Server.cpp - multi-tenant streaming scan server --------------------===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+
+#include "obs/Metrics.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+namespace mfsa::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct PendingChunk {
+  std::string Data;
+  Clock::time_point Enqueued;
+};
+
+} // namespace
+
+struct ScanServer::Impl {
+  struct Connection;
+
+  /// One open stream: the carried activation state (Scanners) plus the
+  /// arrival-ordered chunk queue. The Scheduled flag guarantees at most one
+  /// drain task owns the session at a time, so chunk order — and therefore
+  /// byte-identity with an offline scan — is preserved without holding any
+  /// lock across the actual automaton stepping.
+  struct Session {
+    uint64_t Id = 0;
+    std::weak_ptr<Connection> Conn;
+    std::shared_ptr<const CompiledRuleset> Ruleset; ///< Pins shared tables.
+    std::vector<std::unique_ptr<ImfantEngine::Scanner>> Scanners;
+
+    std::mutex M;
+    std::deque<PendingChunk> Queue;
+    bool Scheduled = false;
+    bool CloseRequested = false;
+    bool Aborted = false;
+    bool Finished = false;
+    uint64_t TotalMatches = 0;
+    uint64_t Consumed = 0; ///< Offset fallback for engine-less rulesets.
+  };
+
+  /// One tenant: a connection, its reader thread, and its budgets.
+  struct Connection : std::enable_shared_from_this<Connection> {
+    int Fd = -1;
+    std::thread Reader;
+    std::atomic<bool> ReaderDone{false};
+
+    std::mutex WriteMutex;
+    bool Closed = false; ///< Guarded by WriteMutex; set before close(Fd).
+
+    // Reader-thread state (only the reader mutates these).
+    bool HaveHello = false;
+    std::string Tenant;
+    std::shared_ptr<const CompiledRuleset> Ruleset;
+
+    std::mutex SessionsMutex;
+    std::map<uint64_t, std::shared_ptr<Session>> Sessions;
+    std::atomic<uint64_t> QueuedBytes{0};
+
+    ~Connection() {
+      if (Fd >= 0)
+        ::close(Fd);
+    }
+  };
+
+  ServerOptions Opts;
+  std::unique_ptr<obs::MetricsRegistry> OwnRegistry;
+  obs::MetricsRegistry *Registry = nullptr;
+  std::unique_ptr<RulesetCache> Cache;
+  std::unique_ptr<ThreadPool> Pool;
+
+  int UdsFd = -1;
+  int TcpFd = -1;
+  uint16_t BoundTcpPort = 0;
+  int StopPipe[2] = {-1, -1};
+  std::atomic<bool> Stopping{false};
+
+  std::thread AcceptThread;
+  std::mutex ConnMutex;
+  std::vector<std::shared_ptr<Connection>> Connections;
+
+  std::mutex StoppedMutex;
+  std::condition_variable StoppedCv;
+  bool StoppedFlag = false;
+
+  std::atomic<int64_t> ActiveSessions{0};
+  std::atomic<int64_t> ActiveConnections{0};
+
+  // Hot-path metric handles, resolved once (obs/Metrics.h cost model).
+  obs::Counter *ChunksCounter = nullptr;
+  obs::Counter *BytesCounter = nullptr;
+  obs::Counter *MatchesCounter = nullptr;
+  obs::Counter *ShedCounter = nullptr;
+  obs::Histogram *LatencyUs = nullptr;
+  obs::Histogram *ChunkBytes = nullptr;
+  obs::Histogram *QueueDepth = nullptr;
+
+  ~Impl() { closeListeners(); }
+
+  void closeListeners() {
+    if (UdsFd >= 0) {
+      ::close(UdsFd);
+      UdsFd = -1;
+      if (!Opts.UdsPath.empty())
+        ::unlink(Opts.UdsPath.c_str());
+    }
+    if (TcpFd >= 0) {
+      ::close(TcpFd);
+      TcpFd = -1;
+    }
+    for (int &Fd : StopPipe)
+      if (Fd >= 0) {
+        ::close(Fd);
+        Fd = -1;
+      }
+  }
+
+  void resolveMetrics() {
+    ChunksCounter = &Registry->counter("service.chunks");
+    BytesCounter = &Registry->counter("service.bytes");
+    MatchesCounter = &Registry->counter("service.matches");
+    ShedCounter = &Registry->counter("service.shed.count");
+    LatencyUs =
+        &Registry->histogram("service.scan.latency_us", obs::pow2Buckets(21));
+    ChunkBytes =
+        &Registry->histogram("service.chunk.bytes", obs::pow2Buckets(24));
+    QueueDepth =
+        &Registry->histogram("service.queue.depth", obs::pow2Buckets(12));
+  }
+
+  // --- replies ----------------------------------------------------------
+
+  void send(const std::shared_ptr<Connection> &Conn, MsgType Type,
+            const FrameWriter &Frame) {
+    std::lock_guard<std::mutex> Lock(Conn->WriteMutex);
+    if (Conn->Closed)
+      return;
+    if (!writeFrame(Conn->Fd, Type, Frame.body()))
+      Conn->Closed = true;
+  }
+
+  void sendStatus(const std::shared_ptr<Connection> &Conn, StatusCode Code,
+                  uint64_t StreamId, std::string_view Message) {
+    FrameWriter F;
+    F.u8(static_cast<uint8_t>(Code));
+    F.u64(StreamId);
+    F.str(Message);
+    send(Conn, MsgType::Status, F);
+  }
+
+  void sendMatchesAndTally(const std::shared_ptr<Connection> &Conn,
+                           uint64_t StreamId, const MatchRecorder &Rec) {
+    // Batched so a match-dense chunk can never produce a Matches frame
+    // above the frame ceiling; the client accumulates until ChunkDone.
+    constexpr size_t kPairsPerFrame = 64 * 1024;
+    const auto &Pairs = Rec.matches();
+    for (size_t Begin = 0; Begin < Pairs.size(); Begin += kPairsPerFrame) {
+      size_t End = std::min(Begin + kPairsPerFrame, Pairs.size());
+      FrameWriter F;
+      F.u64(StreamId);
+      F.u32(static_cast<uint32_t>(End - Begin));
+      for (size_t I = Begin; I < End; ++I) {
+        F.u32(Pairs[I].first);
+        F.u64(Pairs[I].second);
+      }
+      send(Conn, MsgType::Matches, F);
+    }
+  }
+
+  // --- scanning ---------------------------------------------------------
+
+  void scheduleLocked(const std::shared_ptr<Session> &S) {
+    if (S->Scheduled)
+      return;
+    S->Scheduled = true;
+    Pool->submit([this, S] { drainSession(S); });
+  }
+
+  void drainSession(const std::shared_ptr<Session> &S) {
+    for (;;) {
+      PendingChunk Chunk;
+      bool DoFinish = false;
+      {
+        std::lock_guard<std::mutex> Lock(S->M);
+        if (S->Aborted) {
+          S->Queue.clear();
+          S->Scheduled = false;
+          return;
+        }
+        if (S->Queue.empty()) {
+          if (S->CloseRequested && !S->Finished) {
+            S->Finished = true;
+            DoFinish = true;
+          } else {
+            S->Scheduled = false;
+            return;
+          }
+        } else {
+          Chunk = std::move(S->Queue.front());
+          S->Queue.pop_front();
+        }
+      }
+      if (DoFinish) {
+        finishSession(S);
+        std::lock_guard<std::mutex> Lock(S->M);
+        S->Scheduled = false;
+        return;
+      }
+      if (Opts.DrainDelayUsForTest)
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(Opts.DrainDelayUsForTest));
+
+      MatchRecorder Rec(MatchRecorder::Mode::Collect);
+      for (auto &Scanner : S->Scanners)
+        Scanner->feed(Chunk.Data, Rec);
+      S->Consumed += Chunk.Data.size();
+      uint64_t Offset = S->Scanners.empty()
+                            ? S->Consumed
+                            : S->Scanners.front()->offset();
+
+      std::shared_ptr<Connection> Conn = S->Conn.lock();
+      if (Conn) {
+        Conn->QueuedBytes.fetch_sub(Chunk.Data.size(),
+                                    std::memory_order_relaxed);
+        sendMatchesAndTally(Conn, S->Id, Rec);
+        FrameWriter Done;
+        Done.u64(S->Id);
+        Done.u64(Offset);
+        Done.u32(static_cast<uint32_t>(Rec.total()));
+        send(Conn, MsgType::ChunkDone, Done);
+      }
+      S->TotalMatches += Rec.total();
+      MatchesCounter->add(Rec.total());
+      LatencyUs->observe(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              Clock::now() - Chunk.Enqueued)
+              .count()));
+    }
+  }
+
+  void finishSession(const std::shared_ptr<Session> &S) {
+    MatchRecorder Rec(MatchRecorder::Mode::Collect);
+    uint64_t Offset = S->Consumed;
+    for (auto &Scanner : S->Scanners) {
+      Offset = Scanner->offset();
+      Scanner->finish(Rec);
+    }
+    S->TotalMatches += Rec.total();
+    MatchesCounter->add(Rec.total());
+    if (std::shared_ptr<Connection> Conn = S->Conn.lock()) {
+      sendMatchesAndTally(Conn, S->Id, Rec);
+      FrameWriter F;
+      F.u64(S->Id);
+      F.u64(Offset);
+      F.u64(S->TotalMatches);
+      send(Conn, MsgType::StreamDone, F);
+      {
+        std::lock_guard<std::mutex> Lock(Conn->SessionsMutex);
+        Conn->Sessions.erase(S->Id);
+      }
+    }
+    Registry->counter("service.streams.closed").add();
+    Registry->gauge("service.sessions.active")
+        .set(ActiveSessions.fetch_sub(1, std::memory_order_relaxed) - 1);
+  }
+
+  // --- frame handling (reader thread) -----------------------------------
+
+  bool handleHello(const std::shared_ptr<Connection> &Conn,
+                   FrameCursor &Cur) {
+    uint32_t Version = 0, M = 0;
+    std::string Tenant, RulesText;
+    if (!Cur.u32(Version) || !Cur.str(Tenant) || !Cur.u32(M) ||
+        !Cur.str(RulesText) || !Cur.atEnd()) {
+      sendStatus(Conn, StatusCode::ProtocolError, 0, "malformed Hello");
+      return false;
+    }
+    if (Version != kProtocolVersion) {
+      sendStatus(Conn, StatusCode::ProtocolError, 0,
+                 "unsupported protocol version " + std::to_string(Version));
+      return false;
+    }
+    {
+      std::lock_guard<std::mutex> Lock(Conn->SessionsMutex);
+      if (!Conn->Sessions.empty()) {
+        sendStatus(Conn, StatusCode::ProtocolError, 0,
+                   "Hello with streams open");
+        return false;
+      }
+    }
+    if (RulesText.size() > Opts.Budget.MaxRulesBytes) {
+      Registry->counter("service.rejects.count").add();
+      sendStatus(Conn, StatusCode::CompileFailed, 0,
+                 "ruleset exceeds tenant budget of " +
+                     std::to_string(Opts.Budget.MaxRulesBytes) + " bytes");
+      return true;
+    }
+    std::vector<std::string> Rules;
+    std::string Line;
+    for (size_t Pos = 0; Pos <= RulesText.size();) {
+      size_t Nl = RulesText.find('\n', Pos);
+      if (Nl == std::string::npos)
+        Nl = RulesText.size();
+      Line = RulesText.substr(Pos, Nl - Pos);
+      Pos = Nl + 1;
+      if (!Line.empty() && Line.back() == '\r')
+        Line.pop_back();
+      if (!Line.empty() && Line[0] != '#')
+        Rules.push_back(Line);
+      if (Nl == RulesText.size())
+        break;
+    }
+    if (Rules.empty()) {
+      Registry->counter("service.hello.failures").add();
+      sendStatus(Conn, StatusCode::CompileFailed, 0, "empty ruleset");
+      return true;
+    }
+    CacheSource Source = CacheSource::Compiled;
+    Result<std::shared_ptr<const CompiledRuleset>> Acquired =
+        Cache->acquire(Rules, M, &Source);
+    if (!Acquired.ok()) {
+      Registry->counter("service.hello.failures").add();
+      sendStatus(Conn, StatusCode::CompileFailed, 0,
+                 Acquired.diag().render());
+      return true;
+    }
+    Conn->Tenant = Tenant;
+    Conn->Ruleset = *Acquired;
+    Conn->HaveHello = true;
+    Registry->counter("service.hello.count").add();
+
+    FrameWriter F;
+    F.str((*Acquired)->Key);
+    F.u8(static_cast<uint8_t>(Source));
+    F.u32((*Acquired)->NumRules);
+    F.u32(static_cast<uint32_t>((*Acquired)->Engines.size()));
+    send(Conn, MsgType::HelloOk, F);
+    return true;
+  }
+
+  bool handleOpenStream(const std::shared_ptr<Connection> &Conn,
+                        FrameCursor &Cur) {
+    uint64_t Id = 0;
+    if (!Cur.u64(Id) || !Cur.atEnd()) {
+      sendStatus(Conn, StatusCode::ProtocolError, 0, "malformed OpenStream");
+      return false;
+    }
+    if (Stopping.load(std::memory_order_relaxed)) {
+      sendStatus(Conn, StatusCode::ShuttingDown, Id, "server stopping");
+      return true;
+    }
+    auto S = std::make_shared<Session>();
+    S->Id = Id;
+    S->Conn = Conn;
+    S->Ruleset = Conn->Ruleset;
+    S->Scanners.reserve(Conn->Ruleset->Engines.size());
+    for (const ImfantEngine &Engine : Conn->Ruleset->Engines)
+      S->Scanners.push_back(std::make_unique<ImfantEngine::Scanner>(Engine));
+    {
+      std::lock_guard<std::mutex> Lock(Conn->SessionsMutex);
+      if (Conn->Sessions.count(Id)) {
+        sendStatus(Conn, StatusCode::DuplicateStream, Id,
+                   "stream id already open");
+        return true;
+      }
+      if (Conn->Sessions.size() >= Opts.Budget.MaxStreams) {
+        Registry->counter("service.rejects.count").add();
+        sendStatus(Conn, StatusCode::TooManyStreams, Id,
+                   "tenant budget: " +
+                       std::to_string(Opts.Budget.MaxStreams) +
+                       " concurrent streams");
+        return true;
+      }
+      Conn->Sessions.emplace(Id, std::move(S));
+    }
+    Registry->counter("service.streams.opened").add();
+    Registry->gauge("service.sessions.active")
+        .set(ActiveSessions.fetch_add(1, std::memory_order_relaxed) + 1);
+    FrameWriter F;
+    F.u64(Id);
+    send(Conn, MsgType::StreamOpen, F);
+    return true;
+  }
+
+  bool handleChunk(const std::shared_ptr<Connection> &Conn,
+                   FrameCursor &Cur) {
+    uint64_t Id = 0;
+    std::string_view Payload;
+    if (!Cur.u64(Id) || !Cur.rest(Payload)) {
+      sendStatus(Conn, StatusCode::ProtocolError, 0, "malformed Chunk");
+      return false;
+    }
+    std::shared_ptr<Session> S;
+    {
+      std::lock_guard<std::mutex> Lock(Conn->SessionsMutex);
+      auto It = Conn->Sessions.find(Id);
+      if (It != Conn->Sessions.end())
+        S = It->second;
+    }
+    if (!S) {
+      sendStatus(Conn, StatusCode::UnknownStream, Id, "no such stream");
+      return true;
+    }
+    uint64_t Queued = Conn->QueuedBytes.load(std::memory_order_relaxed);
+    if (Queued + Payload.size() > Opts.Budget.MaxQueuedBytes) {
+      ShedCounter->add();
+      sendStatus(Conn, StatusCode::Overloaded, Id,
+                 "tenant queue budget full (" + std::to_string(Queued) +
+                     " of " + std::to_string(Opts.Budget.MaxQueuedBytes) +
+                     " bytes queued); retry");
+      return true;
+    }
+    Conn->QueuedBytes.fetch_add(Payload.size(), std::memory_order_relaxed);
+    ChunksCounter->add();
+    BytesCounter->add(Payload.size());
+    ChunkBytes->observe(Payload.size());
+    {
+      std::lock_guard<std::mutex> Lock(S->M);
+      if (S->CloseRequested || S->Finished) {
+        Conn->QueuedBytes.fetch_sub(Payload.size(),
+                                    std::memory_order_relaxed);
+        sendStatus(Conn, StatusCode::UnknownStream, Id, "stream is closing");
+        return true;
+      }
+      S->Queue.push_back(PendingChunk{std::string(Payload), Clock::now()});
+      QueueDepth->observe(S->Queue.size());
+      scheduleLocked(S);
+    }
+    return true;
+  }
+
+  bool handleCloseStream(const std::shared_ptr<Connection> &Conn,
+                         FrameCursor &Cur) {
+    uint64_t Id = 0;
+    if (!Cur.u64(Id) || !Cur.atEnd()) {
+      sendStatus(Conn, StatusCode::ProtocolError, 0,
+                 "malformed CloseStream");
+      return false;
+    }
+    std::shared_ptr<Session> S;
+    {
+      std::lock_guard<std::mutex> Lock(Conn->SessionsMutex);
+      auto It = Conn->Sessions.find(Id);
+      if (It != Conn->Sessions.end())
+        S = It->second;
+    }
+    if (!S) {
+      sendStatus(Conn, StatusCode::UnknownStream, Id, "no such stream");
+      return true;
+    }
+    std::lock_guard<std::mutex> Lock(S->M);
+    if (S->CloseRequested) {
+      sendStatus(Conn, StatusCode::UnknownStream, Id, "already closing");
+      return true;
+    }
+    S->CloseRequested = true;
+    scheduleLocked(S);
+    return true;
+  }
+
+  /// \returns false when the connection must close.
+  bool handleFrame(const std::shared_ptr<Connection> &Conn, uint8_t RawType,
+                   std::string_view Body) {
+    FrameCursor Cur(Body);
+    auto Type = static_cast<MsgType>(RawType);
+    if (Type != MsgType::Hello && Type != MsgType::GetStats &&
+        Type != MsgType::Shutdown && !Conn->HaveHello) {
+      sendStatus(Conn, StatusCode::NeedHello, 0,
+                 "send Hello before stream traffic");
+      return true;
+    }
+    switch (Type) {
+    case MsgType::Hello:
+      return handleHello(Conn, Cur);
+    case MsgType::OpenStream:
+      return handleOpenStream(Conn, Cur);
+    case MsgType::Chunk:
+      return handleChunk(Conn, Cur);
+    case MsgType::CloseStream:
+      return handleCloseStream(Conn, Cur);
+    case MsgType::GetStats: {
+      FrameWriter F;
+      F.str(Registry->toJson());
+      send(Conn, MsgType::Stats, F);
+      return true;
+    }
+    case MsgType::Shutdown:
+      if (!Opts.AllowShutdownFrame) {
+        sendStatus(Conn, StatusCode::ProtocolError, 0,
+                   "Shutdown frame disabled");
+        return false;
+      }
+      sendStatus(Conn, StatusCode::Ok, 0, "stopping");
+      requestStopImpl();
+      return false;
+    default:
+      Registry->counter("service.protocol.errors").add();
+      sendStatus(Conn, StatusCode::ProtocolError, 0,
+                 "unknown message type " + std::to_string(RawType));
+      return false;
+    }
+  }
+
+  void readerLoop(const std::shared_ptr<Connection> &Conn) {
+    for (;;) {
+      uint8_t Type = 0;
+      std::string Body;
+      ReadStatus Rs = readFrame(Conn->Fd, Opts.MaxFrameBytes, Type, Body);
+      if (Rs == ReadStatus::Frame) {
+        if (!handleFrame(Conn, Type, Body))
+          break;
+        continue;
+      }
+      if (Rs == ReadStatus::TooLarge) {
+        Registry->counter("service.protocol.errors").add();
+        sendStatus(Conn, StatusCode::FrameTooLarge, 0,
+                   "frame exceeds " + std::to_string(Opts.MaxFrameBytes) +
+                       " bytes");
+      } else if (Rs == ReadStatus::Truncated || Rs == ReadStatus::BadLength) {
+        Registry->counter("service.protocol.errors").add();
+      }
+      break; // Eof / IoError / any of the above: tear down.
+    }
+    teardownConnection(Conn);
+    Conn->ReaderDone.store(true, std::memory_order_release);
+  }
+
+  void teardownConnection(const std::shared_ptr<Connection> &Conn) {
+    // Abort live sessions: drain tasks drop the queue and stop replying.
+    std::map<uint64_t, std::shared_ptr<Session>> Orphans;
+    {
+      std::lock_guard<std::mutex> Lock(Conn->SessionsMutex);
+      Orphans.swap(Conn->Sessions);
+    }
+    for (auto &[Id, S] : Orphans) {
+      (void)Id;
+      std::lock_guard<std::mutex> Lock(S->M);
+      if (!S->Finished) {
+        S->Aborted = true;
+        Registry->counter("service.streams.aborted").add();
+        Registry->gauge("service.sessions.active")
+            .set(ActiveSessions.fetch_sub(1, std::memory_order_relaxed) - 1);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> Lock(Conn->WriteMutex);
+      Conn->Closed = true;
+      if (Conn->Fd >= 0) {
+        ::close(Conn->Fd);
+        Conn->Fd = -1;
+      }
+    }
+    Conn->Ruleset.reset(); // Unpin the cache entry (RCU-style release).
+    Registry->counter("service.connections.closed").add();
+    Registry->gauge("service.tenants.active")
+        .set(ActiveConnections.fetch_sub(1, std::memory_order_relaxed) - 1);
+  }
+
+  // --- accept / lifecycle ----------------------------------------------
+
+  void reapFinishedConnections() {
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    for (auto It = Connections.begin(); It != Connections.end();) {
+      if ((*It)->ReaderDone.load(std::memory_order_acquire)) {
+        if ((*It)->Reader.joinable())
+          (*It)->Reader.join();
+        It = Connections.erase(It);
+      } else {
+        ++It;
+      }
+    }
+  }
+
+  void acceptOne(int ListenFd) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      return;
+    if (Stopping.load(std::memory_order_relaxed)) {
+      ::close(Fd);
+      return;
+    }
+    auto Conn = std::make_shared<Connection>();
+    Conn->Fd = Fd;
+    Registry->counter("service.connections.opened").add();
+    Registry->gauge("service.tenants.active")
+        .set(ActiveConnections.fetch_add(1, std::memory_order_relaxed) + 1);
+    {
+      std::lock_guard<std::mutex> Lock(ConnMutex);
+      Connections.push_back(Conn);
+    }
+    Conn->Reader = std::thread([this, Conn] { readerLoop(Conn); });
+  }
+
+  void acceptLoop() {
+    for (;;) {
+      pollfd Fds[3];
+      nfds_t N = 0;
+      int UdsIdx = -1, TcpIdx = -1;
+      if (UdsFd >= 0) {
+        UdsIdx = static_cast<int>(N);
+        Fds[N++] = {UdsFd, POLLIN, 0};
+      }
+      if (TcpFd >= 0) {
+        TcpIdx = static_cast<int>(N);
+        Fds[N++] = {TcpFd, POLLIN, 0};
+      }
+      int StopIdx = static_cast<int>(N);
+      Fds[N++] = {StopPipe[0], POLLIN, 0};
+
+      if (::poll(Fds, N, -1) < 0) {
+        if (errno == EINTR)
+          continue;
+        break;
+      }
+      if (Fds[StopIdx].revents & POLLIN)
+        break;
+      if (UdsIdx >= 0 && (Fds[UdsIdx].revents & POLLIN))
+        acceptOne(UdsFd);
+      if (TcpIdx >= 0 && (Fds[TcpIdx].revents & POLLIN))
+        acceptOne(TcpFd);
+      reapFinishedConnections();
+    }
+    shutdownSequence();
+  }
+
+  void shutdownSequence() {
+    Stopping.store(true, std::memory_order_relaxed);
+    // Stop accepting; wake every reader blocked in readFrame.
+    if (UdsFd >= 0) {
+      ::close(UdsFd);
+      UdsFd = -1;
+      ::unlink(Opts.UdsPath.c_str());
+    }
+    if (TcpFd >= 0) {
+      ::close(TcpFd);
+      TcpFd = -1;
+    }
+    {
+      std::lock_guard<std::mutex> Lock(ConnMutex);
+      for (const auto &Conn : Connections) {
+        // WriteMutex guards Fd's validity (teardown closes it under the same
+        // lock), so the fd cannot be recycled under this shutdown(2).
+        std::lock_guard<std::mutex> WLock(Conn->WriteMutex);
+        if (!Conn->Closed && Conn->Fd >= 0)
+          ::shutdown(Conn->Fd, SHUT_RDWR);
+      }
+    }
+    // Join all readers (no new ones can appear: listeners are closed).
+    for (;;) {
+      std::shared_ptr<Connection> Conn;
+      {
+        std::lock_guard<std::mutex> Lock(ConnMutex);
+        if (Connections.empty())
+          break;
+        Conn = Connections.back();
+        Connections.pop_back();
+      }
+      if (Conn->Reader.joinable())
+        Conn->Reader.join();
+    }
+    // Drain every queued scan task; readers are gone, so nothing resubmits.
+    Pool->wait();
+    Registry->counter("service.shutdown.clean").add();
+    {
+      std::lock_guard<std::mutex> Lock(StoppedMutex);
+      StoppedFlag = true;
+    }
+    StoppedCv.notify_all();
+  }
+
+  void requestStopImpl() {
+    bool Expected = false;
+    if (!Stopping.compare_exchange_strong(Expected, true,
+                                          std::memory_order_relaxed) &&
+        Expected)
+      return; // Already stopping; the pipe byte below would be redundant.
+    // Async-signal-safe: one write to the self-pipe.
+    if (StopPipe[1] >= 0) {
+      char Byte = 's';
+      [[maybe_unused]] ssize_t Rc = ::write(StopPipe[1], &Byte, 1);
+    }
+  }
+};
+
+ScanServer::ScanServer() : PImpl(std::make_unique<Impl>()) {}
+
+ScanServer::~ScanServer() {
+  // A start() that failed before launching the accept thread has nothing to
+  // stop — waitStopped() would block forever on a flag nobody sets.
+  if (PImpl->AcceptThread.joinable()) {
+    requestStop();
+    waitStopped();
+    PImpl->AcceptThread.join();
+  }
+}
+
+void ScanServer::requestStop() { PImpl->requestStopImpl(); }
+
+void ScanServer::waitStopped() {
+  std::unique_lock<std::mutex> Lock(PImpl->StoppedMutex);
+  PImpl->StoppedCv.wait(Lock, [this] { return PImpl->StoppedFlag; });
+}
+
+bool ScanServer::stopped() const {
+  std::lock_guard<std::mutex> Lock(PImpl->StoppedMutex);
+  return PImpl->StoppedFlag;
+}
+
+uint16_t ScanServer::tcpPort() const { return PImpl->BoundTcpPort; }
+
+obs::MetricsRegistry &ScanServer::metrics() { return *PImpl->Registry; }
+
+namespace {
+
+Result<int> listenUds(const std::string &Path) {
+  sockaddr_un Addr{};
+  if (Path.size() >= sizeof(Addr.sun_path))
+    return Result<int>::error("UDS path too long: " + Path);
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return Result<int>::error(std::string("socket: ") + std::strerror(errno));
+  ::unlink(Path.c_str());
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
+      ::listen(Fd, 128) < 0) {
+    std::string Err = std::strerror(errno);
+    ::close(Fd);
+    return Result<int>::error("bind/listen " + Path + ": " + Err);
+  }
+  return Fd;
+}
+
+Result<int> listenTcp(uint16_t Port, uint16_t &BoundPort) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return Result<int>::error(std::string("socket: ") + std::strerror(errno));
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
+      ::listen(Fd, 128) < 0) {
+    std::string Err = std::strerror(errno);
+    ::close(Fd);
+    return Result<int>::error("bind/listen 127.0.0.1:" +
+                              std::to_string(Port) + ": " + Err);
+  }
+  socklen_t Len = sizeof(Addr);
+  ::getsockname(Fd, reinterpret_cast<sockaddr *>(&Addr), &Len);
+  BoundPort = ntohs(Addr.sin_port);
+  return Fd;
+}
+
+} // namespace
+
+Result<std::unique_ptr<ScanServer>>
+ScanServer::start(const ServerOptions &Opts) {
+  if (Opts.UdsPath.empty() && !Opts.Tcp)
+    return Result<std::unique_ptr<ScanServer>>::error(
+        "no listener configured (need a UDS path or TCP)");
+
+  auto Server = std::make_unique<ScanServer>();
+  Impl &I = *Server->PImpl;
+  I.Opts = Opts;
+  if (Opts.Metrics) {
+    I.Registry = Opts.Metrics;
+  } else {
+    I.OwnRegistry = std::make_unique<obs::MetricsRegistry>();
+    I.Registry = I.OwnRegistry.get();
+  }
+  I.resolveMetrics();
+
+  CacheOptions CacheOpts = Opts.Cache;
+  if (Opts.Budget.CompileDeadlineMs > 0)
+    CacheOpts.Compile.Budget.StageDeadlineMs = Opts.Budget.CompileDeadlineMs;
+  I.Cache = std::make_unique<RulesetCache>(CacheOpts, I.Registry);
+
+  unsigned Workers = Opts.Workers;
+  if (Workers == 0) {
+    Workers = std::thread::hardware_concurrency();
+    if (Workers < 2)
+      Workers = 2;
+  }
+  I.Pool = std::make_unique<ThreadPool>(Workers);
+  I.Registry->gauge("service.workers").set(Workers);
+
+  if (::pipe(I.StopPipe) != 0)
+    return Result<std::unique_ptr<ScanServer>>::error(
+        std::string("pipe: ") + std::strerror(errno));
+
+  if (!Opts.UdsPath.empty()) {
+    Result<int> Fd = listenUds(Opts.UdsPath);
+    if (!Fd.ok())
+      return Fd.takeDiag();
+    I.UdsFd = *Fd;
+  }
+  if (Opts.Tcp) {
+    Result<int> Fd = listenTcp(Opts.TcpPort, I.BoundTcpPort);
+    if (!Fd.ok())
+      return Fd.takeDiag();
+    I.TcpFd = *Fd;
+  }
+
+  I.AcceptThread = std::thread([PI = Server->PImpl.get()] {
+    PI->acceptLoop();
+  });
+  return Server;
+}
+
+} // namespace mfsa::service

@@ -1,0 +1,152 @@
+//===- Server.h - multi-tenant streaming scan server ------------*- C++ -*-===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Declares ScanServer, the long-lived scan service: it listens on a
+/// Unix-domain socket and/or loopback TCP, speaks the length-prefixed
+/// protocol of service/Protocol.h, and multiplexes every connected tenant's
+/// input streams over shared compiled-ruleset tables (service/RulesetCache.h)
+/// and the shared ThreadPool.
+///
+/// Execution model — designed so per-stream state stays tiny and scheduling,
+/// not automaton stepping, is the service's bottleneck regime:
+///
+///   - One reader thread per connection parses frames and *never* scans; a
+///     Chunk frame is appended to its session's queue and the session is
+///     scheduled onto the ThreadPool at most once (a scheduled flag), so a
+///     burst of chunks becomes one batched drain, not N pool tasks.
+///   - A drain task owns its session exclusively while running (chunks of
+///     one stream are scanned strictly in arrival order; the carried
+///     ImfantEngine::Scanner activation state makes cross-chunk matches
+///     exact), but different sessions drain concurrently on the pool.
+///   - Matches are replied per chunk (Matches + ChunkDone frames); offsets
+///     are absolute, and the stream's results are byte-identical to an
+///     offline one-shot scan of the concatenated chunks — the differential
+///     suites and the CI soak job enforce exactly that.
+///
+/// Backpressure and budgets (per tenant = per connection, reusing the PR 1
+/// budget idioms): a bounded count of open streams (TooManyStreams), a
+/// bounded sum of queued-but-unscanned bytes (Overloaded — the shed path;
+/// the chunk is NOT consumed and may be retried), a ruleset-size cap, and a
+/// per-stage compile deadline applied to cache-miss compiles. Every
+/// rejection is a diagnosed Status frame; one tenant hitting its budget
+/// never perturbs another tenant's streams.
+///
+/// Shutdown: requestStop() is async-signal-safe (a self-pipe write), so a
+/// SIGTERM handler may call it directly. The server then stops accepting,
+/// wakes every reader, drains in-flight scan work, joins all threads, and
+/// waitStopped() returns — clean by construction, verified under TSan.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MFSA_SERVICE_SERVER_H
+#define MFSA_SERVICE_SERVER_H
+
+#include "service/Protocol.h"
+#include "service/RulesetCache.h"
+#include "support/Result.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace mfsa::obs {
+class MetricsRegistry;
+} // namespace mfsa::obs
+
+namespace mfsa::service {
+
+/// Per-tenant resource budgets (a tenant is one connection).
+struct TenantBudget {
+  /// Concurrently open streams per connection.
+  uint32_t MaxStreams = 64;
+
+  /// Queued-but-unscanned bytes per connection; a Chunk that would exceed
+  /// it is shed with StatusCode::Overloaded (retryable, not consumed).
+  uint64_t MaxQueuedBytes = 8ull << 20;
+
+  /// Hello ruleset text ceiling.
+  uint64_t MaxRulesBytes = 1ull << 20;
+
+  /// Per-stage wall-clock deadline for cache-miss compiles, forwarded into
+  /// CompileBudget::StageDeadlineMs (0 = none).
+  double CompileDeadlineMs = 0.0;
+};
+
+/// Server configuration.
+struct ServerOptions {
+  /// Unix-domain socket path; non-empty enables the UDS listener. An
+  /// existing socket file at the path is replaced.
+  std::string UdsPath;
+
+  /// Listen on loopback TCP when true; Port 0 binds an ephemeral port
+  /// (query the bound port via ScanServer::tcpPort()).
+  bool Tcp = false;
+  uint16_t TcpPort = 0;
+
+  /// Scan worker threads (0 = hardware concurrency, at least 2).
+  unsigned Workers = 0;
+
+  /// Frame payload ceiling enforced before allocation.
+  uint32_t MaxFrameBytes = kDefaultMaxFrameBytes;
+
+  TenantBudget Budget;
+  CacheOptions Cache;
+
+  /// Honor the protocol's Shutdown frame (operationally you want this off
+  /// on TCP and on for test/CI UDS servers).
+  bool AllowShutdownFrame = true;
+
+  /// Metrics sink; when null the server owns a private registry (GetStats
+  /// works either way).
+  obs::MetricsRegistry *Metrics = nullptr;
+
+  /// Test hook: sleep this long before scanning each queued chunk, making
+  /// queue-budget shed deterministic in the robustness tests. Zero in any
+  /// real deployment.
+  uint32_t DrainDelayUsForTest = 0;
+};
+
+/// The running server. Construction via start() binds the listeners and
+/// launches the accept thread; destruction stops and joins everything.
+class ScanServer {
+public:
+  /// Binds listeners and starts serving. Fails with a diagnosed error when
+  /// no listener is configured or a bind/listen call is refused.
+  static Result<std::unique_ptr<ScanServer>> start(const ServerOptions &Opts);
+
+  ~ScanServer();
+  ScanServer(const ScanServer &) = delete;
+  ScanServer &operator=(const ScanServer &) = delete;
+
+  /// Begins shutdown: stop accepting, wake readers, drain scans. Async-
+  /// signal-safe (one write(2) to a self-pipe); callable from any thread or
+  /// signal handler, idempotent.
+  void requestStop();
+
+  /// Blocks until shutdown completes (all connections closed, scan queue
+  /// drained, threads joined). Does not itself initiate shutdown.
+  void waitStopped();
+
+  /// True once waitStopped() would return immediately.
+  bool stopped() const;
+
+  /// The bound TCP port (0 when TCP is disabled).
+  uint16_t tcpPort() const;
+
+  /// The metrics registry in use (the caller's, or the private one).
+  obs::MetricsRegistry &metrics();
+
+  ScanServer(); // Internal; use start().
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> PImpl;
+};
+
+} // namespace mfsa::service
+
+#endif // MFSA_SERVICE_SERVER_H

@@ -1,0 +1,664 @@
+//===- ServiceTest.cpp - scan-service tests --------------------------------===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for src/service/: wire-protocol framing and its failure modes,
+/// the content-addressed compiled-ruleset cache (memory, disk artifact,
+/// eviction, negative caching), and the scan server end to end — including
+/// the differential contract (service results byte-identical to offline
+/// scans under adversarial chunking), per-tenant budget shed isolation,
+/// protocol robustness against truncated/oversized/mid-frame-disconnect
+/// input, and concurrent connect/disconnect churn with clean shutdown (the
+/// CI tsan job runs this suite under `ctest -L service`).
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+#include "service/Protocol.h"
+#include "service/RulesetCache.h"
+#include "service/Server.h"
+
+#include "compiler/Pipeline.h"
+#include "engine/Imfant.h"
+#include "obs/Metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+
+#include "gtest/gtest.h"
+
+using namespace mfsa;
+using namespace mfsa::service;
+
+namespace {
+
+const std::vector<std::string> kRules = {"abc", "a.c", "x[0-9]+y", "^start",
+                                         "end$"};
+
+std::string testInput() {
+  std::string S = "start x12y abc axc noise ";
+  for (int I = 0; I < 40; ++I)
+    S += "filler" + std::to_string(I) + (I % 5 ? " abc " : " x987y ");
+  S += "the end";
+  return S;
+}
+
+/// The offline truth: one-shot scans of the full input, sorted.
+std::vector<ClientMatch> oracleScan(const std::vector<std::string> &Rules,
+                                    uint32_t M, std::string_view Input) {
+  CompileOptions Opts;
+  Opts.MergingFactor = M;
+  Opts.EmitAnml = false;
+  Result<CompileArtifacts> Art = compileRuleset(Rules, Opts);
+  EXPECT_TRUE(Art.ok()) << (Art.ok() ? "" : Art.diag().render());
+  MatchRecorder Rec(MatchRecorder::Mode::Collect);
+  for (const Mfsa &Z : Art->Mfsas)
+    ImfantEngine(Z).run(Input, Rec);
+  std::vector<ClientMatch> Out;
+  for (const auto &[Rule, End] : Rec.matches())
+    Out.push_back(ClientMatch{Rule, End});
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+/// Starts a loopback-TCP server on an ephemeral port.
+std::unique_ptr<ScanServer> startTcp(ServerOptions Opts = {}) {
+  Opts.Tcp = true;
+  Opts.TcpPort = 0;
+  Result<std::unique_ptr<ScanServer>> Server = ScanServer::start(Opts);
+  EXPECT_TRUE(Server.ok()) << (Server.ok() ? "" : Server.diag().render());
+  return Server.ok() ? Server.take() : nullptr;
+}
+
+/// Feeds \p Input through the service in \p ChunkLen-sized chunks and
+/// returns the sorted match set.
+std::vector<ClientMatch> serviceScan(ScanClient &Client, uint64_t StreamId,
+                                     std::string_view Input,
+                                     size_t ChunkLen) {
+  EXPECT_EQ(StatusCode::Ok, *Client.openStream(StreamId));
+  std::vector<ClientMatch> Matches;
+  for (size_t Pos = 0; Pos < Input.size(); Pos += ChunkLen) {
+    Result<ChunkOutcome> Out =
+        Client.sendChunk(StreamId, Input.substr(Pos, ChunkLen));
+    EXPECT_TRUE(Out.ok());
+    EXPECT_EQ(StatusCode::Ok, Out->Status);
+    Matches.insert(Matches.end(), Out->Matches.begin(), Out->Matches.end());
+  }
+  Result<StreamEnd> End = Client.closeStream(StreamId);
+  EXPECT_TRUE(End.ok());
+  EXPECT_EQ(StatusCode::Ok, End->Status);
+  EXPECT_EQ(Input.size(), End->TotalBytes);
+  Matches.insert(Matches.end(), End->Matches.begin(), End->Matches.end());
+  std::sort(Matches.begin(), Matches.end());
+  return Matches;
+}
+
+std::string tempDir(const char *Tag) {
+  std::string Dir = "/tmp/mfsa_svc_test_" + std::string(Tag) + "_" +
+                    std::to_string(::getpid());
+  std::remove(Dir.c_str());
+  ::mkdir(Dir.c_str(), 0755);
+  return Dir;
+}
+
+// --- protocol framing ---------------------------------------------------
+
+TEST(ServiceProtocol, WriterCursorRoundTrip) {
+  FrameWriter W;
+  W.u8(7);
+  W.u32(0xdeadbeef);
+  W.u64(0x0123456789abcdefull);
+  W.str("hello");
+  W.raw("tail");
+
+  FrameCursor Cur(W.body());
+  uint8_t A = 0;
+  uint32_t B = 0;
+  uint64_t C = 0;
+  std::string S;
+  std::string_view Rest;
+  ASSERT_TRUE(Cur.u8(A));
+  ASSERT_TRUE(Cur.u32(B));
+  ASSERT_TRUE(Cur.u64(C));
+  ASSERT_TRUE(Cur.str(S));
+  ASSERT_TRUE(Cur.rest(Rest));
+  EXPECT_EQ(7u, A);
+  EXPECT_EQ(0xdeadbeefu, B);
+  EXPECT_EQ(0x0123456789abcdefull, C);
+  EXPECT_EQ("hello", S);
+  EXPECT_EQ("tail", Rest);
+  EXPECT_TRUE(Cur.atEnd());
+}
+
+TEST(ServiceProtocol, CursorFailsClosedOnUnderrun) {
+  FrameWriter W;
+  W.u32(3); // A string length prefix promising 3 bytes...
+  W.raw("ab"); // ...but only 2 present.
+  FrameCursor Cur(W.body());
+  std::string S;
+  EXPECT_FALSE(Cur.str(S));
+  EXPECT_FALSE(Cur.ok());
+  // Poisoned: every later accessor keeps failing.
+  uint8_t V = 0;
+  EXPECT_FALSE(Cur.u8(V));
+  EXPECT_FALSE(Cur.atEnd());
+}
+
+TEST(ServiceProtocol, CursorRejectsTrailingGarbage) {
+  FrameWriter W;
+  W.u32(1);
+  W.u8(0xff); // One stray byte past the decoded fields.
+  FrameCursor Cur(W.body());
+  uint32_t V = 0;
+  ASSERT_TRUE(Cur.u32(V));
+  EXPECT_FALSE(Cur.atEnd());
+}
+
+TEST(ServiceProtocol, ReadFrameOverPipe) {
+  int Fds[2];
+  ASSERT_EQ(0, ::pipe(Fds));
+  FrameWriter W;
+  W.u64(42);
+  ASSERT_TRUE(writeFrame(Fds[1], MsgType::OpenStream, W.body()));
+  uint8_t Type = 0;
+  std::string Body;
+  EXPECT_EQ(ReadStatus::Frame, readFrame(Fds[0], 1 << 20, Type, Body));
+  EXPECT_EQ(static_cast<uint8_t>(MsgType::OpenStream), Type);
+  EXPECT_EQ(8u, Body.size());
+  ::close(Fds[1]);
+  EXPECT_EQ(ReadStatus::Eof, readFrame(Fds[0], 1 << 20, Type, Body));
+  ::close(Fds[0]);
+}
+
+TEST(ServiceProtocol, ReadFrameTruncatedAndOversized) {
+  // Truncated mid-prefix.
+  int Fds[2];
+  ASSERT_EQ(0, ::pipe(Fds));
+  ASSERT_EQ(2, ::write(Fds[1], "\x05\x00", 2));
+  ::close(Fds[1]);
+  uint8_t Type = 0;
+  std::string Body;
+  EXPECT_EQ(ReadStatus::Truncated, readFrame(Fds[0], 1 << 20, Type, Body));
+  ::close(Fds[0]);
+
+  // Truncated mid-body.
+  ASSERT_EQ(0, ::pipe(Fds));
+  ASSERT_EQ(6, ::write(Fds[1], "\x05\x00\x00\x00\x01x", 6));
+  ::close(Fds[1]);
+  EXPECT_EQ(ReadStatus::Truncated, readFrame(Fds[0], 1 << 20, Type, Body));
+  ::close(Fds[0]);
+
+  // A 4 GiB-announcing prefix must be rejected before allocation.
+  ASSERT_EQ(0, ::pipe(Fds));
+  ASSERT_EQ(4, ::write(Fds[1], "\xff\xff\xff\xff", 4));
+  EXPECT_EQ(ReadStatus::TooLarge, readFrame(Fds[0], 1 << 20, Type, Body));
+  ::close(Fds[1]);
+  ::close(Fds[0]);
+
+  // Zero-length payload has no room for the type byte.
+  ASSERT_EQ(0, ::pipe(Fds));
+  ASSERT_EQ(4, ::write(Fds[1], "\x00\x00\x00\x00", 4));
+  EXPECT_EQ(ReadStatus::BadLength, readFrame(Fds[0], 1 << 20, Type, Body));
+  ::close(Fds[1]);
+  ::close(Fds[0]);
+}
+
+// --- ruleset cache ------------------------------------------------------
+
+TEST(ServiceCache, ContentKeyIsStableAndDiscriminating) {
+  EXPECT_EQ(RulesetCache::contentKey(kRules, 2),
+            RulesetCache::contentKey(kRules, 2));
+  EXPECT_NE(RulesetCache::contentKey(kRules, 2),
+            RulesetCache::contentKey(kRules, 3));
+  std::vector<std::string> Other = kRules;
+  Other.back() = "different$";
+  EXPECT_NE(RulesetCache::contentKey(kRules, 2),
+            RulesetCache::contentKey(Other, 2));
+  EXPECT_EQ(32u, RulesetCache::contentKey(kRules, 2).size());
+}
+
+TEST(ServiceCache, MemoryHitSharesOneCompilation) {
+  obs::MetricsRegistry Registry;
+  RulesetCache Cache({}, &Registry);
+  CacheSource S1 = CacheSource::Memory, S2 = CacheSource::Compiled;
+  Result<std::shared_ptr<const CompiledRuleset>> A =
+      Cache.acquire(kRules, 0, &S1);
+  Result<std::shared_ptr<const CompiledRuleset>> B =
+      Cache.acquire(kRules, 0, &S2);
+  ASSERT_TRUE(A.ok() && B.ok());
+  EXPECT_EQ(CacheSource::Compiled, S1);
+  EXPECT_EQ(CacheSource::Memory, S2);
+  EXPECT_EQ(A->get(), B->get()) << "hit must hand out the same tables";
+  EXPECT_EQ(1u, Registry.counter("service.cache.hits").value());
+  EXPECT_EQ(1u, Registry.counter("service.cache.misses").value());
+  EXPECT_EQ(5u, (*A)->NumRules);
+  EXPECT_FALSE((*A)->Engines.empty());
+}
+
+TEST(ServiceCache, ArtifactWarmStartAcrossCacheInstances) {
+  std::string Dir = tempDir("artifact");
+  obs::MetricsRegistry Registry;
+  CacheOptions Opts;
+  Opts.CacheDir = Dir;
+  {
+    RulesetCache Cold(Opts, &Registry);
+    CacheSource Source = CacheSource::Memory;
+    ASSERT_TRUE(Cold.acquire(kRules, 2, &Source).ok());
+    EXPECT_EQ(CacheSource::Compiled, Source);
+  }
+  // A fresh cache (a restarted server) must warm-start from the image.
+  RulesetCache Warm(Opts, &Registry);
+  CacheSource Source = CacheSource::Memory;
+  Result<std::shared_ptr<const CompiledRuleset>> R =
+      Warm.acquire(kRules, 2, &Source);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(CacheSource::Artifact, Source);
+  EXPECT_EQ(1u, Registry.counter("service.cache.artifact_hits").value());
+
+  // Corrupt the image; the next cold acquire must fall back to compiling.
+  std::string Path = Dir + "/" + RulesetCache::contentKey(kRules, 2) + ".mfsa";
+  {
+    std::ofstream F(Path, std::ios::binary | std::ios::trunc);
+    F << "garbage";
+  }
+  RulesetCache Cold2(Opts, &Registry);
+  Source = CacheSource::Memory;
+  R = Cold2.acquire(kRules, 2, &Source);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(CacheSource::Compiled, Source);
+}
+
+TEST(ServiceCache, EvictionKeepsPinnedEntriesAlive) {
+  CacheOptions Opts;
+  Opts.Capacity = 1;
+  RulesetCache Cache(Opts, nullptr);
+  Result<std::shared_ptr<const CompiledRuleset>> A =
+      Cache.acquire({"aaa"}, 0, nullptr);
+  ASSERT_TRUE(A.ok());
+  std::shared_ptr<const CompiledRuleset> Pinned = *A;
+  ASSERT_TRUE(Cache.acquire({"bbb"}, 0, nullptr).ok()); // Evicts "aaa".
+  EXPECT_EQ(1u, Cache.residentEntries());
+  // RCU-style: the evicted entry stays valid for its holders.
+  EXPECT_EQ(1u, Pinned->Engines.size());
+  MatchRecorder Rec;
+  Pinned->Engines[0].run("xxaaaxx", Rec);
+  EXPECT_EQ(1u, Rec.total());
+  // Re-acquiring "aaa" recompiles (it was evicted) rather than crashing.
+  CacheSource Source = CacheSource::Memory;
+  ASSERT_TRUE(Cache.acquire({"aaa"}, 0, &Source).ok());
+  EXPECT_EQ(CacheSource::Compiled, Source);
+}
+
+TEST(ServiceCache, CompileFailureIsNegativeCached) {
+  obs::MetricsRegistry Registry;
+  RulesetCache Cache({}, &Registry);
+  Result<std::shared_ptr<const CompiledRuleset>> Bad =
+      Cache.acquire({"(unclosed"}, 0, nullptr);
+  EXPECT_FALSE(Bad.ok());
+  Result<std::shared_ptr<const CompiledRuleset>> Again =
+      Cache.acquire({"(unclosed"}, 0, nullptr);
+  EXPECT_FALSE(Again.ok());
+  // One real compile attempt; the repeat was answered from the slot.
+  EXPECT_EQ(1u, Registry.counter("service.cache.compile_failures").value());
+}
+
+// --- server end to end --------------------------------------------------
+
+TEST(ServiceServer, DifferentialAgainstOfflineUnderAdversarialChunking) {
+  std::unique_ptr<ScanServer> Server = startTcp();
+  ASSERT_TRUE(Server);
+  std::string Input = testInput();
+  std::vector<ClientMatch> Oracle = oracleScan(kRules, 2, Input);
+  ASSERT_FALSE(Oracle.empty());
+
+  uint64_t StreamId = 1;
+  for (size_t ChunkLen : {size_t(1), size_t(2), size_t(3), size_t(7),
+                          size_t(64), Input.size()}) {
+    Result<ScanClient> Client = ScanClient::connectTcp(Server->tcpPort());
+    ASSERT_TRUE(Client.ok());
+    Result<HelloInfo> Hello = Client->hello("diff", kRules, 2);
+    ASSERT_TRUE(Hello.ok()) << (Hello.ok() ? "" : Hello.diag().render());
+    EXPECT_EQ(5u, Hello->NumRules);
+    std::vector<ClientMatch> Got =
+        serviceScan(*Client, StreamId++, Input, ChunkLen);
+    EXPECT_EQ(Oracle, Got) << "divergence at chunk size " << ChunkLen;
+  }
+}
+
+TEST(ServiceServer, TenantsShareTheCompiledRuleset) {
+  obs::MetricsRegistry Registry;
+  ServerOptions Opts;
+  Opts.Metrics = &Registry;
+  std::unique_ptr<ScanServer> Server = startTcp(std::move(Opts));
+  ASSERT_TRUE(Server);
+
+  Result<ScanClient> A = ScanClient::connectTcp(Server->tcpPort());
+  Result<ScanClient> B = ScanClient::connectTcp(Server->tcpPort());
+  ASSERT_TRUE(A.ok() && B.ok());
+  Result<HelloInfo> HelloA = A->hello("tenant-a", kRules, 0);
+  Result<HelloInfo> HelloB = B->hello("tenant-b", kRules, 0);
+  ASSERT_TRUE(HelloA.ok() && HelloB.ok());
+  EXPECT_EQ(CacheSource::Compiled, HelloA->Source);
+  EXPECT_EQ(CacheSource::Memory, HelloB->Source)
+      << "second tenant must reuse the first tenant's compilation";
+  EXPECT_EQ(HelloA->CacheKey, HelloB->CacheKey);
+  EXPECT_EQ(1u, Registry.counter("service.cache.hits").value());
+
+  // Both tenants scan concurrently and both match the oracle.
+  std::string Input = testInput();
+  std::vector<ClientMatch> Oracle = oracleScan(kRules, 0, Input);
+  EXPECT_EQ(Oracle, serviceScan(*A, 1, Input, 5));
+  EXPECT_EQ(Oracle, serviceScan(*B, 1, Input, 9));
+}
+
+TEST(ServiceServer, StreamTrafficBeforeHelloIsDiagnosed) {
+  std::unique_ptr<ScanServer> Server = startTcp();
+  ASSERT_TRUE(Server);
+  Result<ScanClient> Client = ScanClient::connectTcp(Server->tcpPort());
+  ASSERT_TRUE(Client.ok());
+  std::string Message;
+  Result<StatusCode> Code = Client->openStream(1, &Message);
+  ASSERT_TRUE(Code.ok());
+  EXPECT_EQ(StatusCode::NeedHello, *Code);
+  // The connection survives: a proper Hello still works afterwards.
+  EXPECT_TRUE(Client->hello("late", kRules, 0).ok());
+  EXPECT_EQ(StatusCode::Ok, *Client->openStream(1));
+}
+
+TEST(ServiceServer, UnknownAndDuplicateStreamsAreDiagnosed) {
+  std::unique_ptr<ScanServer> Server = startTcp();
+  ASSERT_TRUE(Server);
+  Result<ScanClient> Client = ScanClient::connectTcp(Server->tcpPort());
+  ASSERT_TRUE(Client.ok());
+  ASSERT_TRUE(Client->hello("t", kRules, 0).ok());
+
+  Result<ChunkOutcome> Orphan = Client->sendChunk(99, "abc");
+  ASSERT_TRUE(Orphan.ok());
+  EXPECT_EQ(StatusCode::UnknownStream, Orphan->Status);
+
+  ASSERT_EQ(StatusCode::Ok, *Client->openStream(1));
+  EXPECT_EQ(StatusCode::DuplicateStream, *Client->openStream(1));
+}
+
+TEST(ServiceServer, BadRulesetIsDiagnosedAndConnectionSurvives) {
+  std::unique_ptr<ScanServer> Server = startTcp();
+  ASSERT_TRUE(Server);
+  Result<ScanClient> Client = ScanClient::connectTcp(Server->tcpPort());
+  ASSERT_TRUE(Client.ok());
+  Result<HelloInfo> Bad = Client->hello("t", {"(unclosed"}, 0);
+  EXPECT_FALSE(Bad.ok());
+  EXPECT_NE(std::string::npos,
+            Bad.diag().render().find("compile-failed"));
+  // Same connection, corrected ruleset: accepted.
+  EXPECT_TRUE(Client->hello("t", kRules, 0).ok());
+}
+
+TEST(ServiceServer, RulesBudgetIsEnforced) {
+  ServerOptions Opts;
+  Opts.Budget.MaxRulesBytes = 16;
+  std::unique_ptr<ScanServer> Server = startTcp(std::move(Opts));
+  ASSERT_TRUE(Server);
+  Result<ScanClient> Client = ScanClient::connectTcp(Server->tcpPort());
+  ASSERT_TRUE(Client.ok());
+  Result<HelloInfo> Huge =
+      Client->hello("t", {"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"}, 0);
+  EXPECT_FALSE(Huge.ok());
+  EXPECT_NE(std::string::npos, Huge.diag().render().find("budget"));
+}
+
+TEST(ServiceServer, StreamBudgetIsEnforced) {
+  ServerOptions Opts;
+  Opts.Budget.MaxStreams = 1;
+  std::unique_ptr<ScanServer> Server = startTcp(std::move(Opts));
+  ASSERT_TRUE(Server);
+  Result<ScanClient> Client = ScanClient::connectTcp(Server->tcpPort());
+  ASSERT_TRUE(Client.ok());
+  ASSERT_TRUE(Client->hello("t", kRules, 0).ok());
+  ASSERT_EQ(StatusCode::Ok, *Client->openStream(1));
+  EXPECT_EQ(StatusCode::TooManyStreams, *Client->openStream(2));
+}
+
+TEST(ServiceServer, OverloadShedsWithoutConsumingAndWithoutCrossTalk) {
+  // One deliberately slow worker and a tiny queue budget make the shed
+  // deterministic: tenant A's second back-to-back chunk must be refused
+  // while the first is still being scanned.
+  obs::MetricsRegistry Registry;
+  ServerOptions Opts;
+  Opts.Workers = 1;
+  Opts.Budget.MaxQueuedBytes = 8;
+  Opts.DrainDelayUsForTest = 100000; // 100 ms per chunk.
+  Opts.Metrics = &Registry;
+  std::unique_ptr<ScanServer> Server = startTcp(std::move(Opts));
+  ASSERT_TRUE(Server);
+
+  Result<ScanClient> A = ScanClient::connectTcp(Server->tcpPort());
+  ASSERT_TRUE(A.ok());
+  ASSERT_TRUE(A->hello("flooder", kRules, 0).ok());
+  ASSERT_EQ(StatusCode::Ok, *A->openStream(1));
+
+  // Two raw Chunk frames back to back, no waiting: 6 + 6 > 8 bytes queued.
+  {
+    FrameWriter F1;
+    F1.u64(1);
+    F1.raw("abcabc");
+    ASSERT_TRUE(writeFrame(A->fd(), MsgType::Chunk, F1.body()));
+    FrameWriter F2;
+    F2.u64(1);
+    F2.raw("xxyyzz");
+    ASSERT_TRUE(writeFrame(A->fd(), MsgType::Chunk, F2.body()));
+  }
+  // First reply must be the shed of chunk #2 (the reader rejects it while
+  // the worker still sleeps on chunk #1).
+  bool SawOverload = false, SawChunkDone = false;
+  uint64_t Consumed = 0;
+  for (int I = 0; I < 4 && !(SawOverload && SawChunkDone); ++I) {
+    uint8_t Type = 0;
+    std::string Body;
+    ASSERT_EQ(ReadStatus::Frame,
+              readFrame(A->fd(), kDefaultMaxFrameBytes, Type, Body));
+    FrameCursor Cur(Body);
+    if (static_cast<MsgType>(Type) == MsgType::Status) {
+      uint8_t Code = 0;
+      uint64_t Stream = 0;
+      std::string Text;
+      ASSERT_TRUE(Cur.u8(Code) && Cur.u64(Stream) && Cur.str(Text));
+      EXPECT_EQ(static_cast<uint8_t>(StatusCode::Overloaded), Code);
+      SawOverload = true;
+    } else if (static_cast<MsgType>(Type) == MsgType::ChunkDone) {
+      uint64_t Stream = 0;
+      uint32_t Count = 0;
+      ASSERT_TRUE(Cur.u64(Stream) && Cur.u64(Consumed) && Cur.u32(Count));
+      SawChunkDone = true;
+    }
+  }
+  EXPECT_TRUE(SawOverload);
+  EXPECT_TRUE(SawChunkDone);
+  EXPECT_EQ(6u, Consumed) << "the shed chunk must not be consumed";
+  EXPECT_GE(Registry.counter("service.shed.count").value(), 1u);
+
+  // Tenant B (its own budget) is unaffected throughout.
+  Result<ScanClient> B = ScanClient::connectTcp(Server->tcpPort());
+  ASSERT_TRUE(B.ok());
+  ASSERT_TRUE(B->hello("bystander", kRules, 0).ok());
+  std::string Input = "abc x42y";
+  std::vector<ClientMatch> Oracle = oracleScan(kRules, 0, Input);
+  EXPECT_EQ(Oracle, serviceScan(*B, 7, Input, 3));
+
+  // And tenant A's stream still finishes exactly (6 bytes, "abcabc").
+  Result<StreamEnd> End = A->closeStream(1);
+  ASSERT_TRUE(End.ok());
+  EXPECT_EQ(6u, End->TotalBytes);
+}
+
+TEST(ServiceServer, OversizedFramePrefixIsRejectedBeforeAllocation) {
+  ServerOptions Opts;
+  Opts.MaxFrameBytes = 1024;
+  std::unique_ptr<ScanServer> Server = startTcp(std::move(Opts));
+  ASSERT_TRUE(Server);
+  Result<ScanClient> Client = ScanClient::connectTcp(Server->tcpPort());
+  ASSERT_TRUE(Client.ok());
+  // Announce a 64 MiB frame on a 1 KiB server.
+  uint32_t Huge = 64u << 20;
+  char Prefix[4];
+  for (int I = 0; I < 4; ++I)
+    Prefix[I] = static_cast<char>((Huge >> (8 * I)) & 0xff);
+  ASSERT_EQ(4, ::send(Client->fd(), Prefix, 4, 0));
+  uint8_t Type = 0;
+  std::string Body;
+  ASSERT_EQ(ReadStatus::Frame,
+            readFrame(Client->fd(), kDefaultMaxFrameBytes, Type, Body));
+  EXPECT_EQ(static_cast<uint8_t>(MsgType::Status), Type);
+  FrameCursor Cur(Body);
+  uint8_t Code = 0;
+  ASSERT_TRUE(Cur.u8(Code));
+  EXPECT_EQ(static_cast<uint8_t>(StatusCode::FrameTooLarge), Code);
+  // The connection is then closed by the server.
+  EXPECT_EQ(ReadStatus::Eof,
+            readFrame(Client->fd(), kDefaultMaxFrameBytes, Type, Body));
+}
+
+TEST(ServiceServer, MidFrameDisconnectLeavesServerServing) {
+  obs::MetricsRegistry Registry;
+  ServerOptions Opts;
+  Opts.Metrics = &Registry;
+  std::unique_ptr<ScanServer> Server = startTcp(std::move(Opts));
+  ASSERT_TRUE(Server);
+  {
+    Result<ScanClient> Rude = ScanClient::connectTcp(Server->tcpPort());
+    ASSERT_TRUE(Rude.ok());
+    ASSERT_TRUE(Rude->hello("rude", kRules, 0).ok());
+    ASSERT_EQ(StatusCode::Ok, *Rude->openStream(1));
+    // Promise 100 payload bytes, deliver 10, vanish mid-frame.
+    char Prefix[4] = {100, 0, 0, 0};
+    ASSERT_EQ(4, ::send(Rude->fd(), Prefix, 4, 0));
+    ASSERT_EQ(10, ::send(Rude->fd(), "0123456789", 10, 0));
+  } // Destructor closes the socket.
+
+  // The server tore the tenant down (aborting its open stream) and keeps
+  // serving new connections exactly as before.
+  Result<ScanClient> Client = ScanClient::connectTcp(Server->tcpPort());
+  ASSERT_TRUE(Client.ok());
+  ASSERT_TRUE(Client->hello("after", kRules, 0).ok());
+  std::string Input = testInput();
+  EXPECT_EQ(oracleScan(kRules, 0, Input), serviceScan(*Client, 1, Input, 11));
+  // The abort is visible in the metrics.
+  for (int I = 0; I < 100 && Registry.counter("service.streams.aborted").value() == 0; ++I)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(1u, Registry.counter("service.streams.aborted").value());
+}
+
+TEST(ServiceServer, GetStatsReturnsTheMetricsCatalog) {
+  std::unique_ptr<ScanServer> Server = startTcp();
+  ASSERT_TRUE(Server);
+  Result<ScanClient> Client = ScanClient::connectTcp(Server->tcpPort());
+  ASSERT_TRUE(Client.ok());
+  ASSERT_TRUE(Client->hello("t", kRules, 0).ok());
+  Result<std::string> Json = Client->stats();
+  ASSERT_TRUE(Json.ok());
+  EXPECT_NE(std::string::npos, Json->find("\"service.cache.misses\": 1"));
+  EXPECT_NE(std::string::npos, Json->find("service.tenants.active"));
+  EXPECT_NE(std::string::npos, Json->find("service.scan.latency_us"));
+}
+
+TEST(ServiceServer, ShutdownFrameStopsTheServerWhenAllowed) {
+  std::unique_ptr<ScanServer> Server = startTcp();
+  ASSERT_TRUE(Server);
+  Result<ScanClient> Client = ScanClient::connectTcp(Server->tcpPort());
+  ASSERT_TRUE(Client.ok());
+  Result<StatusCode> Code = Client->shutdownServer();
+  ASSERT_TRUE(Code.ok());
+  EXPECT_EQ(StatusCode::Ok, *Code);
+  Server->waitStopped();
+  EXPECT_TRUE(Server->stopped());
+}
+
+TEST(ServiceServer, ShutdownFrameCanBeDisabled) {
+  ServerOptions Opts;
+  Opts.AllowShutdownFrame = false;
+  std::unique_ptr<ScanServer> Server = startTcp(std::move(Opts));
+  ASSERT_TRUE(Server);
+  Result<ScanClient> Client = ScanClient::connectTcp(Server->tcpPort());
+  ASSERT_TRUE(Client.ok());
+  std::string Message;
+  Result<StatusCode> Code = Client->shutdownServer(&Message);
+  ASSERT_TRUE(Code.ok());
+  EXPECT_EQ(StatusCode::ProtocolError, *Code);
+  EXPECT_FALSE(Server->stopped());
+}
+
+TEST(ServiceServer, UdsListenerServesAndUnlinksOnShutdown) {
+  std::string Path =
+      "/tmp/mfsa_svc_test_uds_" + std::to_string(::getpid()) + ".sock";
+  ServerOptions Opts;
+  Opts.UdsPath = Path;
+  Result<std::unique_ptr<ScanServer>> Server = ScanServer::start(Opts);
+  ASSERT_TRUE(Server.ok()) << (Server.ok() ? "" : Server.diag().render());
+  Result<ScanClient> Client = ScanClient::connectUds(Path);
+  ASSERT_TRUE(Client.ok());
+  ASSERT_TRUE(Client->hello("uds", kRules, 0).ok());
+  std::string Input = testInput();
+  EXPECT_EQ(oracleScan(kRules, 0, Input), serviceScan(*Client, 1, Input, 13));
+  Server->reset(); // Clean shutdown...
+  EXPECT_NE(0, ::access(Path.c_str(), F_OK)) << "socket file must be removed";
+}
+
+// Concurrency soak: tenants hammer the server with connect/scan/disconnect
+// churn — half the rounds vanish without closing their streams — then the
+// server shuts down cleanly mid-traffic. Run under TSan by the CI tsan job.
+TEST(ServiceServer, ConcurrentChurnAndCleanShutdown) {
+  obs::MetricsRegistry Registry;
+  ServerOptions Opts;
+  Opts.Workers = 4;
+  Opts.Metrics = &Registry;
+  std::unique_ptr<ScanServer> Server = startTcp(std::move(Opts));
+  ASSERT_TRUE(Server);
+  uint16_t Port = Server->tcpPort();
+
+  std::string Input = testInput();
+  std::vector<ClientMatch> Oracle = oracleScan(kRules, 2, Input);
+  std::atomic<uint64_t> Divergences{0};
+
+  auto Tenant = [&](unsigned Id) {
+    for (unsigned Round = 0; Round < 6; ++Round) {
+      Result<ScanClient> Client = ScanClient::connectTcp(Port);
+      if (!Client.ok())
+        return; // Server may already be stopping.
+      if (!Client->hello("churn-" + std::to_string(Id), kRules, 2).ok())
+        return;
+      if (Round % 2 == 1) {
+        // Abandon: open a stream, feed one chunk, vanish.
+        if (Client->openStream(1).ok())
+          (void)Client->sendChunk(1, "abc abc abc");
+        continue;
+      }
+      std::vector<ClientMatch> Got =
+          serviceScan(*Client, 1, Input, 7 + Id * 3);
+      if (Got != Oracle)
+        Divergences.fetch_add(1);
+    }
+  };
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < 4; ++T)
+    Threads.emplace_back(Tenant, T);
+  for (std::thread &Th : Threads)
+    Th.join();
+  EXPECT_EQ(0u, Divergences.load());
+
+  Server->requestStop();
+  Server->waitStopped();
+  EXPECT_TRUE(Server->stopped());
+  EXPECT_EQ(1u, Registry.counter("service.shutdown.clean").value());
+  // Every opened stream was either closed or aborted — nothing leaked.
+  EXPECT_EQ(Registry.counter("service.streams.opened").value(),
+            Registry.counter("service.streams.closed").value() +
+                Registry.counter("service.streams.aborted").value());
+}
+
+} // namespace

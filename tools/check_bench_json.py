@@ -12,7 +12,8 @@ or 2, see docs/observability.md):
   - metrics: the registry export with counters (non-negative integers),
     gauges (integers), and histograms whose counts arrays are consistent
     (len(counts) == len(bounds) + 1, sum(counts) == count);
-  - every metric named *_ns or *_ms is a non-negative wall-clock reading;
+  - every metric named *_ns, *_us, or *_ms is a non-negative wall-clock
+    reading;
   - plans (optional, v2): planner decision traces keyed by dataset, each an
     EnginePlan::explainJson() document with engine / merging_factor /
     stride / candidates, every candidate carrying per-engine estimates
@@ -21,7 +22,10 @@ or 2, see docs/observability.md):
 `--require NAME` (repeatable) additionally asserts that a metric with that
 name exists somewhere across the checked files — CI uses it to prove the
 instrumented build actually reported occupancy, transitions/byte, and
-per-stage compile times. `--require-plans` asserts at least one checked
+per-stage compile times. `--require-result NAME` (repeatable) does the
+same for headline result rows — the service-soak job uses it to prove the
+load generator reported its p99 latency and divergence count rather than
+silently dropping them. `--require-plans` asserts at least one checked
 file embeds a non-empty plans object (the planner-ablation job uses it so
 a bench that silently stops tracing fails loudly). Pure stdlib; exit 0 =
 all files pass, 1 = any violation.
@@ -66,7 +70,7 @@ def check_histogram(path, name, hist):
 
 
 def check_timing(path, name, value):
-    if name.endswith(("_ns", "_ms")) and value < 0:
+    if name.endswith(("_ns", "_us", "_ms")) and value < 0:
         return fail(path, f"timing metric {name} is negative: {value}")
     return 0
 
@@ -117,7 +121,7 @@ def check_plan(path, key, plan):
     return errors
 
 
-def check_file(path, seen_metrics, plan_files):
+def check_file(path, seen_metrics, seen_results, plan_files):
     try:
         with open(path, encoding="utf-8") as handle:
             doc = json.load(handle)
@@ -158,6 +162,9 @@ def check_file(path, seen_metrics, plan_files):
             elif not isinstance(row["value"], numbers.Real):
                 errors += fail(
                     path, f"result {row['name']} value is not numeric")
+            else:
+                errors += check_timing(path, row["name"], row["value"])
+                seen_results.add(row["name"])
 
     if "plans" in doc:
         if not isinstance(doc["plans"], dict):
@@ -209,19 +216,33 @@ def main():
         help="assert this metric name is present in some file (repeatable)",
     )
     parser.add_argument(
+        "--require-result",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="assert a result row with this name is present in some file "
+        "(repeatable)",
+    )
+    parser.add_argument(
         "--require-plans",
         action="store_true",
         help="assert at least one checked file embeds planner traces",
     )
     args = parser.parse_args()
     seen_metrics = set()
+    seen_results = set()
     plan_files = set()
     errors = sum(
-        check_file(path, seen_metrics, plan_files) for path in args.files)
+        check_file(path, seen_metrics, seen_results, plan_files)
+        for path in args.files)
     for name in args.require:
         if name not in seen_metrics:
             errors += fail("<required>", f"metric '{name}' not reported by "
                            "any checked file")
+    for name in args.require_result:
+        if name not in seen_results:
+            errors += fail("<required>", f"result row '{name}' not reported "
+                           "by any checked file")
     if args.require_plans and not plan_files:
         errors += fail("<required>", "no checked file embeds a non-empty "
                        "'plans' object")
