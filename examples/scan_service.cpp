@@ -43,7 +43,7 @@ int usage(const char *Argv0) {
       "usage: %s [--uds PATH] [--tcp [PORT]] [--cache-dir DIR]\n"
       "          [--workers N] [--max-streams N] [--max-queued-bytes N]\n"
       "          [--max-rules-bytes N] [--compile-deadline-ms MS]\n"
-      "          [--no-shutdown-frame] [--metrics]\n"
+      "          [--write-timeout-ms MS] [--no-shutdown-frame] [--metrics]\n"
       "\n"
       "Serves the scan protocol (docs/service.md) until SIGINT/SIGTERM or a\n"
       "client Shutdown frame. At least one of --uds / --tcp is required.\n"
@@ -91,6 +91,9 @@ int main(int Argc, char **Argv) {
     } else if (Arg == "--compile-deadline-ms") {
       Opts.Budget.CompileDeadlineMs =
           std::strtod(NextValue("--compile-deadline-ms"), nullptr);
+    } else if (Arg == "--write-timeout-ms") {
+      Opts.WriteTimeoutMs = static_cast<uint32_t>(
+          std::strtoul(NextValue("--write-timeout-ms"), nullptr, 10));
     } else if (Arg == "--no-shutdown-frame") {
       Opts.AllowShutdownFrame = false;
     } else if (Arg == "--metrics") {

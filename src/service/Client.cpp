@@ -216,11 +216,12 @@ Result<ChunkOutcome> ScanClient::sendChunk(uint64_t Id,
       continue;
     case MsgType::ChunkDone: {
       FrameCursor Cur(Body);
-      uint64_t Stream = 0;
-      uint32_t Count = 0;
-      if (!Cur.u64(Stream) || !Cur.u64(Out.Offset) || !Cur.u32(Count) ||
+      uint64_t Stream = 0, Delivered = 0;
+      if (!Cur.u64(Stream) || !Cur.u64(Out.Offset) ||
+          !Cur.u64(Out.TotalMatches) || !Cur.u64(Delivered) ||
           !Cur.atEnd() || Stream != Id)
         return Result<ChunkOutcome>::error("malformed ChunkDone");
+      Out.Truncated = Delivered < Out.TotalMatches;
       return Out;
     }
     case MsgType::Status: {

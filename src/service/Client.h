@@ -61,7 +61,10 @@ struct ChunkOutcome {
   StatusCode Status = StatusCode::Ok;
   std::vector<ClientMatch> Matches; ///< Matches ending in this chunk.
   uint64_t Offset = 0;              ///< Absolute offset after the chunk.
-  std::string Message;              ///< Status text on non-Ok.
+  uint64_t TotalMatches = 0;        ///< Exact match count in the chunk.
+  bool Truncated = false; ///< Matches holds fewer pairs than TotalMatches
+                          ///< (the server's recorder cap was hit).
+  std::string Message;    ///< Status text on non-Ok.
 };
 
 /// Outcome of CloseStream: the end-of-stream flush.

@@ -37,6 +37,8 @@ const char *statusName(StatusCode Code) {
     return "shutting-down";
   case StatusCode::Internal:
     return "internal";
+  case StatusCode::ChunkTooLarge:
+    return "chunk-too-large";
   }
   return "unknown";
 }

@@ -34,7 +34,9 @@
 namespace mfsa::service {
 
 /// Protocol revision carried in Hello; the server rejects others.
-inline constexpr uint32_t kProtocolVersion = 1;
+/// v2: ChunkDone grew u64 total-match and delivered-pair counts so
+/// recorder-cap truncation is visible to clients instead of silent.
+inline constexpr uint32_t kProtocolVersion = 2;
 
 /// Default ceiling on one frame's payload (type byte + body). Connections
 /// announcing a larger length prefix are answered with
@@ -57,7 +59,9 @@ enum class MsgType : uint8_t {
   HelloOk = 64,    ///< cache key, cache source, rule/group counts.
   StreamOpen = 65, ///< u64 stream id ack.
   Matches = 66,    ///< u64 stream id, u32 count, count x (u32 rule, u64 end).
-  ChunkDone = 67,  ///< u64 stream id, u64 absolute offset, u32 chunk matches.
+  ChunkDone = 67,  ///< u64 stream id, u64 absolute offset, u64 total chunk
+                   ///< matches, u64 match pairs delivered in Matches frames
+                   ///< (delivered < total flags recorder-cap truncation).
   StreamDone = 68, ///< u64 stream id, u64 total bytes, u64 total matches.
   Stats = 69,      ///< string: MetricsRegistry JSON export.
   Status = 70,     ///< u8 code, u64 stream id (0 = connection), string text.
@@ -79,6 +83,10 @@ enum class StatusCode : uint8_t {
   FrameTooLarge = 8,   ///< Length prefix above the frame ceiling.
   ShuttingDown = 9,    ///< Server is draining; no new work accepted.
   Internal = 10,       ///< Server-side failure (diagnostic in the text).
+  ChunkTooLarge = 11,  ///< Chunk exceeds the tenant's whole queue budget:
+                       ///< it can never be accepted, so retrying verbatim
+                       ///< is futile — split it. Terminal for the chunk,
+                       ///< not the stream.
 };
 
 /// Human-readable status-code name ("overloaded", ...).

@@ -60,6 +60,11 @@ struct RulesetCache::Slot {
   std::shared_ptr<const CompiledRuleset> Ready;
   bool Failed = false;
   Diag Error;
+  // The content the memoized failure belongs to: like the Ready path, a
+  // negative hit must compare rule text so a hash-colliding different
+  // ruleset salt-diverts instead of inheriting a foreign CompileFailed.
+  std::vector<std::string> FailedRules;
+  uint32_t FailedM = 0;
 };
 
 std::string RulesetCache::contentKey(const std::vector<std::string> &Rules,
@@ -204,8 +209,11 @@ RulesetCache::acquire(const std::vector<std::string> &Rules, uint32_t M,
         *Source = CacheSource::Memory;
       return Line->Ready;
     }
-    if (Line->Failed)
+    if (Line->Failed) {
+      if (Line->FailedRules != Rules || Line->FailedM != M)
+        continue; // Hash collision; try the next salted key.
       return Diag(Line->Error);
+    }
 
     Diag Error;
     std::shared_ptr<const CompiledRuleset> Built =
@@ -213,6 +221,8 @@ RulesetCache::acquire(const std::vector<std::string> &Rules, uint32_t M,
     if (!Built) {
       Line->Failed = true;
       Line->Error = Error;
+      Line->FailedRules = Rules;
+      Line->FailedM = M;
       return Error;
     }
     Line->Ready = Built;

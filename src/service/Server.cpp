@@ -64,13 +64,21 @@ struct ScanServer::Impl {
   };
 
   /// One tenant: a connection, its reader thread, and its budgets.
+  ///
+  /// Fd lifetime: the descriptor stays open (and the number stays ours, so
+  /// it cannot be recycled under a concurrent shutdown(2)) until the
+  /// Connection is destroyed — which happens only after its reader thread
+  /// has been joined and the connection left the server's list. Teardown
+  /// and the stop path therefore only ever shutdown(2) the fd, never
+  /// close it; that lets shutdownSequence() interrupt a writer blocked in
+  /// send(2) WITHOUT acquiring WriteMutex (which that writer holds).
   struct Connection : std::enable_shared_from_this<Connection> {
-    int Fd = -1;
+    std::atomic<int> Fd{-1};
     std::thread Reader;
     std::atomic<bool> ReaderDone{false};
 
     std::mutex WriteMutex;
-    bool Closed = false; ///< Guarded by WriteMutex; set before close(Fd).
+    bool Closed = false; ///< Guarded by WriteMutex; set when writes must stop.
 
     // Reader-thread state (only the reader mutates these).
     bool HaveHello = false;
@@ -82,8 +90,9 @@ struct ScanServer::Impl {
     std::atomic<uint64_t> QueuedBytes{0};
 
     ~Connection() {
-      if (Fd >= 0)
-        ::close(Fd);
+      int RawFd = Fd.load(std::memory_order_relaxed);
+      if (RawFd >= 0)
+        ::close(RawFd);
     }
   };
 
@@ -159,8 +168,14 @@ struct ScanServer::Impl {
     std::lock_guard<std::mutex> Lock(Conn->WriteMutex);
     if (Conn->Closed)
       return;
-    if (!writeFrame(Conn->Fd, Type, Frame.body()))
+    int Fd = Conn->Fd.load(std::memory_order_relaxed);
+    if (!writeFrame(Fd, Type, Frame.body())) {
+      // Dead or non-reading peer (SO_SNDTIMEO expiry included). Declare the
+      // connection dead and shutdown(2) the fd so the reader unblocks and
+      // tears the tenant down promptly instead of lingering.
       Conn->Closed = true;
+      ::shutdown(Fd, SHUT_RDWR);
+    }
   }
 
   void sendStatus(const std::shared_ptr<Connection> &Conn, StatusCode Code,
@@ -250,7 +265,10 @@ struct ScanServer::Impl {
         FrameWriter Done;
         Done.u64(S->Id);
         Done.u64(Offset);
-        Done.u32(static_cast<uint32_t>(Rec.total()));
+        Done.u64(Rec.total());
+        // Delivered < total flags recorder-cap truncation to the client
+        // (a match-dense chunk can exceed MatchRecorder::Cap pairs).
+        Done.u64(Rec.matches().size());
         send(Conn, MsgType::ChunkDone, Done);
       }
       S->TotalMatches += Rec.total();
@@ -272,16 +290,19 @@ struct ScanServer::Impl {
     S->TotalMatches += Rec.total();
     MatchesCounter->add(Rec.total());
     if (std::shared_ptr<Connection> Conn = S->Conn.lock()) {
+      // Erase BEFORE StreamDone goes on the wire: a client that reuses the
+      // stream id the moment it sees StreamDone must find the slot free,
+      // never race the erase into a spurious DuplicateStream.
+      {
+        std::lock_guard<std::mutex> Lock(Conn->SessionsMutex);
+        Conn->Sessions.erase(S->Id);
+      }
       sendMatchesAndTally(Conn, S->Id, Rec);
       FrameWriter F;
       F.u64(S->Id);
       F.u64(Offset);
       F.u64(S->TotalMatches);
       send(Conn, MsgType::StreamDone, F);
-      {
-        std::lock_guard<std::mutex> Lock(Conn->SessionsMutex);
-        Conn->Sessions.erase(S->Id);
-      }
     }
     Registry->counter("service.streams.closed").add();
     Registry->gauge("service.sessions.active")
@@ -425,6 +446,18 @@ struct ScanServer::Impl {
       sendStatus(Conn, StatusCode::UnknownStream, Id, "no such stream");
       return true;
     }
+    // A chunk bigger than the whole queue budget could never be admitted
+    // even by an empty queue, so Overloaded's "retry once drained" promise
+    // would loop a compliant client forever — refuse it terminally instead.
+    if (Payload.size() > Opts.Budget.MaxQueuedBytes) {
+      Registry->counter("service.rejects.count").add();
+      sendStatus(Conn, StatusCode::ChunkTooLarge, Id,
+                 "chunk of " + std::to_string(Payload.size()) +
+                     " bytes exceeds the tenant queue budget of " +
+                     std::to_string(Opts.Budget.MaxQueuedBytes) +
+                     " bytes and can never be accepted; split it");
+      return true;
+    }
     uint64_t Queued = Conn->QueuedBytes.load(std::memory_order_relaxed);
     if (Queued + Payload.size() > Opts.Budget.MaxQueuedBytes) {
       ShedCounter->add();
@@ -529,7 +562,9 @@ struct ScanServer::Impl {
     for (;;) {
       uint8_t Type = 0;
       std::string Body;
-      ReadStatus Rs = readFrame(Conn->Fd, Opts.MaxFrameBytes, Type, Body);
+      ReadStatus Rs =
+          readFrame(Conn->Fd.load(std::memory_order_relaxed),
+                    Opts.MaxFrameBytes, Type, Body);
       if (Rs == ReadStatus::Frame) {
         if (!handleFrame(Conn, Type, Body))
           break;
@@ -569,11 +604,13 @@ struct ScanServer::Impl {
     {
       std::lock_guard<std::mutex> Lock(Conn->WriteMutex);
       Conn->Closed = true;
-      if (Conn->Fd >= 0) {
-        ::close(Conn->Fd);
-        Conn->Fd = -1;
-      }
     }
+    // Only shutdown(2) here — the fd is closed by ~Connection after the
+    // reader joins, so a concurrent shutdownSequence() can never hit a
+    // recycled descriptor.
+    int Fd = Conn->Fd.load(std::memory_order_relaxed);
+    if (Fd >= 0)
+      ::shutdown(Fd, SHUT_RDWR);
     Conn->Ruleset.reset(); // Unpin the cache entry (RCU-style release).
     Registry->counter("service.connections.closed").add();
     Registry->gauge("service.tenants.active")
@@ -603,8 +640,14 @@ struct ScanServer::Impl {
       ::close(Fd);
       return;
     }
+    if (Opts.WriteTimeoutMs > 0) {
+      timeval Tv{};
+      Tv.tv_sec = Opts.WriteTimeoutMs / 1000;
+      Tv.tv_usec = static_cast<suseconds_t>(Opts.WriteTimeoutMs % 1000) * 1000;
+      ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &Tv, sizeof(Tv));
+    }
     auto Conn = std::make_shared<Connection>();
-    Conn->Fd = Fd;
+    Conn->Fd.store(Fd, std::memory_order_relaxed);
     Registry->counter("service.connections.opened").add();
     Registry->gauge("service.tenants.active")
         .set(ActiveConnections.fetch_add(1, std::memory_order_relaxed) + 1);
@@ -662,11 +705,13 @@ struct ScanServer::Impl {
     {
       std::lock_guard<std::mutex> Lock(ConnMutex);
       for (const auto &Conn : Connections) {
-        // WriteMutex guards Fd's validity (teardown closes it under the same
-        // lock), so the fd cannot be recycled under this shutdown(2).
-        std::lock_guard<std::mutex> WLock(Conn->WriteMutex);
-        if (!Conn->Closed && Conn->Fd >= 0)
-          ::shutdown(Conn->Fd, SHUT_RDWR);
+        // Deliberately NOT under WriteMutex: a writer stalled in send(2) on
+        // a non-reading peer holds that mutex, and this shutdown(2) is
+        // exactly what unblocks it (EPIPE). The fd cannot be recycled —
+        // it is closed only by ~Connection, after the reader join below.
+        int Fd = Conn->Fd.load(std::memory_order_relaxed);
+        if (Fd >= 0)
+          ::shutdown(Fd, SHUT_RDWR);
       }
     }
     // Join all readers (no new ones can appear: listeners are closed).

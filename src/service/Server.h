@@ -30,15 +30,21 @@
 /// Backpressure and budgets (per tenant = per connection, reusing the PR 1
 /// budget idioms): a bounded count of open streams (TooManyStreams), a
 /// bounded sum of queued-but-unscanned bytes (Overloaded — the shed path;
-/// the chunk is NOT consumed and may be retried), a ruleset-size cap, and a
-/// per-stage compile deadline applied to cache-miss compiles. Every
-/// rejection is a diagnosed Status frame; one tenant hitting its budget
-/// never perturbs another tenant's streams.
+/// the chunk is NOT consumed and may be retried; a chunk that alone exceeds
+/// the whole queue budget is refused with the terminal ChunkTooLarge
+/// instead, since no amount of draining could ever admit it), a
+/// ruleset-size cap, and a per-stage compile deadline applied to cache-miss
+/// compiles. Every rejection is a diagnosed Status frame; one tenant
+/// hitting its budget never perturbs another tenant's streams.
 ///
 /// Shutdown: requestStop() is async-signal-safe (a self-pipe write), so a
 /// SIGTERM handler may call it directly. The server then stops accepting,
 /// wakes every reader, drains in-flight scan work, joins all threads, and
 /// waitStopped() returns — clean by construction, verified under TSan.
+/// Reply writes can never wedge shutdown: connection fds stay valid for the
+/// connection's whole lifetime (closed only after its reader joins), so the
+/// stop path shutdown(2)s them without touching the write lock, and
+/// WriteTimeoutMs bounds how long a non-reading peer can stall a writer.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -92,6 +98,13 @@ struct ServerOptions {
 
   /// Frame payload ceiling enforced before allocation.
   uint32_t MaxFrameBytes = kDefaultMaxFrameBytes;
+
+  /// SO_SNDTIMEO applied to every accepted connection (0 = none). A peer
+  /// that stops reading its replies can stall a write for at most this
+  /// long; on timeout the connection is marked dead and its fd shut down,
+  /// so a stuck writer can never pin a pool worker — or block shutdown —
+  /// indefinitely.
+  uint32_t WriteTimeoutMs = 10000;
 
   TenantBudget Budget;
   CacheOptions Cache;

@@ -472,9 +472,10 @@ TEST(ServiceServer, OverloadShedsWithoutConsumingAndWithoutCrossTalk) {
       EXPECT_EQ(static_cast<uint8_t>(StatusCode::Overloaded), Code);
       SawOverload = true;
     } else if (static_cast<MsgType>(Type) == MsgType::ChunkDone) {
-      uint64_t Stream = 0;
-      uint32_t Count = 0;
-      ASSERT_TRUE(Cur.u64(Stream) && Cur.u64(Consumed) && Cur.u32(Count));
+      uint64_t Stream = 0, Count = 0, Delivered = 0;
+      ASSERT_TRUE(Cur.u64(Stream) && Cur.u64(Consumed) && Cur.u64(Count) &&
+                  Cur.u64(Delivered));
+      EXPECT_EQ(Count, Delivered) << "no truncation expected here";
       SawChunkDone = true;
     }
   }
@@ -495,6 +496,95 @@ TEST(ServiceServer, OverloadShedsWithoutConsumingAndWithoutCrossTalk) {
   Result<StreamEnd> End = A->closeStream(1);
   ASSERT_TRUE(End.ok());
   EXPECT_EQ(6u, End->TotalBytes);
+}
+
+TEST(ServiceServer, ChunkAboveWholeQueueBudgetIsTerminallyRefused) {
+  // A chunk that alone exceeds MaxQueuedBytes could never be admitted even
+  // by an idle tenant; answering Overloaded ("retry once drained") would
+  // loop a compliant client forever, so the refusal must be the terminal
+  // chunk-too-large — and the stream must survive for smaller chunks.
+  ServerOptions Opts;
+  Opts.Budget.MaxQueuedBytes = 16;
+  std::unique_ptr<ScanServer> Server = startTcp(std::move(Opts));
+  ASSERT_TRUE(Server);
+  Result<ScanClient> Client = ScanClient::connectTcp(Server->tcpPort());
+  ASSERT_TRUE(Client.ok());
+  ASSERT_TRUE(Client->hello("t", kRules, 0).ok());
+  ASSERT_EQ(StatusCode::Ok, *Client->openStream(1));
+
+  Result<ChunkOutcome> Huge =
+      Client->sendChunk(1, std::string(17, 'a'));
+  ASSERT_TRUE(Huge.ok());
+  EXPECT_EQ(StatusCode::ChunkTooLarge, Huge->Status);
+  EXPECT_NE(std::string::npos, Huge->Message.find("split"));
+
+  // Split into budget-sized chunks the same stream still scans exactly.
+  Result<ChunkOutcome> Ok = Client->sendChunk(1, "abc");
+  ASSERT_TRUE(Ok.ok());
+  EXPECT_EQ(StatusCode::Ok, Ok->Status);
+  EXPECT_EQ(3u, Ok->Offset);
+  EXPECT_FALSE(Ok->Truncated);
+  EXPECT_EQ(Ok->TotalMatches, Ok->Matches.size());
+  Result<StreamEnd> End = Client->closeStream(1);
+  ASSERT_TRUE(End.ok());
+  EXPECT_EQ(3u, End->TotalBytes) << "the refused chunk must not be consumed";
+}
+
+TEST(ServiceServer, StreamIdIsReusableTheMomentStreamDoneArrives) {
+  // StreamDone must be sent only after the session slot is freed, so a
+  // client reopening the same id immediately can never race the erase into
+  // a spurious DuplicateStream.
+  std::unique_ptr<ScanServer> Server = startTcp();
+  ASSERT_TRUE(Server);
+  Result<ScanClient> Client = ScanClient::connectTcp(Server->tcpPort());
+  ASSERT_TRUE(Client.ok());
+  ASSERT_TRUE(Client->hello("reuse", kRules, 0).ok());
+  for (int Round = 0; Round < 20; ++Round) {
+    ASSERT_EQ(StatusCode::Ok, *Client->openStream(7)) << "round " << Round;
+    Result<ChunkOutcome> Out = Client->sendChunk(7, "abc");
+    ASSERT_TRUE(Out.ok());
+    EXPECT_EQ(StatusCode::Ok, Out->Status);
+    Result<StreamEnd> End = Client->closeStream(7);
+    ASSERT_TRUE(End.ok());
+    EXPECT_EQ(StatusCode::Ok, End->Status);
+  }
+}
+
+TEST(ServiceServer, ShutdownCompletesWhilePeerStopsReading) {
+  // A peer that floods chunks but never reads replies eventually blocks a
+  // drain task inside send(2). requestStop() must still complete: the stop
+  // path shutdown(2)s the connection without needing the write lock the
+  // stuck writer holds, and the failed write unwedges the worker.
+  ServerOptions Opts;
+  Opts.Workers = 2;
+  Opts.WriteTimeoutMs = 60000; // Long: the test must not rely on it.
+  std::unique_ptr<ScanServer> Server = startTcp(std::move(Opts));
+  ASSERT_TRUE(Server);
+  Result<ScanClient> Client = ScanClient::connectTcp(Server->tcpPort());
+  ASSERT_TRUE(Client.ok());
+  ASSERT_TRUE(Client->hello("greedy", {"a"}, 0).ok());
+  ASSERT_EQ(StatusCode::Ok, *Client->openStream(1));
+
+  // ~24 MiB of replies (12 bytes per match pair) against a client that
+  // never reads: far beyond loopback socket buffering, so the server's
+  // writer reliably wedges in send(2).
+  std::string Chunk(128 * 1024, 'a');
+  for (int I = 0; I < 16; ++I) {
+    FrameWriter F;
+    F.u64(1);
+    F.raw(Chunk);
+    if (!writeFrame(Client->fd(), MsgType::Chunk, F.body()))
+      break; // Our own send buffer filled — the server is already wedged.
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  Server->requestStop();
+  std::thread Waiter([&] { Server->waitStopped(); });
+  for (int I = 0; I < 1000 && !Server->stopped(); ++I)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(Server->stopped())
+      << "shutdown deadlocked behind a stuck reply write";
+  Waiter.join();
 }
 
 TEST(ServiceServer, OversizedFramePrefixIsRejectedBeforeAllocation) {
