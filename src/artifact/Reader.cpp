@@ -26,6 +26,7 @@
 #include "support/Checksum.h"
 #include "support/Endian.h"
 #include "support/FaultInject.h"
+#include "support/StringUtil.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -48,10 +49,10 @@ Result<MappedFile> MappedFile::map(const std::string &Path) {
   int Fd = ::open(Path.c_str(), O_RDONLY | O_CLOEXEC);
   if (Fd < 0)
     return Result<MappedFile>::error("cannot open " + Path + ": " +
-                                     std::strerror(errno));
+                                     errnoString(errno));
   struct stat St;
   if (::fstat(Fd, &St) != 0) {
-    const std::string E = std::strerror(errno);
+    const std::string E = errnoString(errno);
     ::close(Fd);
     return Result<MappedFile>::error("cannot stat " + Path + ": " + E);
   }
@@ -68,7 +69,7 @@ Result<MappedFile> MappedFile::map(const std::string &Path) {
   ::close(Fd);
   if (Mem == MAP_FAILED)
     return Result<MappedFile>::error("cannot mmap " + Path + ": " +
-                                     std::strerror(errno));
+                                     errnoString(errno));
   MappedFile File;
   File.Data = static_cast<const uint8_t *>(Mem);
   File.Bytes = static_cast<size_t>(St.st_size);

@@ -22,6 +22,7 @@
 #include "support/Endian.h"
 #include "support/FaultInject.h"
 #include "support/SimdDispatch.h"
+#include "support/StringUtil.h"
 
 #include <cerrno>
 #include <cstring>
@@ -260,7 +261,7 @@ bool writeAll(int Fd, const char *Data, size_t Bytes) {
   return true;
 }
 
-std::string errnoText() { return std::strerror(errno); }
+std::string errnoText() { return errnoString(errno); }
 
 } // namespace
 

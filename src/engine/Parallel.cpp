@@ -53,6 +53,11 @@ ParallelRunResult mfsa::runParallel(const std::vector<ImfantEngine> &Engines,
   // the deadline/cancellation token fires. Completion is tracked per worker
   // and folded into one bitmap after the join, keeping the hot path free of
   // shared writes.
+  //
+  // Both atomics are relaxed: NextEngine only hands out indices into the
+  // immutable Engines array (nothing is published through the claim), and
+  // TotalMatches is a pure tally read only after the join below — the
+  // thread join is the synchronization point, not the atomic.
   std::atomic<size_t> NextEngine{0};
   std::atomic<uint64_t> TotalMatches{0};
   std::vector<std::vector<size_t>> CompletedPerWorker(NumThreads);

@@ -43,7 +43,9 @@ struct ParallelRunOptions {
   double DeadlineMs = 0.0;
 
   /// Optional external cancellation token; when it becomes true workers
-  /// stop exactly like an expired deadline. The flag is only read.
+  /// stop exactly like an expired deadline. The flag is only read, with
+  /// relaxed order: cancellation is advisory (workers may finish the chunk
+  /// in flight), so no data is acquired through the load.
   const std::atomic<bool> *CancelToken = nullptr;
 
   /// Input-scan granularity of deadline/cancellation checks. Only used when

@@ -31,6 +31,9 @@ void Histogram::observe(uint64_t V) {
   Counts[Slot].fetch_add(1, std::memory_order_relaxed);
   Total.fetch_add(1, std::memory_order_relaxed);
   Sum.fetch_add(V, std::memory_order_relaxed);
+  // Relaxed CAS max: Max only ever grows, and no data is published through
+  // it; on CAS failure Prev is refreshed, so the loop terminates as soon as
+  // Max >= V regardless of contention.
   uint64_t Prev = Max.load(std::memory_order_relaxed);
   while (V > Prev &&
          !Max.compare_exchange_weak(Prev, V, std::memory_order_relaxed))
@@ -58,7 +61,7 @@ std::vector<uint64_t> mfsa::obs::pow2Buckets(unsigned MaxExp) {
 //===----------------------------------------------------------------------===//
 
 Counter &MetricsRegistry::counter(std::string_view Name) {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  sync::MutexLock Lock(RegistryMutex);
   auto It = Counters.find(Name);
   if (It == Counters.end())
     It = Counters.emplace(std::string(Name), std::make_unique<Counter>())
@@ -67,7 +70,7 @@ Counter &MetricsRegistry::counter(std::string_view Name) {
 }
 
 Gauge &MetricsRegistry::gauge(std::string_view Name) {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  sync::MutexLock Lock(RegistryMutex);
   auto It = Gauges.find(Name);
   if (It == Gauges.end())
     It = Gauges.emplace(std::string(Name), std::make_unique<Gauge>()).first;
@@ -76,7 +79,7 @@ Gauge &MetricsRegistry::gauge(std::string_view Name) {
 
 Histogram &MetricsRegistry::histogram(std::string_view Name,
                                       std::vector<uint64_t> UpperBounds) {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  sync::MutexLock Lock(RegistryMutex);
   auto It = Histograms.find(Name);
   if (It == Histograms.end())
     It = Histograms
@@ -87,7 +90,7 @@ Histogram &MetricsRegistry::histogram(std::string_view Name,
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  sync::MutexLock Lock(RegistryMutex);
   for (auto &[Name, C] : Counters)
     C->reset();
   for (auto &[Name, G] : Gauges)
@@ -107,7 +110,7 @@ void appendJsonNumber(std::string &Out, double V) {
 } // namespace
 
 std::string MetricsRegistry::toJson() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  sync::MutexLock Lock(RegistryMutex);
   std::string Out = "{\n  \"counters\": {";
   bool First = true;
   for (const auto &[Name, C] : Counters) {
@@ -153,7 +156,7 @@ std::string MetricsRegistry::toJson() const {
 }
 
 std::string MetricsRegistry::toText() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  sync::MutexLock Lock(RegistryMutex);
   std::string Out;
   char Buf[160];
   for (const auto &[Name, C] : Counters) {
@@ -187,6 +190,8 @@ MetricsRegistry &mfsa::obs::globalRegistry() {
 
 namespace {
 
+// Relaxed: the override is a standalone test knob read at scan-loop entry;
+// a sampler observing the old period for one extra scan is harmless.
 std::atomic<uint32_t> SampleEveryOverride{0};
 
 uint32_t sampleEveryFromEnv() {

@@ -34,11 +34,12 @@
 #ifndef MFSA_OBS_METRICS_H
 #define MFSA_OBS_METRICS_H
 
+#include "support/Sync.h"
+
 #include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -60,6 +61,10 @@ namespace mfsa::obs {
 inline constexpr bool kScanMetricsCompiledIn = MFSA_METRICS_ENABLED != 0;
 
 /// Monotonically increasing event count.
+///
+/// Memory order: all relaxed — each metric cell is an independent statistic;
+/// nothing is published through it and cross-metric consistency is not
+/// promised (an export may observe counter A's bump before counter B's).
 class Counter {
 public:
   void add(uint64_t N = 1) { Value.fetch_add(N, std::memory_order_relaxed); }
@@ -71,6 +76,9 @@ private:
 };
 
 /// Last-written value (engine sizes, configuration echoes).
+///
+/// Memory order: relaxed — last-writer-wins is the whole contract; no other
+/// data is ordered against a gauge write.
 class Gauge {
 public:
   void set(int64_t V) { Value.store(V, std::memory_order_relaxed); }
@@ -86,6 +94,11 @@ private:
 /// bound is >= the value, or in the implicit overflow bucket past the last
 /// bound. Count, sum, and max ride along so means and peaks (the Table II
 /// avg/max pair) need no separate metric.
+///
+/// Memory order: relaxed throughout (see Counter) — buckets, Total, Sum,
+/// and Max are each independently monotone; a concurrent export may see a
+/// bucket bump before the matching Total bump, which the JSON schema
+/// tolerates (no cross-field invariant is exported).
 class Histogram {
 public:
   explicit Histogram(std::vector<uint64_t> UpperBounds);
@@ -127,29 +140,36 @@ public:
   MetricsRegistry(const MetricsRegistry &) = delete;
   MetricsRegistry &operator=(const MetricsRegistry &) = delete;
 
-  Counter &counter(std::string_view Name);
-  Gauge &gauge(std::string_view Name);
+  Counter &counter(std::string_view Name) MFSA_EXCLUDES(RegistryMutex);
+  Gauge &gauge(std::string_view Name) MFSA_EXCLUDES(RegistryMutex);
   /// \p UpperBounds is consulted only on first registration; later calls
   /// with the same name return the existing histogram unchanged.
   Histogram &histogram(std::string_view Name,
-                       std::vector<uint64_t> UpperBounds);
+                       std::vector<uint64_t> UpperBounds)
+      MFSA_EXCLUDES(RegistryMutex);
 
   /// Zeroes every metric, keeping registrations (and cached handles) alive.
-  void reset();
+  void reset() MFSA_EXCLUDES(RegistryMutex);
 
   /// One JSON object with "counters", "gauges", and "histograms" members,
   /// each metric on its own line sorted by name — stable output for golden
   /// tests, greppable for humans.
-  std::string toJson() const;
+  std::string toJson() const MFSA_EXCLUDES(RegistryMutex);
 
   /// Aligned human-readable dump (for --metrics on a terminal).
-  std::string toText() const;
+  std::string toText() const MFSA_EXCLUDES(RegistryMutex);
 
 private:
-  mutable std::mutex Mutex;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> Counters;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> Gauges;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> Histograms;
+  /// Rank 80 (see the Sync.h table): a leaf — registration never calls out
+  /// while holding it. Acquired under SessionsMutex/QueueMutex/CacheMutex/
+  /// SlotMutex on the service paths that count events inside those locks.
+  mutable sync::Mutex RegistryMutex MFSA_LOCK_RANK(80);
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> Counters
+      MFSA_GUARDED_BY(RegistryMutex);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> Gauges
+      MFSA_GUARDED_BY(RegistryMutex);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> Histograms
+      MFSA_GUARDED_BY(RegistryMutex);
 };
 
 /// The process-wide registry the CLIs and benches dump. Library code only

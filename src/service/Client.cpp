@@ -6,6 +6,8 @@
 
 #include "service/Client.h"
 
+#include "support/StringUtil.h"
+
 #include <cerrno>
 #include <cstring>
 #include <netinet/in.h>
@@ -17,8 +19,8 @@ namespace mfsa::service {
 
 namespace {
 
-std::string errnoString(const std::string &What) {
-  return What + ": " + std::strerror(errno);
+std::string sysError(const std::string &What) {
+  return What + ": " + errnoString(errno);
 }
 
 } // namespace
@@ -29,11 +31,11 @@ Result<ScanClient> ScanClient::connectUds(const std::string &Path) {
     return Result<ScanClient>::error("UDS path too long: " + Path);
   int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (Fd < 0)
-    return Result<ScanClient>::error(errnoString("socket"));
+    return Result<ScanClient>::error(sysError("socket"));
   Addr.sun_family = AF_UNIX;
   std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
   if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
-    std::string Err = errnoString("connect " + Path);
+    std::string Err = sysError("connect " + Path);
     ::close(Fd);
     return Result<ScanClient>::error(std::move(Err));
   }
@@ -43,14 +45,14 @@ Result<ScanClient> ScanClient::connectUds(const std::string &Path) {
 Result<ScanClient> ScanClient::connectTcp(uint16_t Port) {
   int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (Fd < 0)
-    return Result<ScanClient>::error(errnoString("socket"));
+    return Result<ScanClient>::error(sysError("socket"));
   sockaddr_in Addr{};
   Addr.sin_family = AF_INET;
   Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   Addr.sin_port = htons(Port);
   if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
     std::string Err =
-        errnoString("connect 127.0.0.1:" + std::to_string(Port));
+        sysError("connect 127.0.0.1:" + std::to_string(Port));
     ::close(Fd);
     return Result<ScanClient>::error(std::move(Err));
   }
@@ -94,7 +96,7 @@ Result<std::pair<uint8_t, std::string>> ScanClient::readReply() {
     break;
   }
   return Result<std::pair<uint8_t, std::string>>::error(
-      errnoString("read"));
+      sysError("read"));
 }
 
 namespace {
@@ -143,7 +145,7 @@ Result<HelloInfo> ScanClient::hello(const std::string &Tenant,
   F.u32(M);
   F.str(Text);
   if (!writeFrame(Fd, MsgType::Hello, F.body()))
-    return Result<HelloInfo>::error(errnoString("send Hello"));
+    return Result<HelloInfo>::error(sysError("send Hello"));
 
   Result<std::pair<uint8_t, std::string>> Reply = readReply();
   if (!Reply.ok())
@@ -175,7 +177,7 @@ Result<StatusCode> ScanClient::openStream(uint64_t Id, std::string *Message) {
   FrameWriter F;
   F.u64(Id);
   if (!writeFrame(Fd, MsgType::OpenStream, F.body()))
-    return Result<StatusCode>::error(errnoString("send OpenStream"));
+    return Result<StatusCode>::error(sysError("send OpenStream"));
   Result<std::pair<uint8_t, std::string>> Reply = readReply();
   if (!Reply.ok())
     return Reply.takeDiag();
@@ -201,7 +203,7 @@ Result<ChunkOutcome> ScanClient::sendChunk(uint64_t Id,
   F.u64(Id);
   F.raw(Data);
   if (!writeFrame(Fd, MsgType::Chunk, F.body()))
-    return Result<ChunkOutcome>::error(errnoString("send Chunk"));
+    return Result<ChunkOutcome>::error(sysError("send Chunk"));
 
   ChunkOutcome Out;
   for (;;) {
@@ -241,7 +243,7 @@ Result<StreamEnd> ScanClient::closeStream(uint64_t Id) {
   FrameWriter F;
   F.u64(Id);
   if (!writeFrame(Fd, MsgType::CloseStream, F.body()))
-    return Result<StreamEnd>::error(errnoString("send CloseStream"));
+    return Result<StreamEnd>::error(sysError("send CloseStream"));
 
   StreamEnd Out;
   for (;;) {
@@ -277,7 +279,7 @@ Result<StreamEnd> ScanClient::closeStream(uint64_t Id) {
 Result<std::string> ScanClient::stats() {
   FrameWriter F;
   if (!writeFrame(Fd, MsgType::GetStats, F.body()))
-    return Result<std::string>::error(errnoString("send GetStats"));
+    return Result<std::string>::error(sysError("send GetStats"));
   Result<std::pair<uint8_t, std::string>> Reply = readReply();
   if (!Reply.ok())
     return Reply.takeDiag();
@@ -294,7 +296,7 @@ Result<std::string> ScanClient::stats() {
 Result<StatusCode> ScanClient::shutdownServer(std::string *Message) {
   FrameWriter F;
   if (!writeFrame(Fd, MsgType::Shutdown, F.body()))
-    return Result<StatusCode>::error(errnoString("send Shutdown"));
+    return Result<StatusCode>::error(sysError("send Shutdown"));
   Result<std::pair<uint8_t, std::string>> Reply = readReply();
   if (!Reply.ok())
     return Reply.takeDiag();

@@ -56,15 +56,19 @@ bool fileExists(const std::string &Path) {
 /// concurrent identical tenants collapse onto a single compile; Ready /
 /// Error memoize the outcome either way.
 struct RulesetCache::Slot {
-  std::mutex Mutex;
-  std::shared_ptr<const CompiledRuleset> Ready;
-  bool Failed = false;
-  Diag Error;
+  /// Rank 50 (see the Sync.h table): acquired after CacheMutex is released,
+  /// deliberately held across a whole compile so a thundering herd of
+  /// identical tenants collapses onto one build; the compile-telemetry
+  /// recording gives it the SlotMutex -> RegistryMutex edge.
+  sync::Mutex SlotMutex MFSA_LOCK_RANK(50);
+  std::shared_ptr<const CompiledRuleset> Ready MFSA_GUARDED_BY(SlotMutex);
+  bool Failed MFSA_GUARDED_BY(SlotMutex) = false;
+  Diag Error MFSA_GUARDED_BY(SlotMutex);
   // The content the memoized failure belongs to: like the Ready path, a
   // negative hit must compare rule text so a hash-colliding different
   // ruleset salt-diverts instead of inheriting a foreign CompileFailed.
-  std::vector<std::string> FailedRules;
-  uint32_t FailedM = 0;
+  std::vector<std::string> FailedRules MFSA_GUARDED_BY(SlotMutex);
+  uint32_t FailedM MFSA_GUARDED_BY(SlotMutex) = 0;
 };
 
 std::string RulesetCache::contentKey(const std::vector<std::string> &Rules,
@@ -86,7 +90,7 @@ RulesetCache::RulesetCache(CacheOptions Opts, obs::MetricsRegistry *Registry)
 }
 
 size_t RulesetCache::residentEntries() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  sync::MutexLock Lock(CacheMutex);
   return Slots.size();
 }
 
@@ -190,7 +194,7 @@ RulesetCache::acquire(const std::vector<std::string> &Rules, uint32_t M,
         Salt == 0 ? Key : Key + "-" + std::to_string(Salt);
     std::shared_ptr<Slot> Line;
     {
-      std::lock_guard<std::mutex> Lock(Mutex);
+      sync::MutexLock Lock(CacheMutex);
       auto It = Slots.find(SaltedKey);
       if (It == Slots.end())
         It = Slots.emplace(SaltedKey, std::make_shared<Slot>()).first;
@@ -199,7 +203,9 @@ RulesetCache::acquire(const std::vector<std::string> &Rules, uint32_t M,
       evictOverCapacityLocked();
     }
 
-    std::lock_guard<std::mutex> SlotLock(Line->Mutex);
+    // CacheMutex (40) released before SlotMutex (50): the map stays
+    // available to other keys while this key compiles under its slot lock.
+    sync::MutexLock SlotLock(Line->SlotMutex);
     if (Line->Ready) {
       if (Line->Ready->Rules != Rules || Line->Ready->MergingFactor != M)
         continue; // Hash collision; try the next salted key.

@@ -39,12 +39,12 @@
 #include "compiler/Pipeline.h"
 #include "engine/Imfant.h"
 #include "support/Result.h"
+#include "support/Sync.h"
 
 #include <cstdint>
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -101,10 +101,10 @@ public:
   /// cached per key, so a bad ruleset diagnoses instantly on repeat.
   Result<std::shared_ptr<const CompiledRuleset>>
   acquire(const std::vector<std::string> &Rules, uint32_t M,
-          CacheSource *Source = nullptr);
+          CacheSource *Source = nullptr) MFSA_EXCLUDES(CacheMutex);
 
   /// Resident entries right now (post-eviction).
-  size_t residentEntries() const;
+  size_t residentEntries() const MFSA_EXCLUDES(CacheMutex);
 
   /// Content key for (\p Rules, \p M): 32 hex chars, stable across runs and
   /// processes — it names the on-disk artifact. Exposed for tests and
@@ -118,16 +118,20 @@ private:
   std::shared_ptr<const CompiledRuleset>
   buildOrLoad(const std::string &Key, const std::vector<std::string> &Rules,
               uint32_t M, CacheSource *Source, Diag &Error);
-  void touchLocked(const std::string &Key);
-  void evictOverCapacityLocked();
+  void touchLocked(const std::string &Key) MFSA_REQUIRES(CacheMutex);
+  void evictOverCapacityLocked() MFSA_REQUIRES(CacheMutex);
 
   CacheOptions Options;
   obs::MetricsRegistry *Metrics;
 
-  mutable std::mutex Mutex; ///< Guards Slots + LruOrder, never held while
-                            ///< compiling (per-slot mutexes serialize that).
-  std::map<std::string, std::shared_ptr<Slot>> Slots;
-  std::list<std::string> LruOrder; ///< Front = most recently used.
+  /// Rank 40 (see the Sync.h table): guards Slots + LruOrder, never held
+  /// while compiling (the per-slot mutexes, rank 50, serialize that); the
+  /// eviction counters give it the CacheMutex -> RegistryMutex edge.
+  mutable sync::Mutex CacheMutex MFSA_LOCK_RANK(40);
+  std::map<std::string, std::shared_ptr<Slot>> Slots
+      MFSA_GUARDED_BY(CacheMutex);
+  /// Front = most recently used.
+  std::list<std::string> LruOrder MFSA_GUARDED_BY(CacheMutex);
 };
 
 } // namespace mfsa::service

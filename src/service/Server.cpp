@@ -7,17 +7,17 @@
 #include "service/Server.h"
 
 #include "obs/Metrics.h"
+#include "support/StringUtil.h"
+#include "support/Sync.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
-#include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -53,12 +53,18 @@ struct ScanServer::Impl {
     std::shared_ptr<const CompiledRuleset> Ruleset; ///< Pins shared tables.
     std::vector<std::unique_ptr<ImfantEngine::Scanner>> Scanners;
 
-    std::mutex M;
-    std::deque<PendingChunk> Queue;
-    bool Scheduled = false;
-    bool CloseRequested = false;
-    bool Aborted = false;
-    bool Finished = false;
+    /// Rank 30 (see the Sync.h table): guards the queue and the scheduling
+    /// flags; held only for queue surgery, never across automaton stepping.
+    sync::Mutex QueueMutex MFSA_LOCK_RANK(30);
+    std::deque<PendingChunk> Queue MFSA_GUARDED_BY(QueueMutex);
+    bool Scheduled MFSA_GUARDED_BY(QueueMutex) = false;
+    bool CloseRequested MFSA_GUARDED_BY(QueueMutex) = false;
+    bool Aborted MFSA_GUARDED_BY(QueueMutex) = false;
+    bool Finished MFSA_GUARDED_BY(QueueMutex) = false;
+    // Deliberately NOT guarded: owned by the single drain task at a time.
+    // The Scheduled flag hand-off under QueueMutex is the happens-before
+    // edge between consecutive drain tasks, so these plain fields never
+    // race even though successive drains may run on different pool threads.
     uint64_t TotalMatches = 0;
     uint64_t Consumed = 0; ///< Offset fallback for engine-less rulesets.
   };
@@ -73,20 +79,41 @@ struct ScanServer::Impl {
   /// close it; that lets shutdownSequence() interrupt a writer blocked in
   /// send(2) WITHOUT acquiring WriteMutex (which that writer holds).
   struct Connection : std::enable_shared_from_this<Connection> {
+    // Relaxed suffices: the value is written once (accept, before the reader
+    // thread is created — thread creation is the release) and the number
+    // stays valid until ~Connection, so readers only need the value, never
+    // an ordering edge through it.
     std::atomic<int> Fd{-1};
     std::thread Reader;
+    // Release/acquire pair: the reader's store(release) is the last thing it
+    // does, and reapFinishedConnections' load(acquire) must see the whole
+    // teardown (session aborts, Closed = true) before it joins and drops
+    // the Connection.
     std::atomic<bool> ReaderDone{false};
 
-    std::mutex WriteMutex;
-    bool Closed = false; ///< Guarded by WriteMutex; set when writes must stop.
+    /// Rank 60 (see the Sync.h table): held across writeFrame(2); a leaf
+    /// except for the metric counters (WriteMutex is never held when the
+    /// registry registers, only resolved handles are touched under it).
+    sync::Mutex WriteMutex MFSA_LOCK_RANK(60);
+    bool Closed MFSA_GUARDED_BY(WriteMutex) = false;
 
     // Reader-thread state (only the reader mutates these).
     bool HaveHello = false;
     std::string Tenant;
     std::shared_ptr<const CompiledRuleset> Ruleset;
 
-    std::mutex SessionsMutex;
-    std::map<uint64_t, std::shared_ptr<Session>> Sessions;
+    /// Rank 20 (see the Sync.h table): guards the stream-id map. finish /
+    /// teardown paths release it before replying, giving the declared
+    /// SessionsMutex -> WriteMutex order its only (indirect) use; the
+    /// attribute documents and enforces the intended nesting direction.
+    sync::Mutex SessionsMutex MFSA_LOCK_RANK(20)
+        MFSA_ACQUIRED_BEFORE(WriteMutex);
+    std::map<uint64_t, std::shared_ptr<Session>> Sessions
+        MFSA_GUARDED_BY(SessionsMutex);
+    // Relaxed: a shared budget meter, not a publication channel. The add in
+    // handleChunk and the sub in drainSession/handleChunk order only the
+    // counter itself; admission decisions tolerate momentary staleness (a
+    // racing chunk is shed one frame later, never lost).
     std::atomic<uint64_t> QueuedBytes{0};
 
     ~Connection() {
@@ -106,16 +133,29 @@ struct ScanServer::Impl {
   int TcpFd = -1;
   uint16_t BoundTcpPort = 0;
   int StopPipe[2] = {-1, -1};
+  // Relaxed: advisory fast-reject flag. The authoritative stop signal is the
+  // self-pipe byte (requestStopImpl), whose write(2)/poll(2) pair carries
+  // the ordering; Stopping only lets hot paths refuse new work early.
   std::atomic<bool> Stopping{false};
 
   std::thread AcceptThread;
-  std::mutex ConnMutex;
-  std::vector<std::shared_ptr<Connection>> Connections;
+  /// Rank 10 (see the Sync.h table): guards the connection list. The lowest
+  /// rank because reapFinishedConnections() joins reader threads while
+  /// holding it, and a reader may take any session/write lock on its way
+  /// out — so ConnMutex must never be acquired inside those.
+  sync::Mutex ConnMutex MFSA_LOCK_RANK(10);
+  std::vector<std::shared_ptr<Connection>> Connections
+      MFSA_GUARDED_BY(ConnMutex);
 
-  std::mutex StoppedMutex;
-  std::condition_variable StoppedCv;
-  bool StoppedFlag = false;
+  /// Rank 90 (see the Sync.h table): a leaf, taken only to flip/read the
+  /// terminal flag. Mutable so stopped() stays const.
+  mutable sync::Mutex StoppedMutex MFSA_LOCK_RANK(90);
+  sync::CondVar StoppedCv;
+  bool StoppedFlag MFSA_GUARDED_BY(StoppedMutex) = false;
 
+  // Relaxed: UI gauges. Each fetch_add/fetch_sub returns the exact new value
+  // for its own gauge set(); interleaved sets may publish momentarily stale
+  // totals, which the gauge contract (last-writer-wins) already allows.
   std::atomic<int64_t> ActiveSessions{0};
   std::atomic<int64_t> ActiveConnections{0};
 
@@ -165,7 +205,7 @@ struct ScanServer::Impl {
 
   void send(const std::shared_ptr<Connection> &Conn, MsgType Type,
             const FrameWriter &Frame) {
-    std::lock_guard<std::mutex> Lock(Conn->WriteMutex);
+    sync::MutexLock Lock(Conn->WriteMutex);
     if (Conn->Closed)
       return;
     int Fd = Conn->Fd.load(std::memory_order_relaxed);
@@ -208,7 +248,8 @@ struct ScanServer::Impl {
 
   // --- scanning ---------------------------------------------------------
 
-  void scheduleLocked(const std::shared_ptr<Session> &S) {
+  void scheduleLocked(const std::shared_ptr<Session> &S)
+      MFSA_REQUIRES(S->QueueMutex) {
     if (S->Scheduled)
       return;
     S->Scheduled = true;
@@ -220,7 +261,7 @@ struct ScanServer::Impl {
       PendingChunk Chunk;
       bool DoFinish = false;
       {
-        std::lock_guard<std::mutex> Lock(S->M);
+        sync::MutexLock Lock(S->QueueMutex);
         if (S->Aborted) {
           S->Queue.clear();
           S->Scheduled = false;
@@ -241,7 +282,7 @@ struct ScanServer::Impl {
       }
       if (DoFinish) {
         finishSession(S);
-        std::lock_guard<std::mutex> Lock(S->M);
+        sync::MutexLock Lock(S->QueueMutex);
         S->Scheduled = false;
         return;
       }
@@ -294,7 +335,7 @@ struct ScanServer::Impl {
       // stream id the moment it sees StreamDone must find the slot free,
       // never race the erase into a spurious DuplicateStream.
       {
-        std::lock_guard<std::mutex> Lock(Conn->SessionsMutex);
+        sync::MutexLock Lock(Conn->SessionsMutex);
         Conn->Sessions.erase(S->Id);
       }
       sendMatchesAndTally(Conn, S->Id, Rec);
@@ -326,7 +367,7 @@ struct ScanServer::Impl {
       return false;
     }
     {
-      std::lock_guard<std::mutex> Lock(Conn->SessionsMutex);
+      sync::MutexLock Lock(Conn->SessionsMutex);
       if (!Conn->Sessions.empty()) {
         sendStatus(Conn, StatusCode::ProtocolError, 0,
                    "Hello with streams open");
@@ -402,7 +443,7 @@ struct ScanServer::Impl {
     for (const ImfantEngine &Engine : Conn->Ruleset->Engines)
       S->Scanners.push_back(std::make_unique<ImfantEngine::Scanner>(Engine));
     {
-      std::lock_guard<std::mutex> Lock(Conn->SessionsMutex);
+      sync::MutexLock Lock(Conn->SessionsMutex);
       if (Conn->Sessions.count(Id)) {
         sendStatus(Conn, StatusCode::DuplicateStream, Id,
                    "stream id already open");
@@ -437,7 +478,7 @@ struct ScanServer::Impl {
     }
     std::shared_ptr<Session> S;
     {
-      std::lock_guard<std::mutex> Lock(Conn->SessionsMutex);
+      sync::MutexLock Lock(Conn->SessionsMutex);
       auto It = Conn->Sessions.find(Id);
       if (It != Conn->Sessions.end())
         S = It->second;
@@ -472,7 +513,7 @@ struct ScanServer::Impl {
     BytesCounter->add(Payload.size());
     ChunkBytes->observe(Payload.size());
     {
-      std::lock_guard<std::mutex> Lock(S->M);
+      sync::MutexLock Lock(S->QueueMutex);
       if (S->CloseRequested || S->Finished) {
         Conn->QueuedBytes.fetch_sub(Payload.size(),
                                     std::memory_order_relaxed);
@@ -496,7 +537,7 @@ struct ScanServer::Impl {
     }
     std::shared_ptr<Session> S;
     {
-      std::lock_guard<std::mutex> Lock(Conn->SessionsMutex);
+      sync::MutexLock Lock(Conn->SessionsMutex);
       auto It = Conn->Sessions.find(Id);
       if (It != Conn->Sessions.end())
         S = It->second;
@@ -505,7 +546,7 @@ struct ScanServer::Impl {
       sendStatus(Conn, StatusCode::UnknownStream, Id, "no such stream");
       return true;
     }
-    std::lock_guard<std::mutex> Lock(S->M);
+    sync::MutexLock Lock(S->QueueMutex);
     if (S->CloseRequested) {
       sendStatus(Conn, StatusCode::UnknownStream, Id, "already closing");
       return true;
@@ -588,12 +629,12 @@ struct ScanServer::Impl {
     // Abort live sessions: drain tasks drop the queue and stop replying.
     std::map<uint64_t, std::shared_ptr<Session>> Orphans;
     {
-      std::lock_guard<std::mutex> Lock(Conn->SessionsMutex);
+      sync::MutexLock Lock(Conn->SessionsMutex);
       Orphans.swap(Conn->Sessions);
     }
     for (auto &[Id, S] : Orphans) {
       (void)Id;
-      std::lock_guard<std::mutex> Lock(S->M);
+      sync::MutexLock Lock(S->QueueMutex);
       if (!S->Finished) {
         S->Aborted = true;
         Registry->counter("service.streams.aborted").add();
@@ -602,7 +643,7 @@ struct ScanServer::Impl {
       }
     }
     {
-      std::lock_guard<std::mutex> Lock(Conn->WriteMutex);
+      sync::MutexLock Lock(Conn->WriteMutex);
       Conn->Closed = true;
     }
     // Only shutdown(2) here — the fd is closed by ~Connection after the
@@ -620,7 +661,7 @@ struct ScanServer::Impl {
   // --- accept / lifecycle ----------------------------------------------
 
   void reapFinishedConnections() {
-    std::lock_guard<std::mutex> Lock(ConnMutex);
+    sync::MutexLock Lock(ConnMutex);
     for (auto It = Connections.begin(); It != Connections.end();) {
       if ((*It)->ReaderDone.load(std::memory_order_acquire)) {
         if ((*It)->Reader.joinable())
@@ -652,7 +693,7 @@ struct ScanServer::Impl {
     Registry->gauge("service.tenants.active")
         .set(ActiveConnections.fetch_add(1, std::memory_order_relaxed) + 1);
     {
-      std::lock_guard<std::mutex> Lock(ConnMutex);
+      sync::MutexLock Lock(ConnMutex);
       Connections.push_back(Conn);
     }
     Conn->Reader = std::thread([this, Conn] { readerLoop(Conn); });
@@ -703,7 +744,7 @@ struct ScanServer::Impl {
       TcpFd = -1;
     }
     {
-      std::lock_guard<std::mutex> Lock(ConnMutex);
+      sync::MutexLock Lock(ConnMutex);
       for (const auto &Conn : Connections) {
         // Deliberately NOT under WriteMutex: a writer stalled in send(2) on
         // a non-reading peer holds that mutex, and this shutdown(2) is
@@ -718,7 +759,7 @@ struct ScanServer::Impl {
     for (;;) {
       std::shared_ptr<Connection> Conn;
       {
-        std::lock_guard<std::mutex> Lock(ConnMutex);
+        sync::MutexLock Lock(ConnMutex);
         if (Connections.empty())
           break;
         Conn = Connections.back();
@@ -731,10 +772,10 @@ struct ScanServer::Impl {
     Pool->wait();
     Registry->counter("service.shutdown.clean").add();
     {
-      std::lock_guard<std::mutex> Lock(StoppedMutex);
+      sync::MutexLock Lock(StoppedMutex);
       StoppedFlag = true;
     }
-    StoppedCv.notify_all();
+    StoppedCv.notifyAll();
   }
 
   void requestStopImpl() {
@@ -766,12 +807,15 @@ ScanServer::~ScanServer() {
 void ScanServer::requestStop() { PImpl->requestStopImpl(); }
 
 void ScanServer::waitStopped() {
-  std::unique_lock<std::mutex> Lock(PImpl->StoppedMutex);
-  PImpl->StoppedCv.wait(Lock, [this] { return PImpl->StoppedFlag; });
+  sync::MutexLock Lock(PImpl->StoppedMutex);
+  // Explicit predicate loop (not a lambda) so the guarded read of
+  // StoppedFlag stays visible to the thread-safety analysis.
+  while (!PImpl->StoppedFlag)
+    PImpl->StoppedCv.wait(Lock);
 }
 
 bool ScanServer::stopped() const {
-  std::lock_guard<std::mutex> Lock(PImpl->StoppedMutex);
+  sync::MutexLock Lock(PImpl->StoppedMutex);
   return PImpl->StoppedFlag;
 }
 
@@ -787,13 +831,13 @@ Result<int> listenUds(const std::string &Path) {
     return Result<int>::error("UDS path too long: " + Path);
   int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (Fd < 0)
-    return Result<int>::error(std::string("socket: ") + std::strerror(errno));
+    return Result<int>::error(std::string("socket: ") + errnoString(errno));
   ::unlink(Path.c_str());
   Addr.sun_family = AF_UNIX;
   std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
   if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
       ::listen(Fd, 128) < 0) {
-    std::string Err = std::strerror(errno);
+    std::string Err = errnoString(errno);
     ::close(Fd);
     return Result<int>::error("bind/listen " + Path + ": " + Err);
   }
@@ -803,7 +847,7 @@ Result<int> listenUds(const std::string &Path) {
 Result<int> listenTcp(uint16_t Port, uint16_t &BoundPort) {
   int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (Fd < 0)
-    return Result<int>::error(std::string("socket: ") + std::strerror(errno));
+    return Result<int>::error(std::string("socket: ") + errnoString(errno));
   int One = 1;
   ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
   sockaddr_in Addr{};
@@ -812,7 +856,7 @@ Result<int> listenTcp(uint16_t Port, uint16_t &BoundPort) {
   Addr.sin_port = htons(Port);
   if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
       ::listen(Fd, 128) < 0) {
-    std::string Err = std::strerror(errno);
+    std::string Err = errnoString(errno);
     ::close(Fd);
     return Result<int>::error("bind/listen 127.0.0.1:" +
                               std::to_string(Port) + ": " + Err);
@@ -858,7 +902,7 @@ ScanServer::start(const ServerOptions &Opts) {
 
   if (::pipe(I.StopPipe) != 0)
     return Result<std::unique_ptr<ScanServer>>::error(
-        std::string("pipe: ") + std::strerror(errno));
+        std::string("pipe: ") + errnoString(errno));
 
   if (!Opts.UdsPath.empty()) {
     Result<int> Fd = listenUds(Opts.UdsPath);

@@ -158,6 +158,11 @@ const KernelTable *compiledTable(Level L) {
   return nullptr;
 }
 
+// Publication pair. activate() stores the level byte first (relaxed), then
+// the table pointer with release; readers acquire-load the table, so any
+// reader that sees the new table also sees the matching level byte — the
+// byte alone never needs its own ordering. Concurrent first-time activation
+// is a benign race: both writers publish the identical (level, table) pair.
 std::atomic<const KernelTable *> ActiveTable{nullptr};
 std::atomic<uint8_t> ActiveLevelByte{0};
 

@@ -9,6 +9,7 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 using namespace mfsa;
 
@@ -123,4 +124,31 @@ std::string mfsa::formatDouble(double Value, int Decimals) {
 bool mfsa::startsWith(const std::string &Text, const std::string &Prefix) {
   return Text.size() >= Prefix.size() &&
          Text.compare(0, Prefix.size(), Prefix) == 0;
+}
+
+namespace {
+
+// strerror_r comes in two shapes: XSI returns int and fills Buf; the GNU
+// variant returns a char* that may or may not be Buf. Overload dispatch on
+// the actual return type picks the right interpretation without #ifdef'ing
+// on feature-test macros that glibc and musl set inconsistently.
+[[maybe_unused]] std::string strerrorResult(int Rc, const char *Buf,
+                                            int Err) {
+  if (Rc == 0)
+    return Buf;
+  return "errno " + std::to_string(Err);
+}
+
+[[maybe_unused]] std::string strerrorResult(const char *Msg, const char *,
+                                            int Err) {
+  if (Msg)
+    return Msg;
+  return "errno " + std::to_string(Err);
+}
+
+} // namespace
+
+std::string mfsa::errnoString(int Err) {
+  char Buf[256] = {0};
+  return strerrorResult(::strerror_r(Err, Buf, sizeof(Buf)), Buf, Err);
 }

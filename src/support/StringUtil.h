@@ -37,6 +37,11 @@ std::string formatDouble(double Value, int Decimals);
 /// \returns true if \p Text begins with \p Prefix.
 bool startsWith(const std::string &Text, const std::string &Prefix);
 
+/// Thread-safe strerror: renders \p Err (an errno value) into an owned
+/// string via strerror_r, so concurrent callers never share the static
+/// buffer std::strerror may return (clang-tidy concurrency-mt-unsafe).
+std::string errnoString(int Err);
+
 } // namespace mfsa
 
 #endif // MFSA_SUPPORT_STRINGUTIL_H

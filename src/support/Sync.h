@@ -1,0 +1,208 @@
+//===- Sync.h - annotated synchronization primitives ------------*- C++ -*-===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The project's one synchronization layer: capability-annotated wrappers
+/// over the std primitives (Abseil-style), so Clang's thread-safety analysis
+/// proves the locking protocol at compile time instead of leaving it to
+/// comments and whatever interleavings TSan happens to exercise.
+///
+/// Usage rules (enforced by tools/check_sync_annotations.py and, on Clang,
+/// by -Werror=thread-safety -Werror=thread-safety-beta):
+///
+///   - No raw std::mutex / std::condition_variable / std::lock_guard /
+///     std::unique_lock anywhere in src/ outside this header. Use
+///     sync::Mutex, sync::MutexLock, sync::CondVar.
+///   - Every shared field is MFSA_GUARDED_BY its mutex; every method that
+///     assumes a held lock is MFSA_REQUIRES it (the `*Locked()` naming
+///     convention stays, the attribute makes it checked).
+///   - Every sync::Mutex declaration carries MFSA_LOCK_RANK(N) (a lint-only
+///     marker, compiled to nothing) and a unique field name; nested
+///     acquisitions must go strictly upward in rank.
+///   - Same-class nesting is additionally declared with
+///     MFSA_ACQUIRED_BEFORE so Clang's -Wthread-safety-beta checks it;
+///     cross-class nesting is declared in the LOCK-ORDER table below, which
+///     the lint checks for rank monotonicity and acyclicity.
+///   - Condition waits are written as explicit `while (!predicate)` loops
+///     in the annotated function body (not predicate lambdas), so the
+///     guarded reads stay visible to the analysis.
+///
+/// Global lock-rank table — every mutex in the tree, lowest rank acquired
+/// first. A thread may only acquire a mutex of strictly higher rank than
+/// any it already holds; therefore the acquisition graph is acyclic and no
+/// cycle-deadlock is possible. The deadlock lint parses the MFSA_LOCK_RANK
+/// markers at the declarations and the LOCK-ORDER edges below.
+///
+///   rank  mutex (unique field name)                  guards
+///   ----  -----------------------------------------  ----------------------
+///    10   service::ScanServer::Impl::ConnMutex       live-connection list
+///    20   service::...::Connection::SessionsMutex    per-tenant session map
+///    30   service::...::Session::QueueMutex          chunk queue + sched flags
+///    40   service::RulesetCache::CacheMutex          slot map + LRU order
+///    50   service::RulesetCache::Slot::SlotMutex     memoized compile result
+///    60   service::...::Connection::WriteMutex       reply framing on the fd
+///    70   ThreadPool::PoolMutex                      task queue + idle count
+///    80   obs::MetricsRegistry::RegistryMutex        metric registration maps
+///    90   service::ScanServer::Impl::StoppedMutex    shutdown-complete flag
+///
+/// Observed cross-class acquisition edges (holder -> acquired). Each must go
+/// strictly upward in rank; the lint builds the full graph from these lines
+/// plus every MFSA_ACQUIRED_BEFORE/AFTER attribute in src/ and fails CI on a
+/// non-monotone edge or a cycle. Add a line here whenever code acquires a
+/// mutex while holding one of a different class.
+///
+// LOCK-ORDER: SessionsMutex -> WriteMutex     (stream-open rejects reply under the session map lock)
+// LOCK-ORDER: SessionsMutex -> RegistryMutex  (budget-reject counters under the session map lock)
+// LOCK-ORDER: QueueMutex -> PoolMutex         (scheduleLocked submits the drain task under the queue lock)
+// LOCK-ORDER: QueueMutex -> WriteMutex        (closing-stream rejects reply under the queue lock)
+// LOCK-ORDER: QueueMutex -> RegistryMutex     (teardown abort counters under the queue lock)
+// LOCK-ORDER: CacheMutex -> RegistryMutex     (eviction counters under the cache map lock)
+// LOCK-ORDER: SlotMutex -> RegistryMutex      (compile telemetry recorded under the slot lock)
+///
+/// Liveness notes the rank table cannot express (reviewed invariants):
+///   - reapFinishedConnections() joins reader threads while holding
+///     ConnMutex (rank 10); safe because no reader-thread path ever
+///     acquires ConnMutex.
+///   - Slot::SlotMutex (50) is deliberately held across a whole compile;
+///     CacheMutex (40) is released first, so the cache map stays available
+///     to other keys while a thundering herd collapses onto one compile.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MFSA_SUPPORT_SYNC_H
+#define MFSA_SUPPORT_SYNC_H
+
+#include <condition_variable>
+#include <mutex>
+
+//===----------------------------------------------------------------------===//
+// Annotation macros (no-ops on non-Clang compilers)
+//===----------------------------------------------------------------------===//
+
+#if defined(__clang__)
+#define MFSA_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define MFSA_THREAD_ANNOTATION__(x) // GCC et al.: plain std wrappers.
+#endif
+
+/// Declares a type to be a capability (lockable) the analysis tracks.
+#define MFSA_CAPABILITY(x) MFSA_THREAD_ANNOTATION__(capability(x))
+
+/// Declares an RAII type that acquires in its ctor and releases in its dtor.
+#define MFSA_SCOPED_CAPABILITY MFSA_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Field may only be read/written while holding \p x.
+#define MFSA_GUARDED_BY(x) MFSA_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointee may only be dereferenced while holding \p x.
+#define MFSA_PT_GUARDED_BY(x) MFSA_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// This mutex must be acquired before the listed ones (rank edge, checked
+/// by -Wthread-safety-beta when both ends are attribute-visible).
+#define MFSA_ACQUIRED_BEFORE(...)                                             \
+  MFSA_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+
+/// This mutex must be acquired after the listed ones.
+#define MFSA_ACQUIRED_AFTER(...)                                              \
+  MFSA_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/// Caller must already hold the listed capabilities (the `*Locked()`
+/// convention, made checkable).
+#define MFSA_REQUIRES(...)                                                    \
+  MFSA_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability and does not release it before return.
+#define MFSA_ACQUIRE(...)                                                     \
+  MFSA_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define MFSA_RELEASE(...)                                                     \
+  MFSA_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns the given value.
+#define MFSA_TRY_ACQUIRE(...)                                                 \
+  MFSA_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (documents non-reentrancy
+/// and self-deadlock freedom on the public API).
+#define MFSA_EXCLUDES(...) MFSA_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Asserts (at analysis level) that the capability is held here.
+#define MFSA_ASSERT_CAPABILITY(x) MFSA_THREAD_ANNOTATION__(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define MFSA_RETURN_CAPABILITY(x) MFSA_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch; every use needs a comment justifying it. Currently unused.
+#define MFSA_NO_THREAD_SAFETY_ANALYSIS                                        \
+  MFSA_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+/// Lint-only lock-rank marker (see the table above): compiled to nothing on
+/// every compiler; tools/check_sync_annotations.py requires one on every
+/// sync::Mutex declaration and checks every acquisition edge climbs ranks.
+#define MFSA_LOCK_RANK(N)
+
+namespace mfsa::sync {
+
+class CondVar;
+class MutexLock;
+
+/// A std::mutex the analysis can track. Lock it with the scoped MutexLock;
+/// the raw lock()/unlock() exist for completeness (and std::lock_guard
+/// compatibility in tests) but tree code uses the RAII form exclusively.
+class MFSA_CAPABILITY("mutex") Mutex {
+public:
+  Mutex() = default;
+  Mutex(const Mutex &) = delete;
+  Mutex &operator=(const Mutex &) = delete;
+
+  void lock() MFSA_ACQUIRE() { Impl.lock(); }
+  void unlock() MFSA_RELEASE() { Impl.unlock(); }
+  bool try_lock() MFSA_TRY_ACQUIRE(true) { return Impl.try_lock(); }
+
+private:
+  friend class MutexLock;
+  std::mutex Impl;
+};
+
+/// Scoped lock: acquires in the constructor, releases in the destructor.
+/// The only blessed way to hold a sync::Mutex; the analysis verifies every
+/// guarded access happens inside such a scope.
+class MFSA_SCOPED_CAPABILITY MutexLock {
+public:
+  explicit MutexLock(Mutex &M) MFSA_ACQUIRE(M) : Inner(M.Impl) {}
+  ~MutexLock() MFSA_RELEASE() {}
+
+  MutexLock(const MutexLock &) = delete;
+  MutexLock &operator=(const MutexLock &) = delete;
+
+private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> Inner;
+};
+
+/// Condition variable bound to MutexLock. wait() atomically releases and
+/// reacquires the lock; to the analysis the capability is held throughout,
+/// which is exactly the caller-visible contract. Spurious wakeups are
+/// possible — always wait in a `while (!predicate)` loop written directly
+/// in the annotated function so the predicate's guarded reads are checked.
+class CondVar {
+public:
+  CondVar() = default;
+  CondVar(const CondVar &) = delete;
+  CondVar &operator=(const CondVar &) = delete;
+
+  void wait(MutexLock &Lock) { Impl.wait(Lock.Inner); }
+  void notifyOne() { Impl.notify_one(); }
+  void notifyAll() { Impl.notify_all(); }
+
+private:
+  std::condition_variable Impl;
+};
+
+} // namespace mfsa::sync
+
+#endif // MFSA_SUPPORT_SYNC_H

@@ -18,46 +18,49 @@ ThreadPool::ThreadPool(unsigned NumThreads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> Lock(Mutex);
+    sync::MutexLock Lock(PoolMutex);
     ShuttingDown = true;
   }
-  TaskAvailable.notify_all();
+  TaskAvailable.notifyAll();
   for (std::thread &W : Workers)
     W.join();
 }
 
 void ThreadPool::submit(std::function<void()> Task) {
   {
-    std::lock_guard<std::mutex> Lock(Mutex);
+    sync::MutexLock Lock(PoolMutex);
     Tasks.push(std::move(Task));
   }
-  TaskAvailable.notify_one();
+  TaskAvailable.notifyOne();
 }
 
 void ThreadPool::wait() {
-  std::unique_lock<std::mutex> Lock(Mutex);
-  AllDone.wait(Lock, [this] { return Tasks.empty() && ActiveTasks == 0; });
+  sync::MutexLock Lock(PoolMutex);
+  // Explicit predicate loop (not a lambda) so the guarded reads of Tasks and
+  // ActiveTasks stay visible to the thread-safety analysis.
+  while (!Tasks.empty() || ActiveTasks != 0)
+    AllDone.wait(Lock);
 }
 
 void ThreadPool::workerLoop() {
   for (;;) {
     std::function<void()> Task;
     {
-      std::unique_lock<std::mutex> Lock(Mutex);
-      TaskAvailable.wait(Lock,
-                         [this] { return ShuttingDown || !Tasks.empty(); });
+      sync::MutexLock Lock(PoolMutex);
+      while (!ShuttingDown && Tasks.empty())
+        TaskAvailable.wait(Lock);
       if (ShuttingDown && Tasks.empty())
         return;
       Task = std::move(Tasks.front());
       Tasks.pop();
       ++ActiveTasks;
     }
-    Task();
+    Task(); // PoolMutex released: the task may submit() or take any lock.
     {
-      std::lock_guard<std::mutex> Lock(Mutex);
+      sync::MutexLock Lock(PoolMutex);
       --ActiveTasks;
       if (Tasks.empty() && ActiveTasks == 0)
-        AllDone.notify_all();
+        AllDone.notifyAll();
     }
   }
 }

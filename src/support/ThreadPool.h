@@ -10,14 +10,19 @@
 /// asynchronously, selecting an MFSA at a time from the remaining ones until
 /// all are executed". Tasks are drained from a shared queue by T workers.
 ///
+/// Locking protocol (verified by the Sync.h capability annotations): every
+/// queue/bookkeeping field is guarded by PoolMutex (rank 70); the mutex is
+/// never held while a task body runs, so tasks may freely acquire
+/// higher-rank locks (metrics, reply framing) or submit follow-up work.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MFSA_SUPPORT_THREADPOOL_H
 #define MFSA_SUPPORT_THREADPOOL_H
 
-#include <condition_variable>
+#include "support/Sync.h"
+
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
@@ -36,24 +41,28 @@ public:
   ThreadPool(const ThreadPool &) = delete;
   ThreadPool &operator=(const ThreadPool &) = delete;
 
-  /// Enqueues \p Task for execution by any worker.
-  void submit(std::function<void()> Task);
+  /// Enqueues \p Task for execution by any worker. Safe to call from task
+  /// bodies: PoolMutex is never held while a task runs.
+  void submit(std::function<void()> Task) MFSA_EXCLUDES(PoolMutex);
 
   /// Blocks until every submitted task has finished.
-  void wait();
+  void wait() MFSA_EXCLUDES(PoolMutex);
 
   unsigned numThreads() const { return static_cast<unsigned>(Workers.size()); }
 
 private:
-  void workerLoop();
+  void workerLoop() MFSA_EXCLUDES(PoolMutex);
 
   std::vector<std::thread> Workers;
-  std::queue<std::function<void()>> Tasks;
-  std::mutex Mutex;
-  std::condition_variable TaskAvailable;
-  std::condition_variable AllDone;
-  unsigned ActiveTasks = 0;
-  bool ShuttingDown = false;
+
+  /// Rank 70 (see the Sync.h table): acquired by task bodies holding a
+  /// Session::QueueMutex (30); never held while running a task.
+  sync::Mutex PoolMutex MFSA_LOCK_RANK(70);
+  std::queue<std::function<void()>> Tasks MFSA_GUARDED_BY(PoolMutex);
+  sync::CondVar TaskAvailable;
+  sync::CondVar AllDone;
+  unsigned ActiveTasks MFSA_GUARDED_BY(PoolMutex) = 0;
+  bool ShuttingDown MFSA_GUARDED_BY(PoolMutex) = false;
 };
 
 } // namespace mfsa

@@ -1,0 +1,201 @@
+//===- SyncStressTest.cpp - concurrency protocol stress tests -------------===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// High-thread-count stress over the annotated sync layer's two hottest
+/// protocols, written for TSan (the CI tsan job runs `ctest -L tsan` on a
+/// -fsanitize=thread build):
+///
+///   - RulesetCache under eviction churn: a capacity-2 cache hammered by
+///     rotating rulesets (including an invalid one exercising the
+///     negative-cache path) while other threads scan through acquired
+///     entries and poll residentEntries() — the RCU-style contract says an
+///     evicted entry must stay fully usable for the sessions holding it.
+///   - ThreadPool submit/wait storms racing tasks that themselves submit.
+///
+/// Scale knobs: MFSA_SYNC_STRESS_THREADS (default 128 total across roles)
+/// and MFSA_SYNC_STRESS_MS (default 2000) let the CI soak leg run the same
+/// binary harder without a rebuild.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/RulesetCache.h"
+
+#include "engine/Imfant.h"
+#include "obs/Metrics.h"
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+using namespace mfsa;
+using namespace mfsa::service;
+
+namespace {
+
+unsigned envUnsigned(const char *Name, unsigned Default) {
+  const char *Env = std::getenv(Name);
+  if (!Env || !*Env)
+    return Default;
+  unsigned long V = std::strtoul(Env, nullptr, 10);
+  return V < 1 ? 1 : static_cast<unsigned>(V);
+}
+
+unsigned stressThreads() {
+  return envUnsigned("MFSA_SYNC_STRESS_THREADS", 128);
+}
+
+std::chrono::milliseconds stressDuration() {
+  return std::chrono::milliseconds(envUnsigned("MFSA_SYNC_STRESS_MS", 2000));
+}
+
+/// Rotating ruleset pool: 8 distinct valid rulesets (so a capacity-2 cache
+/// evicts constantly) plus one invalid ruleset feeding the negative cache.
+std::vector<std::string> rulesFor(unsigned Slot) {
+  if (Slot == 8)
+    return {"("}; // Unbalanced: compiles never, negative-caches always.
+  return {"stress" + std::to_string(Slot) + "[0-9]+",
+          "tail" + std::to_string(Slot) + "$"};
+}
+
+} // namespace
+
+TEST(SyncStress, CacheEvictionChurnVsLookupsAndScans) {
+  obs::MetricsRegistry Registry;
+  CacheOptions Opts;
+  Opts.Capacity = 2; // Far below the 8 live keys: constant eviction.
+  RulesetCache Cache(Opts, &Registry);
+
+  const unsigned Total = stressThreads();
+  const unsigned Scanners = Total / 4 + 1;
+  const unsigned Pollers = Total / 8 + 1;
+  const unsigned Churners = Total - Scanners - Pollers > 0
+                                ? Total - Scanners - Pollers
+                                : 1;
+  const auto Deadline =
+      std::chrono::steady_clock::now() + stressDuration();
+
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> Acquires{0};
+  std::atomic<uint64_t> NegativeHits{0};
+  std::atomic<uint64_t> Scans{0};
+  std::atomic<bool> Failed{false};
+
+  auto Churner = [&](unsigned Seed) {
+    unsigned Slot = Seed;
+    while (!Stop.load(std::memory_order_relaxed)) {
+      Slot = (Slot + 1) % 9; // 0..7 valid, 8 = the negative-cache key.
+      CacheSource Source = CacheSource::Compiled;
+      auto Acquired = Cache.acquire(rulesFor(Slot), 2, &Source);
+      if (Slot == 8) {
+        if (Acquired.ok()) {
+          Failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+        NegativeHits.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (!Acquired.ok()) {
+        Failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+      Acquires.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  // Scanner threads hold an entry across eviction and keep scanning with
+  // it — the refcounted-eviction contract under maximum churn.
+  auto Scanner = [&](unsigned Seed) {
+    unsigned Slot = Seed % 8;
+    while (!Stop.load(std::memory_order_relaxed)) {
+      const std::string Input =
+          "noise stress" + std::to_string(Slot) + "123 more tail" +
+          std::to_string(Slot);
+      auto Acquired = Cache.acquire(rulesFor(Slot), 2, nullptr);
+      if (!Acquired.ok()) {
+        Failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+      std::shared_ptr<const CompiledRuleset> Pinned = *Acquired;
+      for (int Repeat = 0; Repeat < 4; ++Repeat) {
+        uint64_t Matches = 0;
+        for (const ImfantEngine &Engine : Pinned->Engines) {
+          MatchRecorder Rec;
+          Engine.run(Input, Rec);
+          Matches += Rec.total();
+        }
+        if (Matches == 0) { // Input always contains both patterns.
+          Failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+        Scans.fetch_add(1, std::memory_order_relaxed);
+      }
+      Slot = (Slot + 3) % 8;
+    }
+  };
+
+  auto Poller = [&] {
+    while (!Stop.load(std::memory_order_relaxed)) {
+      size_t Resident = Cache.residentEntries();
+      if (Resident > Opts.Capacity) { // Eviction keeps the ceiling.
+        Failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+      std::this_thread::yield();
+    }
+  };
+
+  std::vector<std::thread> Threads;
+  Threads.reserve(Total);
+  for (unsigned I = 0; I < Churners; ++I)
+    Threads.emplace_back(Churner, I);
+  for (unsigned I = 0; I < Scanners; ++I)
+    Threads.emplace_back(Scanner, I);
+  for (unsigned I = 0; I < Pollers; ++I)
+    Threads.emplace_back(Poller);
+
+  std::this_thread::sleep_until(Deadline);
+  Stop.store(true, std::memory_order_relaxed);
+  for (std::thread &T : Threads)
+    T.join();
+
+  EXPECT_FALSE(Failed.load());
+  EXPECT_GT(Acquires.load(), 0u);
+  EXPECT_GT(NegativeHits.load(), 0u);
+  EXPECT_GT(Scans.load(), 0u);
+  EXPECT_LE(Cache.residentEntries(), Opts.Capacity);
+  // Eviction must actually have happened for the test to mean anything.
+  EXPECT_GT(Registry.counter("service.cache.evictions").value(), 0u);
+}
+
+TEST(SyncStress, ThreadPoolSubmitWaitStorm) {
+  ThreadPool Pool(8);
+  const auto Deadline =
+      std::chrono::steady_clock::now() +
+      std::min(stressDuration(), std::chrono::milliseconds(1000));
+
+  std::atomic<uint64_t> Executed{0};
+  // Tasks that submit follow-up tasks race wait() callers: wait() returns
+  // only when the queue AND active set are empty, so the resubmission from
+  // inside a task must be visible to it.
+  while (std::chrono::steady_clock::now() < Deadline) {
+    for (int I = 0; I < 64; ++I)
+      Pool.submit([&] {
+        Executed.fetch_add(1, std::memory_order_relaxed);
+        Pool.submit([&] { Executed.fetch_add(1, std::memory_order_relaxed); });
+      });
+    Pool.wait();
+  }
+  Pool.wait();
+  EXPECT_GT(Executed.load(), 0u);
+  EXPECT_EQ(Executed.load() % 2, 0u); // Every parent ran its child.
+}

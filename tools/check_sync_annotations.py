@@ -1,0 +1,294 @@
+#!/usr/bin/env python3
+"""Sync-layer lint: raw-primitive ban + lock-rank deadlock check.
+
+Two gates, run over src/**/*.{h,cpp}:
+
+1. Raw-primitive ban. Outside src/support/Sync.h (and an explicit
+   allowlist), no file may name std::mutex, std::condition_variable,
+   std::lock_guard, std::unique_lock, std::scoped_lock, std::shared_mutex,
+   std::shared_lock, std::recursive_mutex, or include <mutex>,
+   <condition_variable>, <shared_mutex>. All synchronization goes through
+   sync::Mutex / sync::MutexLock / sync::CondVar so Clang's thread-safety
+   analysis sees every acquisition.
+
+2. Lock-rank discipline. Every `sync::Mutex` declaration must carry an
+   MFSA_LOCK_RANK(N) marker with a globally unique field name. The
+   acquisition-order graph is assembled from two sources:
+     - `// LOCK-ORDER: A -> B` lines (the global table in Sync.h, plus any
+       other file that declares an edge), and
+     - MFSA_ACQUIRED_BEFORE(...) / MFSA_ACQUIRED_AFTER(...) attributes on
+       the declarations themselves.
+   Every edge must climb strictly upward in rank, and the whole graph must
+   be acyclic (rank monotonicity implies acyclicity, but the cycle check
+   also covers edges between mutexes that erroneously share a rank).
+
+Exit status 0 = clean, 1 = findings (printed one per line, greppable),
+2 = usage / internal error. `--self-test` runs the embedded fixtures that
+prove the lint still catches each class of violation.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# Files whose raw std primitives are the implementation of the sync layer
+# itself, not a bypass of it.
+ALLOWLIST = {
+    "src/support/Sync.h",
+}
+
+RAW_TOKENS = [
+    "std::mutex",
+    "std::recursive_mutex",
+    "std::timed_mutex",
+    "std::shared_mutex",
+    "std::condition_variable",
+    "std::lock_guard",
+    "std::unique_lock",
+    "std::scoped_lock",
+    "std::shared_lock",
+    "<mutex>",
+    "<condition_variable>",
+    "<shared_mutex>",
+]
+
+DECL_RE = re.compile(
+    r"sync::Mutex\s+(\w+)\s*(MFSA_LOCK_RANK\((\d+)\))?"
+    r"(?:\s*(MFSA_ACQUIRED_(?:BEFORE|AFTER))\(([^)]*)\))?"
+)
+ORDER_RE = re.compile(r"//\s*LOCK-ORDER:\s*(\w+)\s*->\s*(\w+)")
+
+
+def strip_comments(line):
+    """Drops // comments so commented-out code cannot trip the raw ban.
+    LOCK-ORDER lines are parsed before this runs."""
+    return line.split("//", 1)[0]
+
+
+def scan_tree(root):
+    """Yields (relpath, text) for every C++ file under root/src."""
+    for dirpath, _dirnames, filenames in os.walk(os.path.join(root, "src")):
+        for name in sorted(filenames):
+            if not name.endswith((".h", ".cpp")):
+                continue
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, root).replace(os.sep, "/")
+            with open(path, encoding="utf-8") as fh:
+                yield rel, fh.read()
+
+
+def lint_files(files):
+    """files: iterable of (relpath, text). Returns a list of findings."""
+    findings = []
+    ranks = {}       # mutex field name -> (rank, declsite)
+    edges = []       # (holder, acquired, site)
+
+    for rel, text in files:
+        allowed = rel in ALLOWLIST
+        # Multi-line declarations: attributes often wrap; fold continuation
+        # lines (a decl line with no `;` joined with the next) for parsing.
+        lines = text.splitlines()
+        folded = []
+        for i, line in enumerate(lines):
+            folded.append((i + 1, line))
+            if "sync::Mutex" in line and ";" not in line and i + 1 < len(lines):
+                folded[-1] = (i + 1, line + " " + lines[i + 1].strip())
+
+        for lineno, line in folded:
+            for m in ORDER_RE.finditer(line):
+                edges.append((m.group(1), m.group(2), f"{rel}:{lineno}"))
+
+            code = strip_comments(line)
+            if not allowed:
+                for tok in RAW_TOKENS:
+                    if tok in code:
+                        findings.append(
+                            f"{rel}:{lineno}: raw primitive {tok!r} outside "
+                            f"the sync layer; use support/Sync.h"
+                        )
+
+            m = DECL_RE.search(code)
+            if not m:
+                continue
+            name, rank_marker, rank, attr, attr_args = m.groups()
+            site = f"{rel}:{lineno}"
+            if not rank_marker:
+                findings.append(
+                    f"{site}: sync::Mutex {name} has no MFSA_LOCK_RANK(N) "
+                    f"marker (see the table in support/Sync.h)"
+                )
+                continue
+            if name in ranks:
+                findings.append(
+                    f"{site}: mutex field name {name} reused (first declared "
+                    f"at {ranks[name][1]}); names must be globally unique so "
+                    f"LOCK-ORDER lines are unambiguous"
+                )
+                continue
+            ranks[name] = (int(rank), site)
+            if attr:
+                for other in [a.strip() for a in attr_args.split(",") if a.strip()]:
+                    if attr == "MFSA_ACQUIRED_BEFORE":
+                        edges.append((name, other, site))
+                    else:
+                        edges.append((other, name, site))
+
+    # Rank monotonicity: every declared edge must climb strictly upward.
+    graph = {}
+    for holder, acquired, site in edges:
+        for end in (holder, acquired):
+            if end not in ranks:
+                findings.append(
+                    f"{site}: LOCK-ORDER edge names unknown mutex {end!r} "
+                    f"(no MFSA_LOCK_RANK declaration found)"
+                )
+                break
+        else:
+            if ranks[holder][0] >= ranks[acquired][0]:
+                findings.append(
+                    f"{site}: edge {holder}({ranks[holder][0]}) -> "
+                    f"{acquired}({ranks[acquired][0]}) does not climb ranks; "
+                    f"renumber or restructure the acquisition"
+                )
+            graph.setdefault(holder, set()).add(acquired)
+
+    # Cycle check over the declared graph (covers equal-rank mistakes).
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {n: WHITE for n in set(graph) | {v for vs in graph.values() for v in vs}}
+
+    def dfs(node, path):
+        color[node] = GRAY
+        for nxt in sorted(graph.get(node, ())):
+            if color[nxt] == GRAY:
+                cycle = path[path.index(nxt):] + [nxt] if nxt in path else [node, nxt]
+                findings.append(
+                    "lock-order cycle: " + " -> ".join(cycle + [cycle[0]])
+                )
+            elif color[nxt] == WHITE:
+                dfs(nxt, path + [nxt])
+        color[node] = BLACK
+
+    for node in sorted(color):
+        if color[node] == WHITE:
+            dfs(node, [node])
+
+    return findings
+
+
+def self_test():
+    """Embedded fixtures: each must produce exactly the expected finding."""
+    cases = [
+        (
+            "raw mutex outside the sync layer",
+            [("src/engine/Foo.cpp", "std::mutex M;\n")],
+            "raw primitive",
+        ),
+        (
+            "raw include outside the sync layer",
+            [("src/engine/Foo.h", "#include <mutex>\n")],
+            "raw primitive",
+        ),
+        (
+            "missing rank marker",
+            [("src/engine/Foo.h", "sync::Mutex BareMutex;\n")],
+            "no MFSA_LOCK_RANK",
+        ),
+        (
+            "duplicate mutex name",
+            [(
+                "src/engine/Foo.h",
+                "sync::Mutex DupMutex MFSA_LOCK_RANK(10);\n"
+                "sync::Mutex DupMutex MFSA_LOCK_RANK(20);\n",
+            )],
+            "reused",
+        ),
+        (
+            "non-monotone LOCK-ORDER edge",
+            [(
+                "src/engine/Foo.h",
+                "sync::Mutex LowMutex MFSA_LOCK_RANK(10);\n"
+                "sync::Mutex HighMutex MFSA_LOCK_RANK(20);\n"
+                "// LOCK-ORDER: HighMutex -> LowMutex\n",
+            )],
+            "does not climb ranks",
+        ),
+        (
+            "equal-rank cycle",
+            [(
+                "src/engine/Foo.h",
+                "sync::Mutex AMutex MFSA_LOCK_RANK(10);\n"
+                "sync::Mutex BMutex MFSA_LOCK_RANK(10);\n"
+                "// LOCK-ORDER: AMutex -> BMutex\n"
+                "// LOCK-ORDER: BMutex -> AMutex\n",
+            )],
+            "lock-order cycle",
+        ),
+        (
+            "inverted ACQUIRED_BEFORE",
+            [(
+                "src/engine/Foo.h",
+                "sync::Mutex FirstMutex MFSA_LOCK_RANK(30);\n"
+                "sync::Mutex SecondMutex MFSA_LOCK_RANK(40) "
+                "MFSA_ACQUIRED_BEFORE(FirstMutex);\n",
+            )],
+            "does not climb ranks",
+        ),
+        (
+            "edge to unknown mutex",
+            [(
+                "src/engine/Foo.h",
+                "sync::Mutex RealMutex MFSA_LOCK_RANK(10);\n"
+                "// LOCK-ORDER: RealMutex -> GhostMutex\n",
+            )],
+            "unknown mutex",
+        ),
+        (
+            "clean fixture stays clean",
+            [(
+                "src/engine/Foo.h",
+                "sync::Mutex OuterMutex MFSA_LOCK_RANK(10);\n"
+                "sync::Mutex InnerMutex MFSA_LOCK_RANK(20);\n"
+                "// LOCK-ORDER: OuterMutex -> InnerMutex\n",
+            )],
+            None,
+        ),
+    ]
+    failed = 0
+    for title, files, expect in cases:
+        findings = lint_files(files)
+        if expect is None:
+            ok = not findings
+        else:
+            ok = any(expect in f for f in findings)
+        print(f"{'PASS' if ok else 'FAIL'}: {title}")
+        if not ok:
+            for f in findings:
+                print(f"    got: {f}")
+            failed += 1
+    return failed == 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".", help="repository root")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the embedded violation fixtures")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return 0 if self_test() else 1
+
+    findings = lint_files(scan_tree(args.root))
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"\n{len(findings)} finding(s). See src/support/Sync.h for the "
+              f"locking rules and the rank table.")
+        return 1
+    print("sync annotations clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

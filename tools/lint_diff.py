@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Diff-aware clang-tidy runner.
+
+Full-tree clang-tidy over this repo takes minutes; a pull request usually
+touches a handful of files. This runner lints exactly the translation units
+a change can affect:
+
+  - every changed .cpp under src/ is linted directly;
+  - every changed .h under src/ is mapped to the .cpp files that include it
+    (by include spelling relative to src/, the repo convention), and those
+    TUs are linted.
+
+Usage:
+    tools/lint_diff.py [--base REF] [--build-dir build] [--all] [files...]
+
+With explicit file arguments the git diff is skipped and those paths are
+used as the change set. --all lints every TU (what the push builds run).
+Requires a compile_commands.json in the build dir (CMake exports it; the
+setup-build action symlinks it to the repo root).
+
+Exit status: clang-tidy's own (nonzero on error-level findings), 2 on
+usage errors, 0 when the change set maps to zero TUs.
+"""
+
+import argparse
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"', re.M)
+
+
+def run(cmd, **kwargs):
+    return subprocess.run(cmd, capture_output=True, text=True, **kwargs)
+
+
+def changed_files(base):
+    merge_base = run(["git", "merge-base", base, "HEAD"])
+    ref = merge_base.stdout.strip() if merge_base.returncode == 0 else base
+    diff = run(["git", "diff", "--name-only", ref, "HEAD"])
+    if diff.returncode != 0:
+        print(f"lint_diff: git diff against {ref!r} failed: "
+              f"{diff.stderr.strip()}", file=sys.stderr)
+        sys.exit(2)
+    files = [f for f in diff.stdout.splitlines() if f]
+    # Uncommitted work counts too (local runs before commit).
+    working = run(["git", "diff", "--name-only", "HEAD"])
+    files += [f for f in working.stdout.splitlines() if f]
+    return sorted(set(files))
+
+
+def all_tus(root):
+    tus = []
+    for dirpath, _dirs, names in os.walk(os.path.join(root, "src")):
+        for name in sorted(names):
+            if name.endswith(".cpp"):
+                tus.append(os.path.relpath(os.path.join(dirpath, name), root))
+    return tus
+
+
+def include_map(root):
+    """Maps each src-relative header spelling to the TUs that include it,
+    transitively (a header including a changed header dirties its users)."""
+    direct = {}   # tu or header path -> set of include spellings
+    for dirpath, _dirs, names in os.walk(os.path.join(root, "src")):
+        for name in sorted(names):
+            if not name.endswith((".h", ".cpp")):
+                continue
+            path = os.path.relpath(os.path.join(dirpath, name), root)
+            with open(os.path.join(root, path), encoding="utf-8") as fh:
+                direct[path] = set(INCLUDE_RE.findall(fh.read()))
+
+    # Resolve include spellings ("service/Server.h") to repo paths.
+    def resolve(spelling):
+        cand = os.path.join("src", spelling)
+        return cand if cand in direct else None
+
+    users = {}    # header repo-path -> set of TU repo-paths
+    def visit(tu, node, seen):
+        for spelling in direct.get(node, ()):
+            header = resolve(spelling)
+            if header and header not in seen:
+                seen.add(header)
+                users.setdefault(header, set()).add(tu)
+                visit(tu, header, seen)
+
+    for path in direct:
+        if path.endswith(".cpp"):
+            users.setdefault(path, set()).add(path)
+            visit(path, path, {path})
+    return users
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--base", default="origin/main",
+                        help="ref to diff against (default origin/main)")
+    parser.add_argument("--build-dir", default="build",
+                        help="build dir holding compile_commands.json")
+    parser.add_argument("--all", action="store_true",
+                        help="lint every TU instead of the diff")
+    parser.add_argument("files", nargs="*",
+                        help="explicit change set (skips git diff)")
+    args = parser.parse_args()
+
+    root = os.getcwd()
+    tidy = shutil.which("clang-tidy")
+    if not tidy:
+        for ver in range(20, 13, -1):
+            tidy = shutil.which(f"clang-tidy-{ver}")
+            if tidy:
+                break
+    if not tidy:
+        print("lint_diff: no clang-tidy on PATH", file=sys.stderr)
+        return 2
+    if not os.path.exists(os.path.join(args.build_dir,
+                                       "compile_commands.json")):
+        print(f"lint_diff: {args.build_dir}/compile_commands.json missing; "
+              f"configure with CMake first", file=sys.stderr)
+        return 2
+
+    if args.all:
+        tus = all_tus(root)
+    else:
+        changed = args.files or changed_files(args.base)
+        changed = [f for f in changed
+                   if f.startswith("src/") and f.endswith((".h", ".cpp"))]
+        if not changed:
+            print("lint_diff: no C++ changes under src/; nothing to lint")
+            return 0
+        users = include_map(root)
+        tus = sorted({tu for f in changed for tu in users.get(f, ())})
+        if not tus:
+            print("lint_diff: changed files map to no translation units")
+            return 0
+
+    print(f"lint_diff: {len(tus)} TU(s): " + " ".join(tus))
+    proc = subprocess.run([tidy, "-p", args.build_dir, "--quiet"] + tus)
+    return proc.returncode
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,86 @@
+//===- thread_safety_negative.cpp - analysis spot-check fixtures ----------===//
+//
+// Part of the mfsa project. MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Proves the thread-safety gate actually gates. CI compiles this file with
+// clang++ -fsyntax-only under the same -Werror=thread-safety flags as the
+// tree, once per MFSA_NEGATIVE_CASE value:
+//
+//   0  well-annotated code            -> must COMPILE (the fixture itself
+//                                        is valid; failures mean the flags
+//                                        or Sync.h broke)
+//   1  guarded field without the lock -> must FAIL (-Wthread-safety says a
+//                                        deleted MFSA_GUARDED_BY would have
+//                                        been caught)
+//   2  acquisition against a declared -> must FAIL under beta (says an
+//      ACQUIRED_BEFORE order             inverted MFSA_ACQUIRED_BEFORE
+//                                        would have been caught)
+//
+// Keep this file free of repo includes other than Sync.h: it must stay
+// compilable with plain `clang++ -Isrc -fsyntax-only`, no build dir needed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Sync.h"
+
+#ifndef MFSA_NEGATIVE_CASE
+#define MFSA_NEGATIVE_CASE 0
+#endif
+
+namespace {
+
+class Fixture {
+public:
+  void wellLocked() MFSA_EXCLUDES(OuterMutex) {
+    mfsa::sync::MutexLock Lock(OuterMutex);
+    ++Guarded;
+  }
+
+  void orderedAcquisition() MFSA_EXCLUDES(OuterMutex, InnerMutex) {
+    mfsa::sync::MutexLock Outer(OuterMutex);
+    mfsa::sync::MutexLock Inner(InnerMutex);
+    ++Guarded;
+    ++InnerGuarded;
+  }
+
+#if MFSA_NEGATIVE_CASE == 1
+  // A read of Guarded with no lock held: exactly what deleting the
+  // MFSA_GUARDED_BY attribute would silently allow.
+  int unguardedRead() { return Guarded; }
+#endif
+
+#if MFSA_NEGATIVE_CASE == 2
+  // Inner before Outer, against the declared ACQUIRED_BEFORE edge: exactly
+  // what inverting the attribute (or adding a backwards call path) allows.
+  void invertedAcquisition() MFSA_EXCLUDES(OuterMutex, InnerMutex) {
+    mfsa::sync::MutexLock Inner(InnerMutex);
+    mfsa::sync::MutexLock Outer(OuterMutex);
+    ++Guarded;
+    ++InnerGuarded;
+  }
+#endif
+
+private:
+  mfsa::sync::Mutex OuterMutex MFSA_ACQUIRED_BEFORE(InnerMutex);
+  mfsa::sync::Mutex InnerMutex;
+  int Guarded MFSA_GUARDED_BY(OuterMutex) = 0;
+  int InnerGuarded MFSA_GUARDED_BY(InnerMutex) = 0;
+};
+
+} // namespace
+
+int main() {
+  Fixture F;
+  F.wellLocked();
+  F.orderedAcquisition();
+#if MFSA_NEGATIVE_CASE == 1
+  return F.unguardedRead();
+#elif MFSA_NEGATIVE_CASE == 2
+  F.invertedAcquisition();
+  return 0;
+#else
+  return 0;
+#endif
+}
